@@ -1,0 +1,65 @@
+// Ablation — multi-step forecasting strategies: recursive roll-out (feed
+// each prediction back, the natural extension of the paper's one-step model)
+// vs a direct multi-output head trained to emit all H steps at once.
+//
+// Expected shape: at horizon 1 the strategies tie; as the horizon grows the
+// recursive roll-out accumulates its own errors while the direct model
+// degrades more gracefully on noisy workloads.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/metrics.hpp"
+#include "core/loaddynamics.hpp"
+#include "core/multistep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ld;
+  const cli::Args args(argc, argv);
+  const bench::ExperimentScale scale = bench::ExperimentScale::from_args(args);
+
+  std::printf("=== Ablation: recursive vs direct multi-step forecasting ===\n");
+  const auto w = bench::PreparedWorkload::make(workloads::TraceKind::kGoogle, 30, scale);
+
+  // Architecture from one BO search; both strategies share it.
+  const core::LoadDynamicsConfig cfg =
+      scale.loaddynamics_config(workloads::TraceKind::kGoogle);
+  const core::LoadDynamics framework(cfg);
+  const core::FitResult fit = framework.fit(w.split.train, w.split.validation);
+  const core::Hyperparameters hp = fit.best_record().hyperparameters;
+  std::printf("architecture: %s\n\n", hp.to_string().c_str());
+
+  std::printf("%-10s%18s%16s\n", "horizon", "recursive MAPE %", "direct MAPE %");
+  std::vector<std::vector<double>> csv_rows;
+  for (const std::size_t horizon : {1u, 3u, 6u, 12u}) {
+    const core::DirectMultiStepModel direct(w.split.train, w.split.validation, horizon, hp,
+                                            cfg.training, cfg.seed);
+    // Evaluate both on non-overlapping H-blocks of the test span,
+    // teacher-forced context between blocks.
+    std::vector<double> actual, rec_preds, dir_preds;
+    const std::size_t start = w.split.test_start();
+    for (std::size_t off = 0; off + horizon <= w.split.test.size(); off += horizon) {
+      const std::span<const double> context(w.series.data(), start + off);
+      const auto r = fit.predictor().predict_horizon(context, horizon);
+      const auto d = direct.predict(context);
+      for (std::size_t h = 0; h < horizon; ++h) {
+        actual.push_back(w.split.test[off + h]);
+        rec_preds.push_back(r[h]);
+        dir_preds.push_back(d[h]);
+      }
+    }
+    const double rec_mape = metrics::mape(actual, rec_preds);
+    const double dir_mape = metrics::mape(actual, dir_preds);
+    std::printf("%-10zu%18.2f%16.2f\n", horizon, rec_mape, dir_mape);
+    csv_rows.push_back({static_cast<double>(horizon), rec_mape, dir_mape});
+  }
+
+  std::printf(
+      "\nReading the result: on smooth traces a well-tuned one-step model rolled\n"
+      "out recursively is a strong baseline — error compounding only dominates on\n"
+      "noisy workloads/long horizons, where the direct head catches up. Either\n"
+      "way the gap quantifies how far one-step tuning (the paper's setting)\n"
+      "carries into multi-interval provisioning.\n");
+  bench::maybe_write_csv(scale, "ablation_multistep.csv",
+                         {"horizon", "recursive", "direct"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared experiment plumbing for the bench binaries: quick/full scaling,
+// workload construction, predictor evaluation and table printing.
+//
+// Every bench accepts:
+//   --full           paper-scale settings (hours; default is --quick)
+//   --seed <n>       master seed (default 2020)
+//   --out <dir>      where CSV artifacts go (default: skip CSV output)
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/loaddynamics.hpp"
+#include "timeseries/predictor.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+namespace ld::bench {
+
+struct ExperimentScale {
+  bool full = false;
+  std::uint64_t seed = 2020;
+  std::string out_dir;  // empty = no CSV artifacts
+
+  /// Trace length in days for a given interval granularity, chosen so each
+  /// configuration yields a comparable number of intervals.
+  [[nodiscard]] double days_for_interval(std::size_t interval_minutes) const;
+
+  /// LoadDynamics configuration for a workload kind: Table III spaces in
+  /// --full mode, a structurally identical reduced space in --quick mode.
+  [[nodiscard]] core::LoadDynamicsConfig loaddynamics_config(workloads::TraceKind kind) const;
+
+  [[nodiscard]] static ExperimentScale from_args(const cli::Args& args);
+};
+
+/// A workload configuration instantiated as data: the trace, its 60/20/20
+/// split and the flattened series.
+struct PreparedWorkload {
+  workloads::Trace trace;
+  workloads::TraceSplit split;
+  std::vector<double> series;
+  std::string label;  // e.g. "GL-30"
+
+  [[nodiscard]] static PreparedWorkload make(workloads::TraceKind kind,
+                                             std::size_t interval_minutes,
+                                             const ExperimentScale& scale,
+                                             double trace_scale = 1.0);
+};
+
+/// Short label like "GL-30" used in the paper's figures.
+[[nodiscard]] std::string workload_label(workloads::TraceKind kind, std::size_t interval);
+
+/// Walk-forward test MAPE of a baseline predictor on a prepared workload.
+[[nodiscard]] double baseline_test_mape(ts::Predictor& predictor, const PreparedWorkload& w,
+                                        std::size_t refit_every);
+
+/// Walk-forward test predictions (exposed for the auto-scaling bench).
+[[nodiscard]] std::vector<double> baseline_test_predictions(ts::Predictor& predictor,
+                                                            const PreparedWorkload& w,
+                                                            std::size_t refit_every);
+
+/// Test MAPE of a fitted LoadDynamics model on a prepared workload.
+[[nodiscard]] double model_test_mape(const core::TrainedModel& model,
+                                     const PreparedWorkload& w);
+
+/// Fixed-width table printing helpers.
+void print_table_header(const std::vector<std::string>& columns, std::size_t first_width = 10,
+                        std::size_t width = 14);
+void print_table_row(const std::string& label, const std::vector<double>& values,
+                     std::size_t first_width = 10, std::size_t width = 14,
+                     int precision = 1);
+
+/// Write a CSV artifact if scale.out_dir is set (creates the directory).
+void maybe_write_csv(const ExperimentScale& scale, const std::string& filename,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows);
+
+}  // namespace ld::bench

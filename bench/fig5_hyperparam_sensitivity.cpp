@@ -1,0 +1,64 @@
+// Fig. 5 — LSTM hyperparameter sensitivity on the Google workload.
+//
+// The paper trains 100 LSTM models with different hyperparameter
+// combinations and shows a ~3x spread between the best and worst MAPE,
+// motivating automatic per-workload tuning. This bench reproduces the sweep
+// (counts scale with --quick/--full) and prints the sorted error curve.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/loaddynamics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ld;
+  const cli::Args args(argc, argv);
+  const bench::ExperimentScale scale = bench::ExperimentScale::from_args(args);
+  const std::size_t count =
+      static_cast<std::size_t>(args.get_int("count", scale.full ? 100 : 24));
+
+  std::printf("=== Fig. 5: MAPE of %zu LSTM configurations (Google, 30-min) ===\n", count);
+
+  const auto w = bench::PreparedWorkload::make(workloads::TraceKind::kGoogle, 30, scale);
+  const core::LoadDynamicsConfig cfg =
+      scale.loaddynamics_config(workloads::TraceKind::kGoogle);
+  const core::LoadDynamics framework(cfg);
+  const auto space = cfg.space.clamped_to_data(w.split.train.size());
+  const auto search_space = space.to_search_space();
+
+  Rng rng(scale.seed ^ 0xf165ULL);
+  std::vector<double> mapes;
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto hp = space.from_values(search_space.to_values(search_space.sample_unit(rng)));
+    try {
+      const auto model = framework.train_one(w.split.train, w.split.validation, hp);
+      mapes.push_back(model->validation_mape());
+      csv_rows.push_back({static_cast<double>(i), static_cast<double>(hp.history_length),
+                          static_cast<double>(hp.cell_size),
+                          static_cast<double>(hp.num_layers),
+                          static_cast<double>(hp.batch_size), model->validation_mape()});
+      std::printf("  config %3zu  %-34s -> MAPE %6.2f%%\n", i, hp.to_string().c_str(),
+                  model->validation_mape());
+    } catch (const std::exception& e) {
+      std::printf("  config %3zu  %-34s -> failed (%s)\n", i, hp.to_string().c_str(), e.what());
+    }
+  }
+
+  if (!mapes.empty()) {
+    std::sort(mapes.begin(), mapes.end());
+    const double best = mapes.front(), worst = mapes.back();
+    const double median = mapes[mapes.size() / 2];
+    std::printf("\nbest MAPE   : %6.2f%%\n", best);
+    std::printf("median MAPE : %6.2f%%\n", median);
+    std::printf("worst MAPE  : %6.2f%%\n", worst);
+    std::printf("worst/best  : %6.2fx\n", worst / best);
+    std::printf(
+        "\nExpected shape (paper): roughly a 3x gap between the best and worst\n"
+        "hyperparameter combination — hand-picking is risky, tuning is required.\n");
+  }
+  bench::maybe_write_csv(scale, "fig5_sensitivity.csv",
+                         {"config", "history", "cell", "layers", "batch", "mape"}, csv_rows);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Performance — microbenchmarks of the substrates: GEMM, LSTM training
+// steps, GP fitting, EI maximization and the baseline predictors' fits.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/cloudinsight.hpp"
+#include "bayesopt/acquisition.hpp"
+#include "bayesopt/gaussian_process.hpp"
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/matrix.hpp"
+
+namespace {
+
+using namespace ld;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  tensor::Matrix a(n, n), b(n, n), c(n, n);
+  for (double& v : a.flat()) v = rng.uniform();
+  for (double& v : b.flat()) v = rng.uniform();
+  for (auto _ : state) {
+    tensor::matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  tensor::Matrix a(n, n);
+  for (double& v : a.flat()) v = rng.uniform(-1.0, 1.0);
+  tensor::Matrix spd(n, n);
+  tensor::matmul_a_bt_into(a, a, spd);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::cholesky(spd));
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_LstmTrainEpoch(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> series(600);
+  for (double& v : series) v = rng.uniform();
+  const nn::SlidingWindowDataset data(series, 24);
+  for (auto _ : state) {
+    state.PauseTiming();
+    nn::LstmNetwork net({.input_size = 1, .hidden_size = hidden, .num_layers = 1}, 5);
+    state.ResumeTiming();
+    nn::TrainerConfig tc;
+    tc.max_epochs = 1;
+    benchmark::DoNotOptimize(nn::train(net, data, nullptr, tc, 7));
+  }
+  state.SetLabel("window=24, 576 samples");
+}
+BENCHMARK(BM_LstmTrainEpoch)->Arg(8)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  tensor::Matrix x(n, 4);
+  std::vector<double> y(n);
+  for (double& v : x.flat()) v = rng.uniform();
+  for (double& v : y) v = rng.uniform();
+  const std::vector<double> q{0.3, 0.4, 0.5, 0.6};
+  for (auto _ : state) {
+    bayesopt::GaussianProcess gp;
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.predict(q));
+  }
+  state.SetLabel("fit + 1 posterior query, incl. hyperparameter grid");
+}
+BENCHMARK(BM_GpFitPredict)->Arg(20)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_EiBatch(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> means(2048), vars(2048);
+  for (double& v : means) v = rng.uniform();
+  for (double& v : vars) v = rng.uniform(0.001, 0.2);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < means.size(); ++i)
+      total += bayesopt::expected_improvement(means[i], vars[i], 0.3);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_EiBatch);
+
+void BM_CloudInsightStep(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> series(400);
+  series[0] = 100.0;
+  for (std::size_t i = 1; i < series.size(); ++i)
+    series[i] = 50.0 + 0.5 * series[i - 1] + rng.normal(0.0, 5.0);
+  baselines::CloudInsightPredictor ci({.light_pool = true});
+  ci.fit(series);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ci.predict_next(series));
+  }
+  state.SetLabel("one council step, 21 members");
+}
+BENCHMARK(BM_CloudInsightStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

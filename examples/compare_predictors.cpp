@@ -1,0 +1,105 @@
+// Example: benchmark every predictor family in the library on one workload.
+//
+// Drives the shared ts::Predictor interface with the walk-forward harness —
+// the 21 CloudInsight members individually, the three ensemble baselines
+// (CloudInsight, CloudScale, Wood) and the LoadDynamics LSTM — and prints a
+// MAPE leaderboard. A practical template for "which predictor should I use
+// for my workload?" investigations.
+//
+// Usage: ./build/examples/compare_predictors [--workload wiki|google|facebook|azure|lcg]
+//                                            [--interval 30] [--days 12] [--seed 7]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cloudinsight.hpp"
+#include "baselines/cloudscale.hpp"
+#include "baselines/wood.hpp"
+#include "common/cli.hpp"
+#include "common/metrics.hpp"
+#include "common/stopwatch.hpp"
+#include "core/loaddynamics.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+ld::workloads::TraceKind parse_kind(const std::string& name) {
+  using K = ld::workloads::TraceKind;
+  if (name == "wiki") return K::kWikipedia;
+  if (name == "google") return K::kGoogle;
+  if (name == "facebook") return K::kFacebook;
+  if (name == "azure") return K::kAzure;
+  if (name == "lcg") return K::kLcg;
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ld;
+  const cli::Args args(argc, argv);
+  const auto kind = parse_kind(args.get("workload", "google"));
+  const auto interval = static_cast<std::size_t>(args.get_int("interval", 30));
+  const double days = args.get_double("days", 12.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  const workloads::Trace trace = workloads::generate(kind, interval, {.days = days, .seed = seed});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  const std::vector<double> series = split.all();
+  std::printf("workload %s @ %zu min: %zu intervals (%zu test)\n\n", trace.name.c_str(),
+              interval, trace.size(), split.test.size());
+
+  struct Entry {
+    std::string name;
+    double mape;
+    double seconds;
+  };
+  std::vector<Entry> leaderboard;
+
+  auto evaluate = [&](ts::Predictor& p, std::size_t refit_every) {
+    Stopwatch watch;
+    const auto preds =
+        ts::walk_forward(p, series, split.test_start(), {.refit_every = refit_every});
+    leaderboard.push_back(
+        {p.name(), metrics::mape(split.test, preds), watch.seconds()});
+  };
+
+  // Every individual member of the CloudInsight council (Table II).
+  for (auto& member : baselines::make_cloudinsight_pool(/*light=*/true))
+    evaluate(*member, 5);
+
+  // The three ensemble/meta baselines.
+  baselines::CloudInsightPredictor ci({.light_pool = true});
+  evaluate(ci, 5);
+  baselines::CloudScalePredictor cs;
+  evaluate(cs, 48);
+  baselines::WoodPredictor wood;
+  evaluate(wood, 5);
+
+  // LoadDynamics (offline fit, frozen during test — the paper's protocol).
+  {
+    Stopwatch watch;
+    core::LoadDynamicsConfig cfg;
+    cfg.space = core::HyperparameterSpace::reduced();
+    cfg.max_iterations = 8;
+    cfg.training.trainer.max_epochs = 25;
+    cfg.training.trainer.learning_rate = 1e-2;
+    cfg.seed = seed;
+    const core::LoadDynamics framework(cfg);
+    const core::FitResult fit = framework.fit(split.train, split.validation);
+    const auto preds = fit.predictor().predict_series(series, split.test_start());
+    leaderboard.push_back(
+        {"loaddynamics " + fit.best_record().hyperparameters.to_string(),
+         metrics::mape(split.test, preds), watch.seconds()});
+  }
+
+  std::sort(leaderboard.begin(), leaderboard.end(),
+            [](const Entry& a, const Entry& b) { return a.mape < b.mape; });
+  std::printf("%-44s%12s%12s\n", "predictor", "MAPE %", "seconds");
+  for (const Entry& e : leaderboard)
+    std::printf("%-44s%12.2f%12.2f\n", e.name.c_str(), e.mape, e.seconds);
+  return 0;
+}

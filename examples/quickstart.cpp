@@ -1,0 +1,57 @@
+// Quickstart — the 30-line tour of the LoadDynamics public API:
+//
+//   1. obtain a workload trace (here: the synthetic Google data-center trace),
+//   2. split it 60/20/20 (train / cross-validation / test),
+//   3. let LoadDynamics self-optimize an LSTM predictor for it,
+//   4. predict the test set and report MAPE.
+//
+// Build & run:  ./build/examples/quickstart [--full]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/metrics.hpp"
+#include "core/loaddynamics.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ld;
+  const cli::Args args(argc, argv);
+
+  // 1. A workload trace: job arrivals per 30-minute interval.
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kGoogle, 30, {.days = 12.0, .seed = 7});
+  std::printf("trace '%s': %zu intervals of %zu min\n", trace.name.c_str(), trace.size(),
+              trace.interval_minutes);
+
+  // 2. The paper's 60/20/20 partitioning.
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+
+  // 3. Self-optimizing fit: LSTM training + Bayesian hyperparameter search.
+  core::LoadDynamicsConfig config;
+  config.space = core::HyperparameterSpace::reduced();  // laptop-scale space
+  config.max_iterations = args.get_bool("full") ? 100 : 10;
+  config.training.trainer.max_epochs = 30;
+  config.training.trainer.learning_rate = 1e-2;
+  const core::LoadDynamics framework(config);
+  const core::FitResult fit = framework.fit(split.train, split.validation);
+
+  std::printf("searched %zu configurations in %.1fs; best: %s (validation MAPE %.2f%%)\n",
+              fit.database.size(), fit.search_seconds,
+              fit.best_record().hyperparameters.to_string().c_str(),
+              fit.best_record().validation_mape);
+
+  // 4. One-step-ahead predictions over the held-out test set.
+  const std::vector<double> series = split.all();
+  const std::vector<double> predictions =
+      fit.predictor().predict_series(series, split.test_start());
+  std::printf("test MAPE: %.2f%% over %zu intervals\n",
+              metrics::mape(split.test, predictions), split.test.size());
+
+  // Bonus: forecast the next 6 intervals beyond the trace.
+  const std::vector<double> horizon = fit.predictor().predict_horizon(series, 6);
+  std::printf("next 6 intervals forecast:");
+  for (const double p : horizon) std::printf(" %.0f", p);
+  std::printf("\n");
+  return 0;
+}

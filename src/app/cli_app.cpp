@@ -1,0 +1,236 @@
+#include "app/cli_app.hpp"
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "baselines/cloudinsight.hpp"
+#include "baselines/cloudscale.hpp"
+#include "baselines/wood.hpp"
+#include "cloudsim/simulator.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/metrics.hpp"
+#include "core/adaptive.hpp"
+#include "core/loaddynamics.hpp"
+#include "core/serialization.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+namespace ld::app {
+
+namespace {
+
+constexpr const char* kUsage = R"(loaddynamics — self-optimized cloud workload prediction
+
+usage: loaddynamics <command> [flags]
+
+commands:
+  generate   --workload wiki|google|facebook|azure|lcg --out trace.csv
+             [--interval 30] [--days 12] [--seed 2020] [--scale 1.0]
+  train      --csv trace.csv --model model.ldm
+             [--interval 30] [--iterations 12] [--epochs 30] [--extended]
+             [--full-space] [--seed 2020]
+  predict    --model model.ldm --csv trace.csv [--horizon 12] [--out fc.csv]
+  evaluate   --csv trace.csv [--interval 30] [--iterations 12] [--seed 2020]
+  simulate   --model model.ldm --csv trace.csv
+             [--policy predictive|reactive|oracle] [--boot 100] [--service 300]
+  help       this message
+)";
+
+workloads::TraceKind parse_kind(const std::string& name) {
+  if (name == "wiki") return workloads::TraceKind::kWikipedia;
+  if (name == "google") return workloads::TraceKind::kGoogle;
+  if (name == "facebook") return workloads::TraceKind::kFacebook;
+  if (name == "azure") return workloads::TraceKind::kAzure;
+  if (name == "lcg") return workloads::TraceKind::kLcg;
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+std::string require(const cli::Args& args, const std::string& flag) {
+  const std::string value = args.get(flag, "");
+  if (value.empty()) throw std::invalid_argument("missing required flag --" + flag);
+  return value;
+}
+
+core::LoadDynamicsConfig build_config(const cli::Args& args) {
+  core::LoadDynamicsConfig cfg;
+  cfg.space = args.get_bool("full-space") ? core::HyperparameterSpace::paper_default()
+                                          : core::HyperparameterSpace::reduced();
+  cfg.space.extended = args.get_bool("extended");
+  cfg.max_iterations = static_cast<std::size_t>(args.get_int("iterations", 12));
+  cfg.initial_random = std::max<std::size_t>(2, cfg.max_iterations / 3);
+  cfg.training.trainer.max_epochs = static_cast<std::size_t>(args.get_int("epochs", 30));
+  cfg.training.trainer.learning_rate = args.get_double("lr", 1e-2);
+  cfg.training.trainer.min_updates = 400;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  return cfg;
+}
+
+int cmd_generate(const cli::Args& args, std::ostream& out) {
+  const auto kind = parse_kind(require(args, "workload"));
+  const std::string path = require(args, "out");
+  const auto interval = static_cast<std::size_t>(args.get_int("interval", 30));
+  const workloads::Trace trace = workloads::generate(
+      kind, interval,
+      {.days = args.get_double("days", 12.0),
+       .seed = static_cast<std::uint64_t>(args.get_int("seed", 2020)),
+       .scale = args.get_double("scale", 1.0)});
+  std::vector<std::vector<double>> rows;
+  rows.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    rows.push_back({static_cast<double>(i), trace.jars[i]});
+  csv::write_file(path, {"interval", "jar"}, rows);
+  const auto stats = workloads::compute_stats(trace);
+  out << "wrote " << trace.size() << " intervals (" << interval << " min) to " << path
+      << "\nmean JAR " << stats.mean << ", CV " << stats.cv << ", daily acf "
+      << stats.daily_acf << "\n";
+  return 0;
+}
+
+int cmd_train(const cli::Args& args, std::ostream& out) {
+  const std::string csv_path = require(args, "csv");
+  const std::string model_path = require(args, "model");
+  const auto interval = static_cast<std::size_t>(args.get_int("interval", 30));
+  const workloads::Trace trace = workloads::load_csv_trace(csv_path, "cli", interval);
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+
+  const core::LoadDynamics framework(build_config(args));
+  const core::FitResult fit = framework.fit(split.train, split.validation);
+
+  const std::vector<double> series = split.all();
+  const std::vector<double> preds =
+      fit.predictor().predict_series(series, split.test_start());
+  const double test_mape = metrics::mape(split.test, preds);
+
+  core::save_model_file(fit.predictor(), model_path);
+  out << "searched " << fit.database.size() << " configurations in " << fit.search_seconds
+      << "s\nbest: " << fit.best_record().hyperparameters.to_string()
+      << "\nvalidation MAPE " << fit.best_record().validation_mape << "%, test MAPE "
+      << test_mape << "%\nmodel saved to " << model_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const cli::Args& args, std::ostream& out) {
+  const std::string model_path = require(args, "model");
+  const std::string csv_path = require(args, "csv");
+  const auto model = core::load_model_file(model_path);
+  const workloads::Trace trace = workloads::load_csv_trace(
+      csv_path, "cli", static_cast<std::size_t>(args.get_int("interval", 30)));
+  const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 12));
+  const std::vector<double> forecast = model->predict_horizon(trace.jars, horizon);
+
+  out << "model " << model->hyperparameters().to_string() << "\n";
+  for (std::size_t i = 0; i < forecast.size(); ++i)
+    out << "t+" << (i + 1) << "\t" << forecast[i] << "\n";
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    std::vector<std::vector<double>> rows;
+    for (std::size_t i = 0; i < forecast.size(); ++i)
+      rows.push_back({static_cast<double>(i + 1), forecast[i]});
+    csv::write_file(out_path, {"steps_ahead", "predicted_jar"}, rows);
+    out << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_evaluate(const cli::Args& args, std::ostream& out) {
+  const std::string csv_path = require(args, "csv");
+  const workloads::Trace trace = workloads::load_csv_trace(
+      csv_path, "cli", static_cast<std::size_t>(args.get_int("interval", 30)));
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  const std::vector<double> series = split.all();
+
+  std::map<std::string, double> scores;
+  {
+    const core::LoadDynamics framework(build_config(args));
+    const core::FitResult fit = framework.fit(split.train, split.validation);
+    const auto preds = fit.predictor().predict_series(series, split.test_start());
+    scores["loaddynamics"] = metrics::mape(split.test, preds);
+  }
+  baselines::CloudInsightPredictor ci({.light_pool = true});
+  scores["cloudinsight"] = metrics::mape(
+      split.test, ts::walk_forward(ci, series, split.test_start(), {.refit_every = 5}));
+  baselines::CloudScalePredictor cs;
+  scores["cloudscale"] = metrics::mape(
+      split.test, ts::walk_forward(cs, series, split.test_start(), {.refit_every = 48}));
+  baselines::WoodPredictor wood;
+  scores["wood"] = metrics::mape(
+      split.test, ts::walk_forward(wood, series, split.test_start(), {.refit_every = 5}));
+
+  out << "test MAPE over " << split.test.size() << " intervals:\n";
+  for (const auto& [name, mape] : scores) out << "  " << name << "\t" << mape << "%\n";
+  return 0;
+}
+
+int cmd_simulate(const cli::Args& args, std::ostream& out) {
+  const std::string csv_path = require(args, "csv");
+  const workloads::Trace trace = workloads::load_csv_trace(
+      csv_path, "cli", static_cast<std::size_t>(args.get_int("interval", 60)));
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  const std::vector<double> demand(split.test.begin(), split.test.end());
+
+  cloudsim::DesConfig cfg;
+  cfg.interval_seconds = static_cast<double>(trace.interval_minutes) * 60.0;
+  cfg.vm_boot_seconds = args.get_double("boot", 100.0);
+  cfg.job_service_mean = args.get_double("service", 300.0);
+  cfg.job_service_cv = 0.1;
+
+  std::unique_ptr<cloudsim::ScalingPolicy> policy;
+  const std::string kind = args.get("policy", "predictive");
+  if (kind == "predictive") {
+    const auto model = core::load_model_file(require(args, "model"));
+    // Warm-start: the model needs train+validation context before the test.
+    policy = std::make_unique<cloudsim::PredictivePolicy>(model);
+    // Walk-forward over the full series to align history; simplest is to
+    // simulate over the test tail with history from the trace itself.
+  } else if (kind == "reactive") {
+    policy = std::make_unique<cloudsim::ReactivePolicy>(args.get_double("factor", 1.1));
+  } else if (kind == "oracle") {
+    policy = std::make_unique<cloudsim::OraclePolicy>(demand);
+  } else {
+    throw std::invalid_argument("unknown policy '" + kind + "'");
+  }
+
+  const auto result = cloudsim::run_simulation(*policy, demand, cfg);
+  out << "policy " << policy->name() << " over " << result.intervals.size()
+      << " intervals\n";
+  out << "  jobs            " << result.total_jobs << "\n";
+  out << "  mean wait       " << result.mean_wait << " s\n";
+  out << "  mean turnaround " << result.mean_turnaround << " s\n";
+  out << "  p99 turnaround  " << result.p99_turnaround << " s\n";
+  out << "  utilization     " << 100.0 * result.mean_utilization << " %\n";
+  out << "  VM cost         $" << result.total_cost << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    out << kUsage;
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << kUsage;
+    return 0;
+  }
+  const cli::Args args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args, out);
+    if (command == "train") return cmd_train(args, out);
+    if (command == "predict") return cmd_predict(args, out);
+    if (command == "evaluate") return cmd_evaluate(args, out);
+    if (command == "simulate") return cmd_simulate(args, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace ld::app

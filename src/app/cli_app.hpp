@@ -1,0 +1,22 @@
+// The `loaddynamics` command-line application, as a library so the test
+// suite can drive it in-process.
+//
+// Subcommands:
+//   generate  — synthesize a paper workload trace to CSV
+//   train     — self-optimize a predictor on a CSV trace, save the model
+//   predict   — load a model, forecast the next N intervals of a trace
+//   evaluate  — walk-forward MAPE comparison of the bundled predictors
+//   simulate  — auto-scaling simulation driven by a saved model
+// Run with no arguments (or `help`) for usage.
+#pragma once
+
+#include <iosfwd>
+
+namespace ld::app {
+
+/// Entry point used by both tools/loaddynamics_main.cpp and the tests.
+/// Returns a process exit code; writes human output to `out` and error
+/// diagnostics to `err`.
+int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace ld::app

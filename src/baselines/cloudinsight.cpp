@@ -1,0 +1,158 @@
+#include "baselines/cloudinsight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "mlmodels/ensembles.hpp"
+#include "mlmodels/polynomial.hpp"
+#include "mlmodels/svr.hpp"
+#include "timeseries/arima.hpp"
+#include "timeseries/knn.hpp"
+#include "timeseries/smoothing.hpp"
+
+namespace ld::baselines {
+
+std::vector<std::unique_ptr<ts::Predictor>> make_cloudinsight_pool(bool light) {
+  using namespace ld::ml;
+  const std::size_t trees = light ? 10 : 30;
+  const std::size_t gb_trees = light ? 20 : 50;
+  const std::size_t svr_cap = light ? 250 : 600;
+  const std::size_t tree_cap = light ? 600 : 2000;
+  std::vector<std::unique_ptr<ts::Predictor>> pool;
+  // Naive (2).
+  pool.push_back(std::make_unique<ts::MeanPredictor>(12));
+  pool.push_back(std::make_unique<ts::KnnPredictor>(5, 6));
+  // Regression (6): linear/quadratic/cubic x local/global.
+  for (std::size_t degree = 1; degree <= 3; ++degree) {
+    pool.push_back(
+        std::make_unique<PolynomialTrendPredictor>(degree, RegressionScope::kLocal, 24));
+    pool.push_back(
+        std::make_unique<PolynomialTrendPredictor>(degree, RegressionScope::kGlobal));
+  }
+  // Time-series (7).
+  pool.push_back(std::make_unique<ts::WmaPredictor>(8));
+  pool.push_back(std::make_unique<ts::EmaPredictor>(0.5));
+  pool.push_back(std::make_unique<ts::HoltDesPredictor>(0.5, 0.3));
+  pool.push_back(std::make_unique<ts::BrownDesPredictor>(0.5));
+  pool.push_back(std::make_unique<ts::ArPredictor>(4));
+  pool.push_back(std::make_unique<ts::ArmaPredictor>(2, 1));
+  pool.push_back(std::make_unique<ts::ArimaPredictor>(2, 1, 1));
+  // ML (6).
+  {
+    SvrConfig linear;
+    linear.kernel = SvrKernel::kLinear;
+    linear.max_train_samples = svr_cap;
+    pool.push_back(std::make_unique<SvrPredictor>(linear));
+    SvrConfig rbf;
+    rbf.kernel = SvrKernel::kRbf;
+    rbf.max_train_samples = svr_cap;
+    pool.push_back(std::make_unique<SvrPredictor>(rbf));
+  }
+  auto with_cap = [&](EnsembleConfig cfg) {
+    cfg.max_train_samples = tree_cap;
+    return cfg;
+  };
+  pool.push_back(std::make_unique<TreeEnsemblePredictor>(with_cap(decision_tree_config())));
+  pool.push_back(
+      std::make_unique<TreeEnsemblePredictor>(with_cap(random_forest_config(8, trees))));
+  pool.push_back(
+      std::make_unique<TreeEnsemblePredictor>(with_cap(gradient_boosting_config(8, gb_trees))));
+  pool.push_back(
+      std::make_unique<TreeEnsemblePredictor>(with_cap(extra_trees_config(8, trees))));
+  return pool;
+}
+
+CloudInsightPredictor::CloudInsightPredictor(CloudInsightConfig config)
+    : config_(config), members_(make_cloudinsight_pool(config.light_pool)) {
+  if (config_.eval_window == 0 || config_.top_k == 0)
+    throw std::invalid_argument("CloudInsight: eval_window, top_k > 0");
+  member_scores_.assign(members_.size(), std::numeric_limits<double>::quiet_NaN());
+}
+
+CloudInsightPredictor::CloudInsightPredictor(const CloudInsightPredictor& other)
+    : config_(other.config_), log_(other.log_), member_scores_(other.member_scores_) {
+  members_.reserve(other.members_.size());
+  for (const auto& m : other.members_) members_.push_back(m->clone());
+}
+
+void CloudInsightPredictor::fit(std::span<const double> history) {
+  for (auto& member : members_) member->fit(history);
+}
+
+double CloudInsightPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("CloudInsight: empty history");
+  const std::size_t step = history.size();
+
+  // Collect the member forecasts for this step.
+  StepRecord record;
+  record.step = step;
+  record.member_preds.reserve(members_.size());
+  for (const auto& member : members_) {
+    double p = member->predict_next(history);
+    if (!std::isfinite(p)) p = history.back();
+    record.member_preds.push_back(p);
+  }
+
+  // Score members on logged predictions whose actuals are now known
+  // (log entry with step s predicted history[s], visible once size > s).
+  std::vector<double> err_sum(members_.size(), 0.0);
+  std::vector<std::size_t> err_count(members_.size(), 0);
+  for (const StepRecord& past : log_) {
+    if (past.step >= step) continue;            // actual not yet known
+    if (step - past.step > config_.eval_window) continue;  // too old
+    const double actual = history[past.step];
+    if (std::abs(actual) < 1e-12) continue;
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      err_sum[m] += std::abs((past.member_preds[m] - actual) / actual);
+      ++err_count[m];
+    }
+  }
+  for (std::size_t m = 0; m < members_.size(); ++m)
+    member_scores_[m] = err_count[m] > 0
+                            ? err_sum[m] / static_cast<double>(err_count[m])
+                            : std::numeric_limits<double>::quiet_NaN();
+
+  // Record, then trim the log to what future scoring can use.
+  log_.push_back(std::move(record));
+  while (log_.size() > config_.eval_window + 2) log_.pop_front();
+  const StepRecord& current = log_.back();
+
+  // Rank members with known scores.
+  std::vector<std::size_t> ranked;
+  for (std::size_t m = 0; m < members_.size(); ++m)
+    if (!std::isnan(member_scores_[m])) ranked.push_back(m);
+  if (ranked.empty()) {
+    // Cold start: no scored history yet; fall back to the WMA member (first
+    // time-series expert), mirroring CloudInsight's naive warm-up phase.
+    return current.member_preds[0];
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&](std::size_t a, std::size_t b) { return member_scores_[a] < member_scores_[b]; });
+  const std::size_t k = std::min<std::size_t>(config_.top_k, ranked.size());
+
+  // Inverse-error weighting over the top k experts.
+  double wsum = 0.0, pred = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t m = ranked[i];
+    const double w = 1.0 / (member_scores_[m] + 1e-6);
+    wsum += w;
+    pred += w * current.member_preds[m];
+  }
+  return pred / wsum;
+}
+
+std::string CloudInsightPredictor::current_best_member() const {
+  std::size_t best = members_.size();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (!std::isnan(member_scores_[m]) && member_scores_[m] < best_score) {
+      best_score = member_scores_[m];
+      best = m;
+    }
+  }
+  return best < members_.size() ? members_[best]->name() : "n/a";
+}
+
+}  // namespace ld::baselines

@@ -1,0 +1,107 @@
+#include "baselines/cloudscale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::baselines {
+
+CloudScalePredictor::CloudScalePredictor(CloudScaleConfig config) : config_(config) {
+  if (config_.markov_bins < 2) throw std::invalid_argument("CloudScale: markov_bins >= 2");
+}
+
+void CloudScalePredictor::fit(std::span<const double> history) {
+  if (history.size() < 8) {
+    fitted_ = false;
+    return;
+  }
+  period_ = ts::detect_period(history, config_.min_period_strength, config_.min_period_acf);
+
+  // Always (re)build the Markov chain: it is also the fallback for phases
+  // with too little seasonal evidence.
+  const auto [lo_it, hi_it] = std::minmax_element(history.begin(), history.end());
+  bin_lo_ = *lo_it;
+  const double hi = *hi_it;
+  bin_width_ = (hi - bin_lo_) / static_cast<double>(config_.markov_bins);
+  if (bin_width_ <= 0.0) bin_width_ = 1.0;
+
+  transition_.assign(config_.markov_bins, std::vector<double>(config_.markov_bins, 0.0));
+  bin_centers_.resize(config_.markov_bins);
+  for (std::size_t b = 0; b < config_.markov_bins; ++b)
+    bin_centers_[b] = bin_lo_ + (static_cast<double>(b) + 0.5) * bin_width_;
+
+  for (std::size_t t = 0; t + 1 < history.size(); ++t)
+    transition_[bin_of(history[t])][bin_of(history[t + 1])] += 1.0;
+  for (auto& row : transition_) {
+    double total = 0.0;
+    for (const double v : row) total += v;
+    if (total > 0.0)
+      for (double& v : row) v /= total;
+  }
+  fitted_ = true;
+}
+
+std::size_t CloudScalePredictor::bin_of(double value) const {
+  const double raw = (value - bin_lo_) / bin_width_;
+  const auto b = static_cast<long long>(std::floor(raw));
+  return static_cast<std::size_t>(
+      std::clamp<long long>(b, 0, static_cast<long long>(config_.markov_bins) - 1));
+}
+
+double CloudScalePredictor::predict_seasonal(std::span<const double> history) const {
+  const std::size_t period = period_->period;
+  // The forecast target is index t = history.size(); same-phase samples sit
+  // at t - k*period for k = 1..K.
+  const std::size_t t = history.size();
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 1; k <= config_.max_signature_cycles; ++k) {
+    const std::size_t back = k * period;
+    if (back > t) break;
+    sum += history[t - back];
+    ++count;
+  }
+  if (count == 0) return history.back();
+  double pred = sum / static_cast<double>(count);
+
+  // Level adjustment: scale the signature by the ratio of the most recent
+  // cycle's mean to the signature-cycles mean, so slow drift is tracked.
+  if (t >= 2 * period) {
+    double recent = 0.0, older = 0.0;
+    for (std::size_t i = t - period; i < t; ++i) recent += history[i];
+    std::size_t older_count = 0;
+    for (std::size_t k = 2; k <= config_.max_signature_cycles + 1; ++k) {
+      if (k * period > t) break;
+      for (std::size_t i = t - k * period; i < t - (k - 1) * period; ++i) older += history[i];
+      older_count += period;
+    }
+    if (older_count > 0 && older > 0.0) {
+      const double ratio =
+          (recent / static_cast<double>(period)) / (older / static_cast<double>(older_count));
+      if (std::isfinite(ratio) && ratio > 0.1 && ratio < 10.0) pred *= ratio;
+    }
+  }
+  return pred;
+}
+
+double CloudScalePredictor::predict_markov(std::span<const double> history) const {
+  const std::size_t state = bin_of(history.back());
+  const std::vector<double>& row = transition_[state];
+  double expected = 0.0, mass = 0.0;
+  for (std::size_t b = 0; b < row.size(); ++b) {
+    expected += row[b] * bin_centers_[b];
+    mass += row[b];
+  }
+  if (mass <= 0.0) return history.back();  // unseen state
+  return expected;
+}
+
+double CloudScalePredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("CloudScale: empty history");
+  if (!fitted_) return history.back();
+  const double pred =
+      period_.has_value() ? predict_seasonal(history) : predict_markov(history);
+  return pred * (1.0 + config_.burst_padding);
+}
+
+}  // namespace ld::baselines

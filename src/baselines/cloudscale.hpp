@@ -1,0 +1,55 @@
+// CloudScale (SoCC 2011) baseline: FFT periodicity signature + discrete-time
+// Markov chain fallback.
+//
+// fit() runs spectral period detection on the history. If a convincing
+// period exists, predictions come from the per-phase seasonal signature
+// (mean of the observations at the same phase in previous cycles), level-
+// adjusted to the most recent cycle. Otherwise a first-order Markov chain
+// over quantized load states predicts the expected next state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "timeseries/fft.hpp"
+#include "timeseries/predictor.hpp"
+
+namespace ld::baselines {
+
+struct CloudScaleConfig {
+  std::size_t markov_bins = 16;      ///< quantization states for the Markov chain
+  double min_period_strength = 0.08; ///< spectral-energy fraction to accept a period
+  double min_period_acf = 0.3;       ///< ACF confirmation threshold
+  std::size_t max_signature_cycles = 8;  ///< cycles averaged into the signature
+  double burst_padding = 0.0;        ///< optional fraction added to guard bursts
+};
+
+class CloudScalePredictor final : public ts::Predictor {
+ public:
+  explicit CloudScalePredictor(CloudScaleConfig config = {});
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "cloudscale"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<CloudScalePredictor>(*this);
+  }
+
+  [[nodiscard]] bool periodic_mode() const noexcept { return period_.has_value(); }
+  [[nodiscard]] std::size_t period() const { return period_.value().period; }
+
+ private:
+  [[nodiscard]] double predict_seasonal(std::span<const double> history) const;
+  [[nodiscard]] double predict_markov(std::span<const double> history) const;
+  [[nodiscard]] std::size_t bin_of(double value) const;
+
+  CloudScaleConfig config_;
+  std::optional<ts::DetectedPeriod> period_;
+  // Markov state.
+  double bin_lo_ = 0.0, bin_width_ = 1.0;
+  std::vector<std::vector<double>> transition_;  ///< row-stochastic counts
+  std::vector<double> bin_centers_;
+  bool fitted_ = false;
+};
+
+}  // namespace ld::baselines

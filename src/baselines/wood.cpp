@@ -1,0 +1,112 @@
+#include "baselines/wood.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ld::baselines {
+
+WoodPredictor::WoodPredictor(WoodConfig config) : config_(config) {
+  if (config_.lags == 0) throw std::invalid_argument("WoodPredictor: lags > 0");
+  if (config_.huber_delta <= 0.0) throw std::invalid_argument("WoodPredictor: delta > 0");
+}
+
+void WoodPredictor::fit(std::span<const double> history) {
+  const std::size_t p = config_.lags;
+  if (history.size() < p + 4) {
+    fitted_ = false;
+    return;
+  }
+  std::size_t rows = history.size() - p;
+  std::size_t first = 0;
+  if (rows > config_.max_train_samples) {
+    first = rows - config_.max_train_samples;
+    rows = config_.max_train_samples;
+  }
+
+  tensor::Matrix design(rows, p + 1);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    design(r, 0) = 1.0;
+    for (std::size_t j = 0; j < p; ++j) design(r, j + 1) = history[first + r + j];
+    y[r] = history[first + r + p];
+  }
+
+  // Leverage guards (Mallows-type GM-estimation): rows whose *predictors*
+  // are outliers get capped influence, otherwise a single workload spike
+  // appearing as a lag feature pins the regression plane through itself.
+  std::vector<double> leverage_weight(rows, 1.0);
+  {
+    // Robust center/scale of the lag features (they share units).
+    std::vector<double> all_lags;
+    all_lags.reserve(rows * p);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < p; ++j) all_lags.push_back(design(r, j + 1));
+    std::nth_element(all_lags.begin(), all_lags.begin() + static_cast<std::ptrdiff_t>(all_lags.size() / 2),
+                     all_lags.end());
+    const double med = all_lags[all_lags.size() / 2];
+    for (double& v : all_lags) v = std::abs(v - med);
+    std::nth_element(all_lags.begin(), all_lags.begin() + static_cast<std::ptrdiff_t>(all_lags.size() / 2),
+                     all_lags.end());
+    const double mad = std::max(1.4826 * all_lags[all_lags.size() / 2], 1e-8);
+    for (std::size_t r = 0; r < rows; ++r) {
+      double worst = 0.0;
+      for (std::size_t j = 0; j < p; ++j)
+        worst = std::max(worst, std::abs(design(r, j + 1) - med) / mad);
+      const double cutoff = 4.0;  // > 4 robust sigmas away -> shrink influence
+      leverage_weight[r] = worst <= cutoff ? 1.0 : cutoff / worst;
+    }
+  }
+
+  // IRLS with Huber weights: start from OLS, then reweight by residual size.
+  std::vector<double> beta = tensor::lstsq(design, y, 1e-8);
+  std::vector<double> residual(rows), weights(rows, 1.0);
+  for (std::size_t iter = 0; iter < config_.max_irls_iters; ++iter) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      double pred = beta[0];
+      for (std::size_t j = 0; j < p; ++j) pred += beta[j + 1] * design(r, j + 1);
+      residual[r] = y[r] - pred;
+    }
+    // Robust scale: 1.4826 * MAD.
+    std::vector<double> abs_res(rows);
+    for (std::size_t r = 0; r < rows; ++r) abs_res[r] = std::abs(residual[r]);
+    std::nth_element(abs_res.begin(), abs_res.begin() + static_cast<std::ptrdiff_t>(rows / 2),
+                     abs_res.end());
+    const double sigma = std::max(1.4826 * abs_res[rows / 2], 1e-8);
+    const double threshold = config_.huber_delta * sigma;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double a = std::abs(residual[r]);
+      weights[r] = (a <= threshold ? 1.0 : threshold / a) * leverage_weight[r];
+    }
+    // Weighted least squares via sqrt-weight row scaling.
+    tensor::Matrix wd(rows, p + 1);
+    std::vector<double> wy(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double sw = std::sqrt(weights[r]);
+      for (std::size_t c = 0; c <= p; ++c) wd(r, c) = sw * design(r, c);
+      wy[r] = sw * y[r];
+    }
+    std::vector<double> next = tensor::lstsq(wd, wy, 1e-8);
+    double delta = 0.0;
+    for (std::size_t c = 0; c <= p; ++c) delta = std::max(delta, std::abs(next[c] - beta[c]));
+    beta = std::move(next);
+    if (delta < config_.tolerance) break;
+  }
+  beta_ = std::move(beta);
+  fitted_ = true;
+}
+
+double WoodPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("WoodPredictor: empty history");
+  if (!fitted_ || history.size() < config_.lags) return history.back();
+  double pred = beta_[0];
+  const std::size_t p = config_.lags;
+  for (std::size_t j = 0; j < p; ++j)
+    pred += beta_[j + 1] * history[history.size() - p + j];
+  return pred;
+}
+
+}  // namespace ld::baselines

@@ -1,0 +1,43 @@
+// Wood et al. (Middleware 2011) baseline: robust linear regression.
+//
+// An autoregressive linear model on `p` lagged JARs fit with iteratively
+// reweighted least squares under a Huber loss, which is what makes the fit
+// "robust" — single workload spikes do not drag the regression plane. The
+// model is refreshed online (the walk-forward harness refits periodically),
+// matching "the model built with the linear regression is refined online".
+#pragma once
+
+#include <vector>
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::baselines {
+
+struct WoodConfig {
+  std::size_t lags = 8;          ///< autoregressive order
+  double huber_delta = 1.345;    ///< Huber threshold in robust-sigma units
+  std::size_t max_irls_iters = 20;
+  double tolerance = 1e-8;
+  std::size_t max_train_samples = 2000;
+};
+
+class WoodPredictor final : public ts::Predictor {
+ public:
+  explicit WoodPredictor(WoodConfig config = {});
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "wood"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<WoodPredictor>(*this);
+  }
+
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return beta_; }
+
+ private:
+  WoodConfig config_;
+  std::vector<double> beta_;  // intercept + lag coefficients
+  bool fitted_ = false;
+};
+
+}  // namespace ld::baselines

@@ -1,0 +1,27 @@
+#include "bayesopt/acquisition.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ld::bayesopt {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+double expected_improvement(double mean, double variance, double best, double xi) {
+  const double stddev = std::sqrt(variance < 0.0 ? 0.0 : variance);
+  if (stddev < 1e-12) return 0.0;
+  const double improvement = best - mean - xi;
+  const double z = improvement / stddev;
+  const double ei = improvement * normal_cdf(z) + stddev * normal_pdf(z);
+  return ei > 0.0 ? ei : 0.0;
+}
+
+double lower_confidence_bound(double mean, double variance, double kappa) {
+  return mean - kappa * std::sqrt(variance < 0.0 ? 0.0 : variance);
+}
+
+}  // namespace ld::bayesopt

@@ -1,0 +1,24 @@
+// Acquisition functions for Bayesian optimization.
+//
+// The paper uses Expected Improvement (Mockus, 1977) over a GP posterior;
+// lower-confidence-bound is provided for the ablation bench.
+#pragma once
+
+namespace ld::bayesopt {
+
+/// Standard normal PDF and CDF (used by EI; exposed for tests).
+[[nodiscard]] double normal_pdf(double z);
+[[nodiscard]] double normal_cdf(double z);
+
+/// Expected improvement for a *minimization* problem:
+///   EI(x) = E[max(best - f(x) - xi, 0)]
+/// where f(x) ~ N(mean, variance). Returns 0 when variance ~ 0.
+/// `xi` trades exploration for exploitation (default matches GPyOpt).
+[[nodiscard]] double expected_improvement(double mean, double variance, double best,
+                                          double xi = 0.01);
+
+/// Lower confidence bound (minimization): mean - kappa * stddev.
+/// Smaller is more promising.
+[[nodiscard]] double lower_confidence_bound(double mean, double variance, double kappa = 2.0);
+
+}  // namespace ld::bayesopt

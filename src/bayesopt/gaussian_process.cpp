@@ -1,0 +1,121 @@
+#include "bayesopt/gaussian_process.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+
+namespace ld::bayesopt {
+
+GaussianProcess::GaussianProcess(GpConfig config)
+    : config_(config), kernel_(make_kernel(config.kernel)) {}
+
+bool GaussianProcess::try_build(const KernelParams& params, double noise) {
+  kernel_->set_params(params);
+  const std::size_t n = x_.rows();
+  tensor::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = (*kernel_)(x_.row(i), x_.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise;
+  }
+  try {
+    chol_ = tensor::cholesky(k);
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  alpha_ = tensor::solve_lower_transpose(chol_, tensor::solve_lower(chol_, y_std_));
+  // LML = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)  (in standardized space).
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) fit_term += y_std_[i] * alpha_[i];
+  lml_ = -0.5 * fit_term - 0.5 * tensor::logdet_from_cholesky(chol_) -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+  noise_ = noise;
+  return true;
+}
+
+void GaussianProcess::fit(const tensor::Matrix& x, std::span<const double> y) {
+  if (x.rows() == 0 || x.rows() != y.size())
+    throw std::invalid_argument("GaussianProcess::fit: bad shapes");
+  for (const double v : y)
+    if (!std::isfinite(v)) throw std::invalid_argument("GaussianProcess::fit: non-finite target");
+  x_ = x;
+  y_raw_.assign(y.begin(), y.end());
+
+  // Standardize targets.
+  const std::size_t n = y.size();
+  y_mean_ = 0.0;
+  for (const double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double v : y) var += (v - y_mean_) * (v - y_mean_);
+  y_scale_ = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 1.0;
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  y_std_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y_std_[i] = (y[i] - y_mean_) / y_scale_;
+
+  const double floor_noise = std::max(config_.noise_variance, 1e-10);
+  if (!config_.optimize_hyperparams || n < 3) {
+    // Too few points to select hyperparameters; use defaults with escalating
+    // jitter until the factorization succeeds.
+    KernelParams params{.signal_variance = 1.0, .lengthscale = 0.2};
+    double noise = std::max(floor_noise, 1e-6);
+    while (!try_build(params, noise)) noise *= 10.0;
+    fitted_ = true;
+    return;
+  }
+
+  // Grid search over (lengthscale, signal variance, noise) maximizing LML.
+  static constexpr double kLengthscales[] = {0.05, 0.1, 0.2, 0.35, 0.5, 1.0, 2.0};
+  static constexpr double kSignalVars[] = {0.25, 1.0, 4.0};
+  static constexpr double kNoises[] = {1e-6, 1e-4, 1e-2, 1e-1};
+  double best_lml = -std::numeric_limits<double>::infinity();
+  KernelParams best_params;
+  double best_noise = floor_noise;
+  for (const double ls : kLengthscales) {
+    for (const double sv : kSignalVars) {
+      for (const double nz : kNoises) {
+        const double noise = std::max(nz, floor_noise);
+        if (!try_build({.signal_variance = sv, .lengthscale = ls}, noise)) continue;
+        if (lml_ > best_lml) {
+          best_lml = lml_;
+          best_params = {.signal_variance = sv, .lengthscale = ls};
+          best_noise = noise;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best_lml)) {
+    // Every candidate failed (pathological data); fall back with big jitter.
+    KernelParams params{.signal_variance = 1.0, .lengthscale = 0.5};
+    double noise = 1e-2;
+    while (!try_build(params, noise)) noise *= 10.0;
+  } else {
+    (void)try_build(best_params, best_noise);
+  }
+  fitted_ = true;
+}
+
+GpPrediction GaussianProcess::predict(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("GaussianProcess::predict before fit");
+  const std::size_t n = x_.rows();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = (*kernel_)(x_.row(i), x);
+
+  double mean_std = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_std += kstar[i] * alpha_[i];
+
+  const std::vector<double> v = tensor::solve_lower(chol_, kstar);
+  double var_std = (*kernel_)(x, x);
+  for (const double vi : v) var_std -= vi * vi;
+  if (var_std < 0.0) var_std = 0.0;
+
+  return {.mean = mean_std * y_scale_ + y_mean_, .variance = var_std * y_scale_ * y_scale_};
+}
+
+}  // namespace ld::bayesopt

@@ -1,0 +1,68 @@
+// Gaussian-process regression — the probabilistic surrogate inside
+// LoadDynamics' Bayesian optimizer (Section III-A of the paper).
+//
+// Observations y are standardized internally; kernel hyperparameters
+// (signal variance, lengthscale) and the noise level are selected by
+// maximizing the log marginal likelihood over a small grid, which is robust
+// and derivative-free — appropriate for the <=100 observations a
+// LoadDynamics run accumulates.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bayesopt/kernel.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ld::bayesopt {
+
+struct GpConfig {
+  KernelType kernel = KernelType::kMatern52;
+  double noise_variance = 1e-6;   ///< observation noise floor (jitter)
+  bool optimize_hyperparams = true;
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< posterior variance (>= 0)
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {});
+
+  /// Fit to observations: X is (N x D), y has N entries. N >= 1.
+  void fit(const tensor::Matrix& x, std::span<const double> y);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t num_observations() const noexcept { return x_.rows(); }
+
+  /// Posterior at a single query point.
+  [[nodiscard]] GpPrediction predict(std::span<const double> x) const;
+
+  /// Log marginal likelihood of the fitted model.
+  [[nodiscard]] double log_marginal_likelihood() const noexcept { return lml_; }
+
+  [[nodiscard]] const KernelParams& kernel_params() const { return kernel_->params(); }
+  [[nodiscard]] double noise_variance() const noexcept { return noise_; }
+
+ private:
+  /// Builds K + noise*I, factors it, computes alpha and the LML.
+  /// Returns false (leaving state untouched) if the factorization fails.
+  bool try_build(const KernelParams& params, double noise);
+
+  GpConfig config_;
+  std::unique_ptr<Kernel> kernel_;
+  tensor::Matrix x_;
+  std::vector<double> y_raw_;
+  std::vector<double> y_std_;    // standardized targets
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+  tensor::Matrix chol_;          // Cholesky factor of K + noise I
+  std::vector<double> alpha_;    // (K + noise I)^{-1} y_std
+  double noise_ = 1e-6;
+  double lml_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ld::bayesopt

@@ -1,0 +1,45 @@
+#include "bayesopt/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::bayesopt {
+
+double euclidean_distance(std::span<const double> x1, std::span<const double> x2) {
+  if (x1.size() != x2.size()) throw std::invalid_argument("kernel: dimension mismatch");
+  double sq = 0.0;
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    const double d = x1[i] - x2[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+double RbfKernel::operator()(std::span<const double> x1, std::span<const double> x2) const {
+  const double r = euclidean_distance(x1, x2);
+  const double l = params_.lengthscale;
+  return params_.signal_variance * std::exp(-0.5 * (r / l) * (r / l));
+}
+
+double Matern32Kernel::operator()(std::span<const double> x1, std::span<const double> x2) const {
+  const double r = euclidean_distance(x1, x2);
+  const double a = std::sqrt(3.0) / params_.lengthscale;
+  return params_.signal_variance * (1.0 + a * r) * std::exp(-a * r);
+}
+
+double Matern52Kernel::operator()(std::span<const double> x1, std::span<const double> x2) const {
+  const double r = euclidean_distance(x1, x2);
+  const double a = std::sqrt(5.0) / params_.lengthscale;
+  return params_.signal_variance * (1.0 + a * r + a * a * r * r / 3.0) * std::exp(-a * r);
+}
+
+std::unique_ptr<Kernel> make_kernel(KernelType type) {
+  switch (type) {
+    case KernelType::kRbf: return std::make_unique<RbfKernel>();
+    case KernelType::kMatern32: return std::make_unique<Matern32Kernel>();
+    case KernelType::kMatern52: return std::make_unique<Matern52Kernel>();
+  }
+  throw std::invalid_argument("make_kernel: unknown type");
+}
+
+}  // namespace ld::bayesopt

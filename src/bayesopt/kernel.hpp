@@ -1,0 +1,66 @@
+// Covariance kernels for Gaussian-process regression.
+//
+// Inputs are points in the unit hypercube (the SearchSpace normalizes all
+// hyperparameter dimensions), so isotropic kernels with a single lengthscale
+// are appropriate. Matérn 5/2 is the default — the standard choice for
+// hyperparameter-tuning BO (Snoek et al., 2012, which the paper follows).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace ld::bayesopt {
+
+struct KernelParams {
+  double signal_variance = 1.0;  ///< sigma_f^2
+  double lengthscale = 0.2;      ///< l
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  /// k(x1, x2); both points have equal dimension.
+  [[nodiscard]] virtual double operator()(std::span<const double> x1,
+                                          std::span<const double> x2) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  void set_params(KernelParams params) { params_ = params; }
+  [[nodiscard]] const KernelParams& params() const noexcept { return params_; }
+
+ protected:
+  KernelParams params_;
+};
+
+/// Squared-exponential: sigma_f^2 * exp(-r^2 / (2 l^2)).
+class RbfKernel final : public Kernel {
+ public:
+  [[nodiscard]] double operator()(std::span<const double> x1,
+                                  std::span<const double> x2) const override;
+  [[nodiscard]] std::string name() const override { return "rbf"; }
+};
+
+/// Matérn nu=3/2: sigma_f^2 * (1 + a r) * exp(-a r), a = sqrt(3)/l.
+class Matern32Kernel final : public Kernel {
+ public:
+  [[nodiscard]] double operator()(std::span<const double> x1,
+                                  std::span<const double> x2) const override;
+  [[nodiscard]] std::string name() const override { return "matern32"; }
+};
+
+/// Matérn nu=5/2: sigma_f^2 * (1 + a r + a^2 r^2 / 3) * exp(-a r), a = sqrt(5)/l.
+class Matern52Kernel final : public Kernel {
+ public:
+  [[nodiscard]] double operator()(std::span<const double> x1,
+                                  std::span<const double> x2) const override;
+  [[nodiscard]] std::string name() const override { return "matern52"; }
+};
+
+enum class KernelType { kRbf, kMatern32, kMatern52 };
+
+[[nodiscard]] std::unique_ptr<Kernel> make_kernel(KernelType type);
+
+/// Euclidean distance helper shared by the kernels.
+[[nodiscard]] double euclidean_distance(std::span<const double> x1, std::span<const double> x2);
+
+}  // namespace ld::bayesopt

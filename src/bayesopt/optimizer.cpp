@@ -1,0 +1,149 @@
+#include "bayesopt/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "bayesopt/acquisition.hpp"
+
+namespace ld::bayesopt {
+
+namespace {
+constexpr double kPenalty = 1e6;  // stands in for +inf / NaN objectives
+
+double sanitize(double v) { return std::isfinite(v) ? v : kPenalty; }
+
+Observation evaluate_at(const SearchSpace& space, const Objective& objective,
+                        std::span<const double> unit) {
+  Observation obs;
+  obs.unit = space.canonicalize(unit);
+  obs.values = space.to_values(obs.unit);
+  obs.objective = sanitize(objective(obs.values));
+  return obs;
+}
+
+std::size_t argmin(const std::vector<Observation>& history) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < history.size(); ++i)
+    if (history[i].objective < history[best].objective) best = i;
+  return best;
+}
+}  // namespace
+
+std::vector<double> OptimizationResult::incumbent_trace() const {
+  std::vector<double> trace;
+  trace.reserve(history.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const Observation& obs : history) {
+    best = std::min(best, obs.objective);
+    trace.push_back(best);
+  }
+  return trace;
+}
+
+BayesianOptimizer::BayesianOptimizer(SearchSpace space, OptimizerConfig config,
+                                     std::uint64_t seed)
+    : space_(std::move(space)), config_(config), rng_(seed) {
+  if (space_.size() == 0) throw std::invalid_argument("BayesianOptimizer: empty space");
+  if (config_.max_iterations == 0)
+    throw std::invalid_argument("BayesianOptimizer: zero iterations");
+  config_.initial_random = std::max<std::size_t>(
+      1, std::min(config_.initial_random, config_.max_iterations));
+}
+
+std::vector<double> BayesianOptimizer::propose_next(const std::vector<Observation>& history) {
+  // Fit the GP surrogate on everything observed so far.
+  tensor::Matrix x(history.size(), space_.size());
+  std::vector<double> y(history.size());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    for (std::size_t d = 0; d < space_.size(); ++d) x(i, d) = history[i].unit[d];
+    y[i] = history[i].objective;
+  }
+  GaussianProcess gp(config_.gp);
+  gp.fit(x, y);
+
+  const double best = history[argmin(history)].objective;
+
+  // Maximize EI over random candidates; dedupe against canonical points we
+  // already evaluated (integer rounding creates collisions).
+  std::vector<double> best_candidate;
+  double best_ei = -1.0;
+  for (std::size_t s = 0; s < config_.acquisition_samples; ++s) {
+    std::vector<double> cand = space_.canonicalize(space_.sample_unit(rng_));
+    const GpPrediction p = gp.predict(cand);
+    const double ei = expected_improvement(p.mean, p.variance, best, config_.xi);
+    if (ei > best_ei) {
+      const bool duplicate = std::any_of(
+          history.begin(), history.end(), [&](const Observation& o) { return o.unit == cand; });
+      if (!duplicate) {
+        best_ei = ei;
+        best_candidate = std::move(cand);
+      }
+    }
+  }
+  if (best_candidate.empty() || best_ei <= 0.0) {
+    // Acquisition is flat (or everything collided): fall back to exploration.
+    return space_.canonicalize(space_.sample_unit(rng_));
+  }
+  return best_candidate;
+}
+
+OptimizationResult BayesianOptimizer::optimize(const Objective& objective) {
+  OptimizationResult result;
+  result.history.reserve(config_.max_iterations);
+
+  for (std::size_t i = 0; i < config_.initial_random; ++i)
+    result.history.push_back(evaluate_at(space_, objective, space_.sample_unit(rng_)));
+
+  while (result.history.size() < config_.max_iterations) {
+    const std::vector<double> next = propose_next(result.history);
+    result.history.push_back(evaluate_at(space_, objective, next));
+  }
+  result.best_index = argmin(result.history);
+  return result;
+}
+
+OptimizationResult random_search(const SearchSpace& space, const Objective& objective,
+                                 std::size_t max_iterations, std::uint64_t seed) {
+  if (max_iterations == 0) throw std::invalid_argument("random_search: zero iterations");
+  Rng rng(seed);
+  OptimizationResult result;
+  result.history.reserve(max_iterations);
+  for (std::size_t i = 0; i < max_iterations; ++i)
+    result.history.push_back(evaluate_at(space, objective, space.sample_unit(rng)));
+  result.best_index = argmin(result.history);
+  return result;
+}
+
+OptimizationResult grid_search(const SearchSpace& space, const Objective& objective,
+                               std::size_t max_iterations) {
+  if (max_iterations == 0) throw std::invalid_argument("grid_search: zero iterations");
+  const std::size_t d = space.size();
+  // Points per axis: largest k with k^d <= budget (at least 2).
+  std::size_t k = 2;
+  while (std::pow(static_cast<double>(k + 1), static_cast<double>(d)) <=
+         static_cast<double>(max_iterations))
+    ++k;
+
+  OptimizationResult result;
+  std::vector<std::size_t> idx(d, 0);
+  std::vector<double> unit(d);
+  for (;;) {
+    for (std::size_t i = 0; i < d; ++i)
+      unit[i] = k == 1 ? 0.5 : static_cast<double>(idx[i]) / static_cast<double>(k - 1);
+    result.history.push_back(evaluate_at(space, objective, unit));
+    if (result.history.size() >= max_iterations) break;
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < d && ++idx[pos] == k) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == d) break;
+  }
+  result.best_index = argmin(result.history);
+  return result;
+}
+
+}  // namespace ld::bayesopt

@@ -1,0 +1,72 @@
+// The Bayesian optimization loop (steps 1-3 of Fig. 6, generalized):
+// random initial designs, then GP fit -> acquisition maximization ->
+// evaluate, for a fixed iteration budget. Also provides random and grid
+// search strategies for the paper's Section III-A comparison ablation.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "bayesopt/gaussian_process.hpp"
+#include "bayesopt/search_space.hpp"
+#include "common/rng.hpp"
+
+namespace ld::bayesopt {
+
+/// Objective: receives actual (denormalized) parameter values, returns the
+/// value to MINIMIZE (LoadDynamics uses cross-validation MAPE).
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct Observation {
+  std::vector<double> unit;    ///< point in the unit cube (canonicalized)
+  std::vector<double> values;  ///< actual parameter values
+  double objective = 0.0;
+};
+
+struct OptimizerConfig {
+  std::size_t max_iterations = 100;   ///< total evaluations (paper: maxIters = 100)
+  std::size_t initial_random = 5;     ///< random designs before the GP kicks in
+  std::size_t acquisition_samples = 2048;  ///< candidate points per EI maximization
+  double xi = 0.01;                   ///< EI exploration parameter
+  GpConfig gp;
+};
+
+struct OptimizationResult {
+  std::vector<Observation> history;  ///< every evaluated configuration, in order
+  std::size_t best_index = 0;
+
+  [[nodiscard]] const Observation& best() const { return history.at(best_index); }
+  /// Running minimum after each evaluation (for convergence plots).
+  [[nodiscard]] std::vector<double> incumbent_trace() const;
+};
+
+class BayesianOptimizer {
+ public:
+  BayesianOptimizer(SearchSpace space, OptimizerConfig config, std::uint64_t seed);
+
+  /// Run the full loop against `objective`. Non-finite objective values are
+  /// clamped to a large penalty so one diverged training run cannot poison
+  /// the GP.
+  [[nodiscard]] OptimizationResult optimize(const Objective& objective);
+
+ private:
+  [[nodiscard]] std::vector<double> propose_next(const std::vector<Observation>& history);
+
+  SearchSpace space_;
+  OptimizerConfig config_;
+  Rng rng_;
+};
+
+/// Pure random search over the same space/budget (ablation baseline).
+[[nodiscard]] OptimizationResult random_search(const SearchSpace& space,
+                                               const Objective& objective,
+                                               std::size_t max_iterations, std::uint64_t seed);
+
+/// Grid search: an evenly spaced lattice with ~max_iterations points
+/// (ablation baseline; the lattice is truncated to the budget).
+[[nodiscard]] OptimizationResult grid_search(const SearchSpace& space,
+                                             const Objective& objective,
+                                             std::size_t max_iterations);
+
+}  // namespace ld::bayesopt

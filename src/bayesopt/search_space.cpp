@@ -1,0 +1,72 @@
+#include "bayesopt/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::bayesopt {
+
+namespace {
+void validate(const Dimension& d) {
+  if (d.high < d.low) throw std::invalid_argument("SearchSpace: high < low for " + d.name);
+  if (d.log_scale && d.low <= 0.0)
+    throw std::invalid_argument("SearchSpace: log dimension requires low > 0 for " + d.name);
+}
+}  // namespace
+
+SearchSpace::SearchSpace(std::vector<Dimension> dims) : dims_(std::move(dims)) {
+  for (const auto& d : dims_) validate(d);
+}
+
+void SearchSpace::add(Dimension dim) {
+  validate(dim);
+  dims_.push_back(std::move(dim));
+}
+
+std::vector<double> SearchSpace::to_values(std::span<const double> unit) const {
+  if (unit.size() != dims_.size()) throw std::invalid_argument("SearchSpace: dim mismatch");
+  std::vector<double> out(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const Dimension& d = dims_[i];
+    const double u = std::clamp(unit[i], 0.0, 1.0);
+    double v;
+    if (d.log_scale) {
+      v = std::exp(std::log(d.low) + u * (std::log(d.high) - std::log(d.low)));
+    } else {
+      v = d.low + u * (d.high - d.low);
+    }
+    if (d.integer) v = std::clamp(std::round(v), d.low, d.high);
+    out[i] = v;
+  }
+  return out;
+}
+
+std::vector<double> SearchSpace::to_unit(std::span<const double> values) const {
+  if (values.size() != dims_.size()) throw std::invalid_argument("SearchSpace: dim mismatch");
+  std::vector<double> out(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const Dimension& d = dims_[i];
+    double u;
+    if (d.high == d.low) {
+      u = 0.0;
+    } else if (d.log_scale) {
+      u = (std::log(values[i]) - std::log(d.low)) / (std::log(d.high) - std::log(d.low));
+    } else {
+      u = (values[i] - d.low) / (d.high - d.low);
+    }
+    out[i] = std::clamp(u, 0.0, 1.0);
+  }
+  return out;
+}
+
+std::vector<double> SearchSpace::sample_unit(Rng& rng) const {
+  std::vector<double> u(dims_.size());
+  for (double& v : u) v = rng.uniform();
+  return u;
+}
+
+std::vector<double> SearchSpace::canonicalize(std::span<const double> unit) const {
+  return to_unit(to_values(unit));
+}
+
+}  // namespace ld::bayesopt

@@ -1,0 +1,53 @@
+// Mixed integer/continuous search space with unit-cube normalization.
+//
+// The GP operates on [0,1]^D; each Dimension maps a cube coordinate to its
+// actual value (optionally on a log scale, which suits ranges like batch
+// size 16..1024 in Table III) and rounds integer dimensions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ld::bayesopt {
+
+struct Dimension {
+  std::string name;
+  double low = 0.0;
+  double high = 1.0;
+  bool integer = false;
+  bool log_scale = false;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<Dimension> dims);
+
+  void add(Dimension dim);
+
+  [[nodiscard]] std::size_t size() const noexcept { return dims_.size(); }
+  [[nodiscard]] const Dimension& dimension(std::size_t i) const { return dims_.at(i); }
+
+  /// Map a unit-cube point to actual parameter values (rounding integers).
+  [[nodiscard]] std::vector<double> to_values(std::span<const double> unit) const;
+
+  /// Map actual values back into the unit cube (inverse of to_values up to
+  /// integer rounding).
+  [[nodiscard]] std::vector<double> to_unit(std::span<const double> values) const;
+
+  /// Uniform random point in the unit cube.
+  [[nodiscard]] std::vector<double> sample_unit(Rng& rng) const;
+
+  /// Snap a unit point so it corresponds exactly to a representable value
+  /// (important for integer dims: keeps GP observations consistent with
+  /// evaluated configurations).
+  [[nodiscard]] std::vector<double> canonicalize(std::span<const double> unit) const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+}  // namespace ld::bayesopt

@@ -1,0 +1,128 @@
+#include "cloudsim/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ld::cloudsim {
+
+namespace {
+/// Lognormal service time with given mean and coefficient of variation.
+double draw_service(Rng& rng, const VmConfig& vm) {
+  const double cv2 = vm.job_service_cv * vm.job_service_cv;
+  const double sigma2 = std::log(1.0 + cv2);
+  const double mu = std::log(vm.job_service_mean) - 0.5 * sigma2;
+  return rng.lognormal(mu, std::sqrt(sigma2));
+}
+}  // namespace
+
+SimulationResult simulate(std::span<const double> predictions, std::span<const double> actuals,
+                          const AutoScalerConfig& config) {
+  if (predictions.size() != actuals.size() || predictions.empty())
+    throw std::invalid_argument("simulate: prediction/actual size mismatch or empty");
+  if (config.vm.startup_seconds < 0.0 || config.vm.job_service_mean <= 0.0)
+    throw std::invalid_argument("simulate: invalid VM configuration");
+
+  Rng rng(config.seed);
+  SimulationResult result;
+  result.intervals.reserve(predictions.size());
+
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    IntervalOutcome out;
+    out.predicted = std::max(0.0, predictions[i]);
+    out.actual = std::max(0.0, actuals[i]);
+    // Whole VMs / whole jobs (ceil on the prediction: a fractional forecast
+    // still requires a whole VM to be useful).
+    out.provisioned_vms = static_cast<std::size_t>(std::ceil(out.predicted - 1e-9));
+    out.arrived_jobs = static_cast<std::size_t>(std::llround(out.actual));
+
+    const std::size_t on_time = std::min(out.provisioned_vms, out.arrived_jobs);
+    out.under_provisioned = out.arrived_jobs - on_time;
+    out.over_provisioned = out.provisioned_vms - on_time;
+
+    double turnaround_sum = 0.0;
+    double makespan = 0.0;
+    for (std::size_t j = 0; j < out.arrived_jobs; ++j) {
+      const double service = draw_service(rng, config.vm);
+      // Jobs beyond the pre-provisioned pool wait for a cold-started VM.
+      const double wait = j < on_time ? 0.0 : config.vm.startup_seconds;
+      const double turnaround = wait + service;
+      turnaround_sum += turnaround;
+      makespan = std::max(makespan, turnaround);
+    }
+    out.mean_turnaround =
+        out.arrived_jobs > 0 ? turnaround_sum / static_cast<double>(out.arrived_jobs) : 0.0;
+    out.makespan = makespan;
+    // Surplus VMs idle for the interval they were provisioned for.
+    out.idle_vm_seconds = static_cast<double>(out.over_provisioned) * config.interval_seconds;
+    out.idle_cost = out.idle_vm_seconds / 3600.0 * config.vm.cost_per_vm_hour;
+
+    result.intervals.push_back(out);
+  }
+  return result;
+}
+
+double SimulationResult::avg_turnaround() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const IntervalOutcome& it : intervals) {
+    if (it.arrived_jobs == 0) continue;
+    sum += it.mean_turnaround;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double SimulationResult::avg_makespan() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const IntervalOutcome& it : intervals) {
+    if (it.arrived_jobs == 0) continue;
+    sum += it.makespan;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double SimulationResult::under_provisioning_rate() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const IntervalOutcome& it : intervals) {
+    if (it.arrived_jobs == 0) continue;
+    sum += static_cast<double>(it.under_provisioned) / static_cast<double>(it.arrived_jobs);
+    ++count;
+  }
+  return count > 0 ? 100.0 * sum / static_cast<double>(count) : 0.0;
+}
+
+double SimulationResult::over_provisioning_rate() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const IntervalOutcome& it : intervals) {
+    if (it.arrived_jobs == 0) continue;
+    sum += static_cast<double>(it.over_provisioned) / static_cast<double>(it.arrived_jobs);
+    ++count;
+  }
+  return count > 0 ? 100.0 * sum / static_cast<double>(count) : 0.0;
+}
+
+double SimulationResult::total_idle_cost() const {
+  double cost = 0.0;
+  for (const IntervalOutcome& it : intervals) cost += it.idle_cost;
+  return cost;
+}
+
+SimulationResult simulate_with_predictor(ts::Predictor& predictor,
+                                         std::span<const double> series, std::size_t test_start,
+                                         std::size_t refit_every,
+                                         const AutoScalerConfig& config) {
+  ts::WalkForwardOptions options;
+  options.refit_every = refit_every;
+  const std::vector<double> predictions =
+      ts::walk_forward(predictor, series, test_start, options);
+  return simulate(predictions, series.subspan(test_start), config);
+}
+
+}  // namespace ld::cloudsim

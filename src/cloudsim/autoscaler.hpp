@@ -1,0 +1,73 @@
+// Predictive auto-scaling simulator — the substrate for the paper's Google
+// Cloud case study (Section IV-C, Fig. 10).
+//
+// Policy, exactly as described in the paper: at interval i-1 the predictor
+// produces P_i and P_i VMs are created in advance; all J_i jobs arrive at
+// the start of interval i, one VM per job. Jobs beyond P_i wait for an
+// on-demand VM to cold-start (Google Cloud n1-standard-1 startup latency),
+// so under-provisioning inflates turnaround; surplus VMs idle, so
+// over-provisioning wastes money. Job service times model CloudSuite's
+// In-Memory Analytics benchmark (minutes-scale, low dispersion).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::cloudsim {
+
+struct VmConfig {
+  double startup_seconds = 100.0;     ///< cold-start latency of an on-demand VM
+  double job_service_mean = 180.0;    ///< mean job runtime (seconds)
+  double job_service_cv = 0.15;       ///< runtime dispersion (lognormal)
+  double cost_per_vm_hour = 0.0475;   ///< n1-standard-1 on-demand price (USD)
+};
+
+struct AutoScalerConfig {
+  VmConfig vm;
+  double interval_seconds = 3600.0;   ///< 60-minute intervals (the Fig. 10 setup)
+  std::uint64_t seed = 7;
+};
+
+/// Outcome of one interval.
+struct IntervalOutcome {
+  double predicted = 0.0;             ///< P_i (rounded up to whole VMs)
+  double actual = 0.0;                ///< J_i
+  std::size_t provisioned_vms = 0;
+  std::size_t arrived_jobs = 0;
+  std::size_t under_provisioned = 0;  ///< jobs that had to wait for a cold VM
+  std::size_t over_provisioned = 0;   ///< idle pre-provisioned VMs
+  double mean_turnaround = 0.0;       ///< average job turnaround (seconds)
+  double makespan = 0.0;              ///< time to finish all of the interval's jobs
+  double idle_vm_seconds = 0.0;       ///< waste from surplus VMs
+  double idle_cost = 0.0;             ///< USD wasted on surplus VMs
+};
+
+struct SimulationResult {
+  std::vector<IntervalOutcome> intervals;
+
+  [[nodiscard]] double avg_turnaround() const;          ///< Fig. 10a metric
+  [[nodiscard]] double under_provisioning_rate() const; ///< Fig. 10b (% of required VMs)
+  [[nodiscard]] double over_provisioning_rate() const;  ///< Fig. 10c (% of required VMs)
+  [[nodiscard]] double total_idle_cost() const;         ///< USD wasted on idle VMs
+  [[nodiscard]] double avg_makespan() const;
+};
+
+/// Simulate the policy for aligned prediction/actual series (predictions[i]
+/// is P for interval i, actuals[i] is J). Sizes must match and be non-empty.
+[[nodiscard]] SimulationResult simulate(std::span<const double> predictions,
+                                        std::span<const double> actuals,
+                                        const AutoScalerConfig& config = {});
+
+/// Convenience: run a predictor walk-forward over `series` starting at
+/// `test_start` (refitting every `refit_every` intervals) and simulate the
+/// auto-scaling policy on its forecasts.
+[[nodiscard]] SimulationResult simulate_with_predictor(ts::Predictor& predictor,
+                                                       std::span<const double> series,
+                                                       std::size_t test_start,
+                                                       std::size_t refit_every,
+                                                       const AutoScalerConfig& config = {});
+
+}  // namespace ld::cloudsim

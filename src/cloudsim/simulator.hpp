@@ -1,0 +1,137 @@
+// Event-driven cloud auto-scaling simulator (the generalized version of the
+// paper's Fig. 10 policy).
+//
+// Where cloudsim/autoscaler.{hpp,cpp} reproduces the paper's exact
+// interval-batched accounting, this module is a proper discrete-event
+// simulation a capacity-planning user would extend:
+//   - VMs have a lifecycle (booting -> idle -> busy -> terminated), persist
+//     across intervals, and are billed by the second;
+//   - jobs arrive inside the interval (all-at-start like the paper, or
+//     uniformly spread), wait in a FIFO queue when no VM is idle, and
+//     on-demand VMs boot with a cold-start latency;
+//   - scaling decisions come from a pluggable policy (predictive on a
+//     forecaster, reactive rule-based, oracle, fixed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::cloudsim {
+
+enum class ArrivalPattern {
+  kAllAtStart,  ///< the paper's simplification: every job arrives at t=0
+  kUniform,     ///< spread evenly across the interval
+  kPoisson      ///< exponential inter-arrival gaps within the interval
+};
+
+struct DesConfig {
+  double interval_seconds = 3600.0;
+  double vm_boot_seconds = 100.0;       ///< cold-start latency
+  double job_service_mean = 300.0;
+  double job_service_cv = 0.1;
+  double cost_per_vm_hour = 0.0475;
+  ArrivalPattern arrivals = ArrivalPattern::kAllAtStart;
+  /// Idle VMs beyond the next interval's target are terminated at each
+  /// interval boundary (true) or kept warm forever (false).
+  bool scale_down_idle = true;
+  /// Whether jobs may boot extra on-demand VMs when everything is busy
+  /// (the paper's policy). false = hard capacity cap: jobs queue instead.
+  bool allow_on_demand = true;
+  std::uint64_t seed = 11;
+};
+
+/// Scaling decision source: how many VMs should be available for interval i.
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+  /// `history` holds the actual JARs of all completed intervals; the
+  /// returned value is the VM target for the upcoming interval.
+  [[nodiscard]] virtual std::size_t target_vms(std::span<const double> history) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's policy: provision ceil(P_i) VMs from a forecaster.
+class PredictivePolicy final : public ScalingPolicy {
+ public:
+  /// `predictor` must already be fitted; `refit_every` > 0 refits it online.
+  PredictivePolicy(std::shared_ptr<ts::Predictor> predictor, std::size_t refit_every = 0,
+                   double headroom = 0.0);
+  [[nodiscard]] std::size_t target_vms(std::span<const double> history) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<ts::Predictor> predictor_;
+  std::size_t refit_every_;
+  std::size_t since_fit_ = 0;
+  double headroom_;
+};
+
+/// Rule-based reactive scaling (what cloud providers ship by default):
+/// target = last interval's demand scaled by a factor, within [min, max].
+class ReactivePolicy final : public ScalingPolicy {
+ public:
+  explicit ReactivePolicy(double scale_factor = 1.1, std::size_t min_vms = 1,
+                          std::size_t max_vms = 100000);
+  [[nodiscard]] std::size_t target_vms(std::span<const double> history) override;
+  [[nodiscard]] std::string name() const override { return "reactive"; }
+
+ private:
+  double scale_factor_;
+  std::size_t min_vms_, max_vms_;
+};
+
+/// Perfect foresight: provisions exactly the next interval's demand.
+/// Requires the full actual series up front.
+class OraclePolicy final : public ScalingPolicy {
+ public:
+  explicit OraclePolicy(std::vector<double> actual_series);
+  [[nodiscard]] std::size_t target_vms(std::span<const double> history) override;
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+ private:
+  std::vector<double> actuals_;
+};
+
+/// Static provisioning at a fixed VM count.
+class FixedPolicy final : public ScalingPolicy {
+ public:
+  explicit FixedPolicy(std::size_t vms) : vms_(vms) {}
+  [[nodiscard]] std::size_t target_vms(std::span<const double>) override { return vms_; }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  std::size_t vms_;
+};
+
+struct DesIntervalStats {
+  std::size_t target_vms = 0;
+  std::size_t arrived_jobs = 0;
+  std::size_t completed_jobs = 0;
+  std::size_t on_demand_boots = 0;   ///< reactive cold starts within the interval
+  double mean_wait = 0.0;            ///< queueing + boot wait per job
+  double mean_turnaround = 0.0;      ///< wait + service
+  double utilization = 0.0;          ///< busy VM-seconds / available VM-seconds
+};
+
+struct DesResult {
+  std::vector<DesIntervalStats> intervals;
+  double total_cost = 0.0;           ///< all VM-seconds billed
+  double mean_turnaround = 0.0;      ///< across all jobs
+  double mean_wait = 0.0;
+  double p99_turnaround = 0.0;
+  double mean_utilization = 0.0;
+  std::size_t total_jobs = 0;
+};
+
+/// Run the DES over the demand series: interval i sees `demand[i]` jobs.
+/// All jobs must complete before the simulation ends (the horizon extends
+/// past the last interval until the system drains).
+[[nodiscard]] DesResult run_simulation(ScalingPolicy& policy, std::span<const double> demand,
+                                       const DesConfig& config = {});
+
+}  // namespace ld::cloudsim

@@ -1,0 +1,78 @@
+#include "common/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+
+namespace ld::stats {
+
+namespace {
+void check(std::span<const double> a, std::span<const double> p) {
+  if (a.size() != p.size() || a.empty())
+    throw std::invalid_argument("bootstrap: size mismatch or empty");
+}
+
+double resampled_mape(std::span<const double> actual, std::span<const double> predicted,
+                      std::span<const std::size_t> idx) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const std::size_t i : idx) {
+    if (std::abs(actual[i]) < 1e-12) continue;
+    sum += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : 100.0 * sum / static_cast<double>(count);
+}
+}  // namespace
+
+ConfidenceInterval bootstrap_mape(std::span<const double> actual,
+                                  std::span<const double> predicted, std::size_t resamples,
+                                  double level, std::uint64_t seed) {
+  check(actual, predicted);
+  if (level <= 0.0 || level >= 1.0) throw std::invalid_argument("bootstrap: bad level");
+  Rng rng(seed);
+  const std::size_t n = actual.size();
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i)
+      idx[i] = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long long>(n) - 1));
+    stats.push_back(resampled_mape(actual, predicted, idx));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - level) / 2.0;
+  const auto at = [&](double q) {
+    const auto pos = static_cast<std::size_t>(q * static_cast<double>(stats.size() - 1));
+    return stats[pos];
+  };
+  return {.point = metrics::mape(actual, predicted), .lower = at(alpha),
+          .upper = at(1.0 - alpha)};
+}
+
+PairedComparison paired_bootstrap(std::span<const double> actual,
+                                  std::span<const double> predicted_a,
+                                  std::span<const double> predicted_b, std::size_t resamples,
+                                  std::uint64_t seed) {
+  check(actual, predicted_a);
+  check(actual, predicted_b);
+  Rng rng(seed);
+  const std::size_t n = actual.size();
+  std::vector<std::size_t> idx(n);
+  std::size_t a_wins = 0;
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i)
+      idx[i] = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long long>(n) - 1));
+    if (resampled_mape(actual, predicted_a, idx) < resampled_mape(actual, predicted_b, idx))
+      ++a_wins;
+  }
+  return {.mape_a = metrics::mape(actual, predicted_a),
+          .mape_b = metrics::mape(actual, predicted_b),
+          .prob_a_better = static_cast<double>(a_wins) / static_cast<double>(resamples)};
+}
+
+}  // namespace ld::stats

@@ -1,0 +1,40 @@
+// Bootstrap statistics for honest experiment reporting: confidence
+// intervals on MAPE and paired predictor comparisons (is A really better
+// than B on this trace, or is the gap within resampling noise?).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ld::stats {
+
+struct ConfidenceInterval {
+  double point = 0.0;   ///< statistic on the full sample
+  double lower = 0.0;   ///< percentile bootstrap bound
+  double upper = 0.0;
+};
+
+/// Bootstrap CI for MAPE: resamples (actual, predicted) pairs with
+/// replacement. `level` is the two-sided confidence level (e.g. 0.95).
+[[nodiscard]] ConfidenceInterval bootstrap_mape(std::span<const double> actual,
+                                                std::span<const double> predicted,
+                                                std::size_t resamples = 2000,
+                                                double level = 0.95,
+                                                std::uint64_t seed = 99);
+
+struct PairedComparison {
+  double mape_a = 0.0;
+  double mape_b = 0.0;
+  /// Fraction of bootstrap resamples where A's MAPE < B's MAPE. Values near
+  /// 1 mean A is consistently better; near 0.5 means the gap is noise.
+  double prob_a_better = 0.0;
+};
+
+/// Paired bootstrap: both predictors judged on the same resampled intervals.
+[[nodiscard]] PairedComparison paired_bootstrap(std::span<const double> actual,
+                                                std::span<const double> predicted_a,
+                                                std::span<const double> predicted_b,
+                                                std::size_t resamples = 2000,
+                                                std::uint64_t seed = 99);
+
+}  // namespace ld::stats

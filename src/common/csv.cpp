@@ -1,0 +1,107 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ld::csv {
+
+std::size_t Table::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw std::out_of_range("csv: no column named '" + name + "'");
+}
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+Table parse(const std::string& text, bool has_header) {
+  Table table;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto cells = split_line(line);
+    if (first && has_header) {
+      table.header = std::move(cells);
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+    first = false;
+  }
+  return table;
+}
+
+Table read_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), has_header);
+}
+
+std::vector<double> numeric_column(const Table& table, std::size_t col) {
+  std::vector<double> out;
+  out.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    if (col >= row.size()) throw std::invalid_argument("csv: short row");
+    try {
+      out.push_back(std::stod(row[col]));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("csv: non-numeric cell '" + row[col] + "'");
+    }
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot write '" + path + "'");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ',';
+    out << header[i];
+  }
+  out << '\n';
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace ld::csv

@@ -1,0 +1,32 @@
+// Minimal CSV reading/writing for traces and experiment outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ld::csv {
+
+/// A parsed CSV table: optional header row plus string cells.
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column, or throws std::out_of_range.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Read a CSV file. If `has_header` the first row populates Table::header.
+/// Supports quoted fields with embedded commas and doubled quotes.
+[[nodiscard]] Table read_file(const std::string& path, bool has_header = true);
+
+/// Parse CSV from a string (same dialect as read_file).
+[[nodiscard]] Table parse(const std::string& text, bool has_header = true);
+
+/// Extract a numeric column; throws std::invalid_argument on non-numeric cells.
+[[nodiscard]] std::vector<double> numeric_column(const Table& table, std::size_t col);
+
+/// Write rows of doubles with a header line.
+void write_file(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows);
+
+}  // namespace ld::csv

@@ -1,0 +1,43 @@
+// Lightweight leveled logging to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ld::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Default: kInfo.
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+void emit(Level level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void debug(const Ts&... parts) {
+  if (level() <= Level::kDebug) emit(Level::kDebug, detail::concat(parts...));
+}
+template <typename... Ts>
+void info(const Ts&... parts) {
+  if (level() <= Level::kInfo) emit(Level::kInfo, detail::concat(parts...));
+}
+template <typename... Ts>
+void warn(const Ts&... parts) {
+  if (level() <= Level::kWarn) emit(Level::kWarn, detail::concat(parts...));
+}
+template <typename... Ts>
+void error(const Ts&... parts) {
+  if (level() <= Level::kError) emit(Level::kError, detail::concat(parts...));
+}
+
+}  // namespace ld::log

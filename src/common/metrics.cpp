@@ -1,0 +1,78 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::metrics {
+
+namespace {
+void check_sizes(std::span<const double> a, std::span<const double> p) {
+  if (a.size() != p.size()) throw std::invalid_argument("metrics: size mismatch");
+  if (a.empty()) throw std::invalid_argument("metrics: empty input");
+}
+constexpr double kTiny = 1e-12;
+}  // namespace
+
+double mape(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < kTiny) continue;
+    sum += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : 100.0 * sum / static_cast<double>(count);
+}
+
+double smape(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::abs(actual[i]) + std::abs(predicted[i]);
+    if (denom < kTiny) continue;
+    sum += 2.0 * std::abs(predicted[i] - actual[i]) / denom;
+    ++count;
+  }
+  return count == 0 ? 0.0 : 100.0 * sum / static_cast<double>(count);
+}
+
+double mae(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) sum += std::abs(predicted[i] - actual[i]);
+  return sum / static_cast<double>(actual.size());
+}
+
+double mse(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  return std::sqrt(mse(actual, predicted));
+}
+
+double r2(std::span<const double> actual, std::span<const double> predicted) {
+  check_sizes(actual, predicted);
+  double mean = 0.0;
+  for (const double a : actual) mean += a;
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double r = actual[i] - predicted[i];
+    const double t = actual[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot < kTiny) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace ld::metrics

@@ -1,0 +1,32 @@
+// Forecast-accuracy metrics used throughout the evaluation.
+//
+// The paper reports MAPE (mean absolute percentage error); the remaining
+// metrics support the extended analysis and the test suite.
+#pragma once
+
+#include <span>
+
+namespace ld::metrics {
+
+/// Mean Absolute Percentage Error: (100/n) * sum |(P_i - J_i) / J_i|.
+/// Intervals where the actual value is ~0 are skipped (they make the
+/// percentage undefined); if every actual is ~0 the result is 0.
+[[nodiscard]] double mape(std::span<const double> actual, std::span<const double> predicted);
+
+/// Symmetric MAPE: 100 * mean(2|P-J| / (|J|+|P|)).
+[[nodiscard]] double smape(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean Absolute Error.
+[[nodiscard]] double mae(std::span<const double> actual, std::span<const double> predicted);
+
+/// Root Mean Squared Error.
+[[nodiscard]] double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Mean Squared Error.
+[[nodiscard]] double mse(std::span<const double> actual, std::span<const double> predicted);
+
+/// Coefficient of determination R^2 (1 - SS_res / SS_tot); returns 0 when
+/// the actual series is constant.
+[[nodiscard]] double r2(std::span<const double> actual, std::span<const double> predicted);
+
+}  // namespace ld::metrics

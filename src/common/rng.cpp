@@ -1,0 +1,107 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ld {
+
+std::uint64_t Rng::next_u64() noexcept {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+long long Rng::uniform_int(long long lo, long long hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return lo + static_cast<long long>(next_u64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<long long>(v % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+long long Rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-lambda);
+    long long k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // synthesis where lambda is large (hundreds to millions of arrivals).
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v < 0.0 ? 0 : static_cast<long long>(v + 0.5);
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+double Rng::gamma(double shape, double scale) noexcept {
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale down (Marsaglia-Tsang trick).
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+Rng Rng::split() noexcept { return Rng(next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<long long>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace ld

@@ -1,0 +1,134 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "timeseries/changepoint.hpp"
+
+namespace ld::core {
+
+AdaptiveLoadDynamics::AdaptiveLoadDynamics(AdaptiveConfig config) : config_(std::move(config)) {
+  if (config_.monitor_window == 0 || config_.validation_fraction <= 0.0 ||
+      config_.validation_fraction >= 1.0)
+    throw std::invalid_argument("AdaptiveLoadDynamics: bad monitor/validation config");
+}
+
+const Hyperparameters& AdaptiveLoadDynamics::current_hyperparameters() const {
+  if (!model_) throw std::logic_error("AdaptiveLoadDynamics: not fitted");
+  return model_->hyperparameters();
+}
+
+void AdaptiveLoadDynamics::refit(std::span<const double> history_full, bool full_search) const {
+  // Warm retrains deliberately forget the distant past: after a drastic
+  // pattern change, old-regime samples would dominate the loss and the new
+  // pattern would never be learned.
+  std::span<const double> history = history_full;
+  if (!full_search && config_.retrain_history_cap > 0 &&
+      history.size() > config_.retrain_history_cap)
+    history = history.subspan(history.size() - config_.retrain_history_cap);
+
+  const auto n_val = std::max<std::size_t>(
+      4, static_cast<std::size_t>(config_.validation_fraction *
+                                  static_cast<double>(history.size())));
+  if (history.size() < n_val + 12)
+    throw std::invalid_argument("AdaptiveLoadDynamics: history too short to fit");
+  const std::span<const double> train = history.subspan(0, history.size() - n_val);
+  const std::span<const double> validation = history.subspan(history.size() - n_val);
+
+  if (full_search || !model_) {
+    const LoadDynamics framework(config_.base);
+    FitResult fit = framework.fit(train, validation);
+    model_ = fit.model;
+    baseline_mape_ = fit.best_record().validation_mape;
+  } else {
+    // Warm retrain: the incumbent hyperparameters plus a few random probes.
+    const HyperparameterSpace space = config_.base.space.clamped_to_data(train.size());
+    const auto search_space = space.to_search_space();
+    Rng rng(config_.base.seed + 0xada0 + retrains_);
+
+    std::vector<Hyperparameters> candidates{model_->hyperparameters()};
+    for (std::size_t i = 0; i < config_.refresh_candidates; ++i)
+      candidates.push_back(
+          space.from_values(search_space.to_values(search_space.sample_unit(rng))));
+
+    // The retrain window is small by design, so give each candidate a longer
+    // epoch budget and ensure the batch size still yields several gradient
+    // updates per epoch — otherwise the refit would barely move the weights.
+    ModelTrainingConfig training = config_.base.training;
+    training.trainer.max_epochs *= 3;
+    training.trainer.patience *= 2;
+    const std::size_t batch_cap = std::max<std::size_t>(8, train.size() / 8);
+
+    std::shared_ptr<TrainedModel> best;
+    for (Hyperparameters hp : candidates) {
+      hp.batch_size = std::min(hp.batch_size, batch_cap);
+      try {
+        auto model = std::make_shared<TrainedModel>(train, validation, hp, training,
+                                                    config_.base.seed + retrains_);
+        if (!best || model->validation_mape() < best->validation_mape())
+          best = std::move(model);
+      } catch (const std::exception& e) {
+        log::warn("adaptive retrain: ", hp.to_string(), " failed: ", e.what());
+      }
+    }
+    if (best) {
+      model_ = std::move(best);
+      baseline_mape_ = model_->validation_mape();
+    }
+  }
+  last_fit_step_ = history_full.size();
+  log_.clear();
+}
+
+void AdaptiveLoadDynamics::fit(std::span<const double> history) {
+  refit(history, /*full_search=*/true);
+  retrains_ = 0;
+}
+
+double AdaptiveLoadDynamics::recent_mape(std::span<const double> history) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const Logged& entry : log_) {
+    if (entry.step >= history.size()) continue;  // actual not known yet
+    const double actual = history[entry.step];
+    if (std::abs(actual) < 1e-12) continue;
+    sum += std::abs((entry.prediction - actual) / actual);
+    ++count;
+  }
+  if (count < config_.min_scored) return -1.0;  // not enough evidence
+  return 100.0 * sum / static_cast<double>(count);
+}
+
+double AdaptiveLoadDynamics::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("AdaptiveLoadDynamics: empty history");
+  if (!model_) throw std::logic_error("AdaptiveLoadDynamics: predict before fit");
+
+  // Drift check first: did the recent predictions degrade?
+  const double recent = recent_mape(history);
+  const bool cooled_down = history.size() >= last_fit_step_ + config_.cooldown;
+  bool drift =
+      recent >= 0.0 && recent > std::max(config_.degradation_factor * baseline_mape_,
+                                         config_.absolute_mape_floor);
+  if (!drift && config_.changepoint_trigger && cooled_down) {
+    const std::size_t scan = std::min(history.size(), config_.changepoint_window);
+    drift = ts::recent_changepoint(history.subspan(history.size() - scan),
+                                   config_.monitor_window);
+    if (drift) log::info("adaptive: changepoint detected in recent window");
+  }
+  if (drift && cooled_down) {
+    log::info("adaptive: drift detected (recent MAPE ", recent, "% vs baseline ",
+              baseline_mape_, "%), retraining");
+    refit(history, /*full_search=*/false);
+    ++retrains_;
+  }
+
+  const double prediction = model_->predict_next(history);
+  log_.push_back({history.size(), prediction});
+  while (log_.size() > config_.monitor_window) log_.pop_front();
+  return prediction;
+}
+
+}  // namespace ld::core

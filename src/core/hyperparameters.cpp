@@ -1,0 +1,177 @@
+#include "core/hyperparameters.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ld::core {
+
+std::string Hyperparameters::to_string() const {
+  std::ostringstream os;
+  os << "{n=" << history_length << ", c=" << cell_size << ", layers=" << num_layers
+     << ", batch=" << batch_size;
+  const bool is_extended = activation != nn::Activation::kTanh || loss != nn::Loss::kMse ||
+                           learning_rate > 0.0 || dropout > 0.0;
+  if (cell != nn::CellType::kLstm) os << ", cell=" << nn::cell_type_name(cell);
+  if (is_extended) {
+    os << ", act=" << nn::activation_name(activation) << ", loss=" << nn::loss_name(loss);
+    if (learning_rate > 0.0) os << ", lr=" << learning_rate;
+    if (dropout > 0.0) os << ", dropout=" << dropout;
+  }
+  os << "}";
+  return os.str();
+}
+
+HyperparameterSpace HyperparameterSpace::paper_default() { return {}; }
+
+HyperparameterSpace HyperparameterSpace::paper_facebook() {
+  HyperparameterSpace s;
+  s.history_min = 1;
+  s.history_max = 100;
+  s.cell_min = 1;
+  s.cell_max = 50;
+  s.batch_min = 8;
+  s.batch_max = 128;
+  return s;
+}
+
+HyperparameterSpace HyperparameterSpace::reduced() {
+  HyperparameterSpace s;
+  s.history_min = 2;
+  s.history_max = 48;
+  s.cell_min = 4;
+  s.cell_max = 32;
+  s.layers_min = 1;
+  s.layers_max = 2;
+  s.batch_min = 16;
+  s.batch_max = 128;
+  return s;
+}
+
+HyperparameterSpace HyperparameterSpace::clamped_to_data(std::size_t train_size) const {
+  HyperparameterSpace s = *this;
+  if (train_size < 8) throw std::invalid_argument("HyperparameterSpace: train set too small");
+  // Leave at least 4 training windows.
+  const std::size_t cap = train_size - 4;
+  s.history_max = std::min(s.history_max, cap);
+  s.history_min = std::min(s.history_min, s.history_max);
+  s.batch_max = std::min(s.batch_max, train_size);
+  s.batch_min = std::min(s.batch_min, s.batch_max);
+  return s;
+}
+
+void HyperparameterSpace::validate() const {
+  if (history_min == 0 || cell_min == 0 || layers_min == 0 || batch_min == 0)
+    throw std::invalid_argument("HyperparameterSpace: minimums must be >= 1");
+  if (history_min > history_max || cell_min > cell_max || layers_min > layers_max ||
+      batch_min > batch_max)
+    throw std::invalid_argument("HyperparameterSpace: min > max");
+  if (extended) {
+    if (lr_min <= 0.0 || lr_min > lr_max)
+      throw std::invalid_argument("HyperparameterSpace: bad learning-rate range");
+    if (dropout_min < 0.0 || dropout_max >= 1.0 || dropout_min > dropout_max)
+      throw std::invalid_argument("HyperparameterSpace: bad dropout range");
+  }
+}
+
+bayesopt::SearchSpace HyperparameterSpace::to_search_space() const {
+  validate();
+  auto dbl = [](std::size_t v) { return static_cast<double>(v); };
+  bayesopt::SearchSpace space;
+  space.add({.name = "history_length",
+             .low = dbl(history_min),
+             .high = dbl(history_max),
+             .integer = true,
+             .log_scale = history_min >= 1 && history_max / std::max<std::size_t>(history_min, 1) >= 8});
+  space.add({.name = "cell_size",
+             .low = dbl(cell_min),
+             .high = dbl(cell_max),
+             .integer = true,
+             .log_scale = false});
+  space.add({.name = "num_layers",
+             .low = dbl(layers_min),
+             .high = dbl(layers_max),
+             .integer = true,
+             .log_scale = false});
+  space.add({.name = "batch_size",
+             .low = dbl(batch_min),
+             .high = dbl(batch_max),
+             .integer = true,
+             .log_scale = batch_min >= 1 && batch_max / std::max<std::size_t>(batch_min, 1) >= 8});
+  if (extended) {
+    space.add({.name = "learning_rate", .low = lr_min, .high = lr_max, .log_scale = true});
+    space.add({.name = "dropout", .low = dropout_min, .high = dropout_max});
+    // Categorical dimensions encoded as small integers; the GP treats the
+    // encoding as ordinal, which is a standard (if imperfect) BO practice.
+    space.add({.name = "activation", .low = 0.0, .high = 2.0, .integer = true});
+    space.add({.name = "loss", .low = 0.0, .high = 2.0, .integer = true});
+  }
+  return space;
+}
+
+namespace {
+nn::Activation activation_from_index(std::size_t index) {
+  switch (index) {
+    case 0: return nn::Activation::kTanh;
+    case 1: return nn::Activation::kSigmoid;
+    default: return nn::Activation::kSoftsign;
+  }
+}
+std::size_t activation_index(nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kTanh: return 0;
+    case nn::Activation::kSigmoid: return 1;
+    case nn::Activation::kSoftsign: return 2;
+  }
+  return 0;
+}
+nn::Loss loss_from_index(std::size_t index) {
+  switch (index) {
+    case 0: return nn::Loss::kMse;
+    case 1: return nn::Loss::kMae;
+    default: return nn::Loss::kHuber;
+  }
+}
+std::size_t loss_index(nn::Loss loss) {
+  switch (loss) {
+    case nn::Loss::kMse: return 0;
+    case nn::Loss::kMae: return 1;
+    case nn::Loss::kHuber: return 2;
+    case nn::Loss::kPinball: return 0;  // not searched; quantile use is explicit
+  }
+  return 0;
+}
+}  // namespace
+
+Hyperparameters HyperparameterSpace::from_values(const std::vector<double>& values) const {
+  const std::size_t expected = extended ? 8 : 4;
+  if (values.size() != expected)
+    throw std::invalid_argument("HyperparameterSpace: wrong value count");
+  auto sz = [](double v) { return static_cast<std::size_t>(v + 0.5); };
+  Hyperparameters hp{.history_length = sz(values[0]),
+                     .cell_size = sz(values[1]),
+                     .num_layers = sz(values[2]),
+                     .batch_size = sz(values[3])};
+  if (extended) {
+    hp.learning_rate = values[4];
+    hp.dropout = values[5];
+    hp.activation = activation_from_index(sz(values[6]));
+    hp.loss = loss_from_index(sz(values[7]));
+  }
+  return hp;
+}
+
+std::vector<double> HyperparameterSpace::to_values(const Hyperparameters& hp) const {
+  auto dbl = [](std::size_t v) { return static_cast<double>(v); };
+  std::vector<double> values{dbl(hp.history_length), dbl(hp.cell_size), dbl(hp.num_layers),
+                             dbl(hp.batch_size)};
+  if (extended) {
+    values.push_back(hp.learning_rate > 0.0 ? hp.learning_rate : lr_min);
+    values.push_back(hp.dropout);
+    values.push_back(dbl(activation_index(hp.activation)));
+    values.push_back(dbl(loss_index(hp.loss)));
+  }
+  return values;
+}
+
+}  // namespace ld::core

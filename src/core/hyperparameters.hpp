@@ -1,0 +1,68 @@
+// The four hyperparameters LoadDynamics optimizes per workload (Section
+// III-A) and the Table III search spaces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bayesopt/search_space.hpp"
+#include "nn/activation.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+
+namespace ld::core {
+
+struct Hyperparameters {
+  std::size_t history_length = 16;  ///< n — input window length
+  std::size_t cell_size = 32;       ///< s — size of the cell memory vector C
+  std::size_t num_layers = 1;       ///< stacked LSTM layers
+  std::size_t batch_size = 64;      ///< training mini-batch size
+
+  // Extended dimensions (the paper's Section V "Other Hyperparameters"):
+  // optimized only when HyperparameterSpace::extended is set; the defaults
+  // reproduce the paper's fixed configuration exactly.
+  nn::Activation activation = nn::Activation::kTanh;
+  nn::Loss loss = nn::Loss::kMse;
+  nn::CellType cell = nn::CellType::kLstm;  ///< recurrent cell family
+  double learning_rate = 0.0;  ///< 0 = use the trainer's configured rate
+  double dropout = 0.0;        ///< inter-layer dropout rate
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool operator==(const Hyperparameters&) const = default;
+};
+
+/// Inclusive ranges for each hyperparameter. History length and batch size
+/// are searched on a log scale (their Table III ranges span 2-3 orders of
+/// magnitude); cell size and layer count on a linear scale.
+struct HyperparameterSpace {
+  std::size_t history_min = 1, history_max = 512;
+  std::size_t cell_min = 1, cell_max = 100;
+  std::size_t layers_min = 1, layers_max = 5;
+  std::size_t batch_min = 16, batch_max = 1024;
+
+  /// Section V extension: additionally search activation, loss, learning
+  /// rate (log scale) and dropout. Off by default — the paper's base
+  /// four-dimensional space.
+  bool extended = false;
+  double lr_min = 1e-4, lr_max = 3e-2;
+  double dropout_min = 0.0, dropout_max = 0.5;
+
+  /// Table III, row "Wiki/LCG/Azure/Google".
+  [[nodiscard]] static HyperparameterSpace paper_default();
+  /// Table III, row "Facebook" (short trace; smaller history/batch ranges).
+  [[nodiscard]] static HyperparameterSpace paper_facebook();
+  /// A laptop-scale space with the same structure (used by --quick benches).
+  [[nodiscard]] static HyperparameterSpace reduced();
+
+  /// Shrink ranges so a window always fits in `train_size` samples.
+  [[nodiscard]] HyperparameterSpace clamped_to_data(std::size_t train_size) const;
+
+  [[nodiscard]] bayesopt::SearchSpace to_search_space() const;
+  [[nodiscard]] Hyperparameters from_values(const std::vector<double>& values) const;
+  [[nodiscard]] std::vector<double> to_values(const Hyperparameters& hp) const;
+
+  void validate() const;
+};
+
+}  // namespace ld::core

@@ -1,0 +1,170 @@
+#include "core/loaddynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/stopwatch.hpp"
+
+namespace ld::core {
+
+std::vector<double> FitResult::incumbent_trace() const {
+  std::vector<double> trace;
+  trace.reserve(database.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const ModelRecord& rec : database) {
+    best = std::min(best, rec.validation_mape);
+    trace.push_back(best);
+  }
+  return trace;
+}
+
+LoadDynamics::LoadDynamics(LoadDynamicsConfig config) : config_(std::move(config)) {
+  config_.space.validate();
+  if (config_.max_iterations == 0)
+    throw std::invalid_argument("LoadDynamics: max_iterations must be > 0");
+}
+
+std::shared_ptr<TrainedModel> LoadDynamics::train_one(std::span<const double> train,
+                                                      std::span<const double> validation,
+                                                      const Hyperparameters& hp) const {
+  return std::make_shared<TrainedModel>(train, validation, hp, config_.training, config_.seed);
+}
+
+FitResult LoadDynamics::fit(std::span<const double> train,
+                            std::span<const double> validation) const {
+  if (train.size() < 8) throw std::invalid_argument("LoadDynamics::fit: train set too small");
+  Stopwatch watch;
+
+  const HyperparameterSpace space = config_.space.clamped_to_data(train.size());
+  const bayesopt::SearchSpace search_space = space.to_search_space();
+
+  FitResult result;
+  result.database.reserve(config_.max_iterations);
+  std::shared_ptr<TrainedModel> best_model;
+  double best_mape = std::numeric_limits<double>::infinity();
+
+  // The objective trains a model (step 1), cross-validates it (step 2) and
+  // records it in the database; the optimizer proposes the next set (step 3).
+  std::size_t iteration = 0;
+  const bayesopt::Objective objective = [&](const std::vector<double>& values) -> double {
+    const Hyperparameters hp = space.from_values(values);
+    double mape;
+    try {
+      auto model = std::make_shared<TrainedModel>(train, validation, hp, config_.training,
+                                                  config_.seed + iteration);
+      mape = model->validation_mape();
+      if (mape < best_mape) {
+        best_mape = mape;
+        best_model = std::move(model);
+      }
+    } catch (const std::exception& e) {
+      log::warn("LoadDynamics: configuration ", hp.to_string(), " failed: ", e.what());
+      mape = std::numeric_limits<double>::quiet_NaN();  // optimizer penalizes
+    }
+    result.database.push_back({hp, std::isfinite(mape) ? mape : 1e6});
+    log::debug("LoadDynamics iter ", iteration, " ", hp.to_string(), " -> MAPE ",
+               result.database.back().validation_mape, "%");
+    ++iteration;
+    return mape;
+  };
+
+  switch (config_.strategy) {
+    case SearchStrategy::kBayesian: {
+      bayesopt::OptimizerConfig oc;
+      oc.max_iterations = config_.max_iterations;
+      oc.initial_random = config_.initial_random;
+      bayesopt::BayesianOptimizer optimizer(search_space, oc, config_.seed);
+      (void)optimizer.optimize(objective);
+      break;
+    }
+    case SearchStrategy::kRandom:
+      (void)bayesopt::random_search(search_space, objective, config_.max_iterations,
+                                    config_.seed);
+      break;
+    case SearchStrategy::kGrid:
+      (void)bayesopt::grid_search(search_space, objective, config_.max_iterations);
+      break;
+  }
+
+  if (!best_model) throw std::runtime_error("LoadDynamics::fit: every configuration failed");
+
+  // Step 4: select the lowest-error model from the database.
+  result.best_index = 0;
+  for (std::size_t i = 1; i < result.database.size(); ++i)
+    if (result.database[i].validation_mape < result.database[result.best_index].validation_mape)
+      result.best_index = i;
+  result.model = std::move(best_model);
+  result.search_seconds = watch.seconds();
+  return result;
+}
+
+FitResult brute_force_search(std::span<const double> train, std::span<const double> validation,
+                             const LoadDynamicsConfig& config, std::size_t points_per_dim) {
+  if (points_per_dim < 2) throw std::invalid_argument("brute_force_search: need >= 2 points");
+  Stopwatch watch;
+  const HyperparameterSpace space = config.space.clamped_to_data(train.size());
+
+  // Evenly spaced lattice per dimension (log-spaced where the search space
+  // itself is log-scaled), deduplicated after integer rounding.
+  const auto lattice = [&](std::size_t lo, std::size_t hi, bool log_scale) {
+    std::vector<std::size_t> pts;
+    for (std::size_t i = 0; i < points_per_dim; ++i) {
+      const double u = points_per_dim == 1
+                           ? 0.5
+                           : static_cast<double>(i) / static_cast<double>(points_per_dim - 1);
+      double v;
+      if (log_scale && lo >= 1) {
+        v = std::exp(std::log(static_cast<double>(lo)) +
+                     u * (std::log(static_cast<double>(hi)) - std::log(static_cast<double>(lo))));
+      } else {
+        v = static_cast<double>(lo) + u * static_cast<double>(hi - lo);
+      }
+      pts.push_back(static_cast<std::size_t>(std::clamp(
+          v + 0.5, static_cast<double>(lo), static_cast<double>(hi))));
+    }
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+    return pts;
+  };
+
+  const auto hist = lattice(space.history_min, space.history_max, true);
+  const auto cell = lattice(space.cell_min, space.cell_max, false);
+  const auto layers = lattice(space.layers_min, space.layers_max, false);
+  const auto batch = lattice(space.batch_min, space.batch_max, true);
+
+  FitResult result;
+  std::shared_ptr<TrainedModel> best_model;
+  double best_mape = std::numeric_limits<double>::infinity();
+  std::size_t iteration = 0;
+  for (const std::size_t n : hist)
+    for (const std::size_t c : cell)
+      for (const std::size_t l : layers)
+        for (const std::size_t b : batch) {
+          const Hyperparameters hp{.history_length = n, .cell_size = c, .num_layers = l,
+                                   .batch_size = b};
+          try {
+            auto model = std::make_shared<TrainedModel>(train, validation, hp, config.training,
+                                                        config.seed + iteration);
+            const double mape = model->validation_mape();
+            result.database.push_back({hp, mape});
+            if (mape < best_mape) {
+              best_mape = mape;
+              best_model = std::move(model);
+              result.best_index = result.database.size() - 1;
+            }
+          } catch (const std::exception& e) {
+            log::warn("brute force: ", hp.to_string(), " failed: ", e.what());
+            result.database.push_back({hp, 1e6});
+          }
+          ++iteration;
+        }
+  if (!best_model) throw std::runtime_error("brute_force_search: every configuration failed");
+  result.model = std::move(best_model);
+  result.search_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace ld::core

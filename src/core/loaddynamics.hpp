@@ -1,0 +1,79 @@
+// LoadDynamics — the paper's primary contribution (Fig. 6 workflow).
+//
+// fit() runs the train -> cross-validate -> Bayesian-optimize loop for
+// `max_iterations` rounds over the hyperparameter search space, keeps every
+// validated model's record (the "database" of Fig. 6), and returns the
+// lowest-cross-validation-error model as the workload's predictor f.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bayesopt/optimizer.hpp"
+#include "core/hyperparameters.hpp"
+#include "core/model.hpp"
+
+namespace ld::core {
+
+enum class SearchStrategy { kBayesian, kRandom, kGrid };
+
+struct LoadDynamicsConfig {
+  HyperparameterSpace space = HyperparameterSpace::paper_default();
+  std::size_t max_iterations = 100;  ///< maxIters of Fig. 6 (paper: 100)
+  std::size_t initial_random = 5;
+  SearchStrategy strategy = SearchStrategy::kBayesian;
+  ModelTrainingConfig training;
+  std::uint64_t seed = 2020;
+};
+
+/// One row of the model database: hyperparameters tried + validation error.
+struct ModelRecord {
+  Hyperparameters hyperparameters;
+  double validation_mape = 0.0;
+};
+
+struct FitResult {
+  std::shared_ptr<TrainedModel> model;  ///< best predictor (step 4)
+  std::vector<ModelRecord> database;    ///< all validated configurations
+  std::size_t best_index = 0;
+  double search_seconds = 0.0;
+
+  [[nodiscard]] const TrainedModel& predictor() const { return *model; }
+  [[nodiscard]] const ModelRecord& best_record() const { return database.at(best_index); }
+  /// Running best validation MAPE after each iteration (convergence curve).
+  [[nodiscard]] std::vector<double> incumbent_trace() const;
+};
+
+class LoadDynamics {
+ public:
+  explicit LoadDynamics(LoadDynamicsConfig config = {});
+
+  [[nodiscard]] const LoadDynamicsConfig& config() const noexcept { return config_; }
+
+  /// Run the full self-optimization workflow on the training and
+  /// cross-validation JARs (steps 1-4 of Fig. 6).
+  [[nodiscard]] FitResult fit(std::span<const double> train,
+                              std::span<const double> validation) const;
+
+  /// Train a single model with explicit hyperparameters (no search) —
+  /// used by Fig. 5 and the brute-force comparison.
+  [[nodiscard]] std::shared_ptr<TrainedModel> train_one(std::span<const double> train,
+                                                        std::span<const double> validation,
+                                                        const Hyperparameters& hp) const;
+
+ private:
+  LoadDynamicsConfig config_;
+};
+
+/// Exhaustive grid search over a (reduced) hyperparameter lattice — the
+/// "LSTMBruteForce" bar of Fig. 9. `points_per_dim` controls the lattice
+/// resolution; the paper's full-range version is the same code with a dense
+/// lattice (and a multi-week runtime).
+[[nodiscard]] FitResult brute_force_search(std::span<const double> train,
+                                           std::span<const double> validation,
+                                           const LoadDynamicsConfig& config,
+                                           std::size_t points_per_dim = 3);
+
+}  // namespace ld::core

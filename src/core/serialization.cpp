@@ -1,0 +1,111 @@
+#include "core/serialization.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ld::core {
+
+namespace {
+constexpr const char* kMagic = "loaddynamics-model";
+constexpr int kVersion = 1;
+
+std::string expect_token(std::istream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) throw std::runtime_error(std::string("load_model: missing ") + what);
+  return token;
+}
+
+double parse_hex_double(const std::string& token, const char* what) {
+  double v = 0.0;
+  if (std::sscanf(token.c_str(), "%la", &v) != 1)
+    throw std::runtime_error(std::string("load_model: bad value for ") + what);
+  return v;
+}
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+}  // namespace
+
+void save_model(const TrainedModel& model, std::ostream& out) {
+  const ModelSnapshot snap = model.snapshot();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "hyperparameters " << snap.hyperparameters.history_length << ' '
+      << snap.hyperparameters.cell_size << ' ' << snap.hyperparameters.num_layers << ' '
+      << snap.hyperparameters.batch_size << '\n';
+  out << "extended " << nn::cell_type_name(snap.hyperparameters.cell) << ' '
+      << nn::activation_name(snap.hyperparameters.activation) << ' '
+      << nn::loss_name(snap.hyperparameters.loss) << ' '
+      << hex_double(snap.hyperparameters.learning_rate) << ' '
+      << hex_double(snap.hyperparameters.dropout) << '\n';
+  out << "window " << snap.effective_window << '\n';
+  out << "scaler " << hex_double(snap.scaler_min) << ' ' << hex_double(snap.scaler_max) << '\n';
+  out << "validation_mape " << hex_double(snap.validation_mape) << '\n';
+  out << "weights " << snap.weights.size() << '\n';
+  for (std::size_t i = 0; i < snap.weights.size(); ++i) {
+    out << hex_double(snap.weights[i]);
+    out << ((i + 1) % 8 == 0 ? '\n' : ' ');
+  }
+  out << '\n';
+  if (!out) throw std::runtime_error("save_model: stream write failed");
+}
+
+void save_model_file(const TrainedModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_model: cannot open '" + path + "'");
+  save_model(model, out);
+}
+
+std::shared_ptr<TrainedModel> load_model(std::istream& in) {
+  if (expect_token(in, "magic") != kMagic)
+    throw std::runtime_error("load_model: not a loaddynamics model file");
+  if (std::stoi(expect_token(in, "version")) != kVersion)
+    throw std::runtime_error("load_model: unsupported version");
+
+  ModelSnapshot snap;
+  auto expect_keyword = [&](const char* kw) {
+    if (expect_token(in, kw) != kw)
+      throw std::runtime_error(std::string("load_model: expected keyword ") + kw);
+  };
+
+  expect_keyword("hyperparameters");
+  snap.hyperparameters.history_length = std::stoul(expect_token(in, "history"));
+  snap.hyperparameters.cell_size = std::stoul(expect_token(in, "cell"));
+  snap.hyperparameters.num_layers = std::stoul(expect_token(in, "layers"));
+  snap.hyperparameters.batch_size = std::stoul(expect_token(in, "batch"));
+  expect_keyword("extended");
+  snap.hyperparameters.cell = nn::cell_type_from_name(expect_token(in, "cell type"));
+  snap.hyperparameters.activation = nn::activation_from_name(expect_token(in, "activation"));
+  snap.hyperparameters.loss = nn::loss_from_name(expect_token(in, "loss"));
+  snap.hyperparameters.learning_rate =
+      parse_hex_double(expect_token(in, "learning rate"), "learning rate");
+  snap.hyperparameters.dropout = parse_hex_double(expect_token(in, "dropout"), "dropout");
+  expect_keyword("window");
+  snap.effective_window = std::stoul(expect_token(in, "window value"));
+  expect_keyword("scaler");
+  snap.scaler_min = parse_hex_double(expect_token(in, "scaler min"), "scaler min");
+  snap.scaler_max = parse_hex_double(expect_token(in, "scaler max"), "scaler max");
+  expect_keyword("validation_mape");
+  snap.validation_mape =
+      parse_hex_double(expect_token(in, "validation_mape"), "validation_mape");
+  expect_keyword("weights");
+  const std::size_t count = std::stoul(expect_token(in, "weight count"));
+  snap.weights.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    snap.weights.push_back(parse_hex_double(expect_token(in, "weight"), "weight"));
+
+  return TrainedModel::restore(snap);
+}
+
+std::shared_ptr<TrainedModel> load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model: cannot open '" + path + "'");
+  return load_model(in);
+}
+
+}  // namespace ld::core

@@ -1,0 +1,25 @@
+// Model persistence: save a fitted predictor (hyperparameters + scaler +
+// network weights) to a portable text format and load it back, so a
+// predictor tuned once (the expensive part) can be shipped to the serving
+// path — what a production deployment of LoadDynamics would do.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace ld::core {
+
+/// Serialize a trained model. Format: a small self-describing text header
+/// (magic, version, hyperparameters, scaler bounds) followed by the weight
+/// values in full hex-float precision (lossless round-trip).
+void save_model(const TrainedModel& model, std::ostream& out);
+void save_model_file(const TrainedModel& model, const std::string& path);
+
+/// Deserialize. Throws std::runtime_error on format mismatch or corruption.
+[[nodiscard]] std::shared_ptr<TrainedModel> load_model(std::istream& in);
+[[nodiscard]] std::shared_ptr<TrainedModel> load_model_file(const std::string& path);
+
+}  // namespace ld::core

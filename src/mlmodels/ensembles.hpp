@@ -1,0 +1,63 @@
+// Tree-based forecasters of Table II: a single decision tree, bagged random
+// forest, extra-trees, and least-squares gradient boosting. All operate on
+// lag-window features built from the JAR history.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mlmodels/tree.hpp"
+#include "tensor/matrix.hpp"
+#include "timeseries/predictor.hpp"
+
+namespace ld::ml {
+
+enum class EnsembleKind { kDecisionTree, kRandomForest, kExtraTrees, kGradientBoosting };
+
+struct EnsembleConfig {
+  EnsembleKind kind = EnsembleKind::kRandomForest;
+  std::size_t window = 8;           ///< lag features
+  std::size_t n_trees = 30;         ///< ignored for kDecisionTree
+  TreeConfig tree;
+  double learning_rate = 0.1;       ///< gradient boosting shrinkage
+  double subsample = 1.0;           ///< bootstrap fraction (bagging) / row subsample (GB)
+  std::size_t max_train_samples = 2000;  ///< most recent windows kept for training
+  std::uint64_t seed = 42;
+};
+
+class TreeEnsemblePredictor final : public ts::Predictor {
+ public:
+  explicit TreeEnsemblePredictor(EnsembleConfig config);
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<TreeEnsemblePredictor>(*this);
+  }
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Direct tabular interface (used by tests and by non-forecasting users):
+  /// fit on an explicit (X, y) matrix instead of a series.
+  void fit_xy(const tensor::Matrix& x, std::span<const double> y);
+  [[nodiscard]] double predict_features(std::span<const double> features) const;
+
+ private:
+  EnsembleConfig config_;
+  std::vector<RegressionTree> trees_;
+  double base_value_ = 0.0;  // GB initial prediction (target mean)
+  bool fitted_ = false;
+};
+
+/// Convenience factories matching Table II's names.
+[[nodiscard]] EnsembleConfig decision_tree_config(std::size_t window = 8);
+[[nodiscard]] EnsembleConfig random_forest_config(std::size_t window = 8,
+                                                  std::size_t n_trees = 30);
+[[nodiscard]] EnsembleConfig extra_trees_config(std::size_t window = 8,
+                                                std::size_t n_trees = 30);
+[[nodiscard]] EnsembleConfig gradient_boosting_config(std::size_t window = 8,
+                                                      std::size_t n_trees = 50);
+
+}  // namespace ld::ml

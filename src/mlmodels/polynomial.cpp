@@ -1,0 +1,56 @@
+#include "mlmodels/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ld::ml {
+
+PolynomialTrendPredictor::PolynomialTrendPredictor(std::size_t degree, RegressionScope scope,
+                                                   std::size_t local_window)
+    : degree_(degree), scope_(scope), local_window_(local_window) {
+  if (degree_ < 1 || degree_ > 3)
+    throw std::invalid_argument("PolynomialTrendPredictor: degree in [1,3]");
+  if (local_window_ < degree_ + 2)
+    throw std::invalid_argument("PolynomialTrendPredictor: window too small for degree");
+}
+
+double PolynomialTrendPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("PolynomialTrend: empty history");
+  const std::size_t n = scope_ == RegressionScope::kLocal
+                            ? std::min(local_window_, history.size())
+                            : history.size();
+  if (n < degree_ + 2) return history.back();
+  const std::span<const double> data = history.subspan(history.size() - n);
+
+  // Normalize the time axis to [0, 1] so cubic powers stay well-conditioned.
+  tensor::Matrix design(n, degree_ + 1);
+  const double denom = static_cast<double>(n);  // forecast lands at t = 1 + 1/n... use t=(i+1)/n
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i + 1) / denom;
+    double pw = 1.0;
+    for (std::size_t d = 0; d <= degree_; ++d) {
+      design(i, d) = pw;
+      pw *= t;
+    }
+  }
+  const std::vector<double> beta = tensor::lstsq(design, data, 1e-10);
+  const double t_next = static_cast<double>(n + 1) / denom;
+  double pred = 0.0, pw = 1.0;
+  for (std::size_t d = 0; d <= degree_; ++d) {
+    pred += beta[d] * pw;
+    pw *= t_next;
+  }
+  return pred;
+}
+
+std::string PolynomialTrendPredictor::name() const {
+  static const char* kDegreeNames[] = {"", "linear", "quadratic", "cubic"};
+  return std::string(kDegreeNames[degree_]) +
+         (scope_ == RegressionScope::kGlobal ? "_global" : "_local");
+}
+
+}  // namespace ld::ml

@@ -1,0 +1,33 @@
+// Polynomial trend regression (the "Regression" row of Table II): fits
+// J_t = poly(t) of degree 1..3 over either the entire history (global) or a
+// recent window (local), then extrapolates one step ahead.
+#pragma once
+
+#include <vector>
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::ml {
+
+enum class RegressionScope { kGlobal, kLocal };
+
+class PolynomialTrendPredictor final : public ts::Predictor {
+ public:
+  /// degree in [1, 3]; `local_window` used only for kLocal scope.
+  PolynomialTrendPredictor(std::size_t degree, RegressionScope scope,
+                           std::size_t local_window = 24);
+
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<PolynomialTrendPredictor>(*this);
+  }
+
+ private:
+  std::size_t degree_;
+  RegressionScope scope_;
+  std::size_t local_window_;
+};
+
+}  // namespace ld::ml

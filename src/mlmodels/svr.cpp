@@ -1,0 +1,132 @@
+#include "mlmodels/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::ml {
+
+SvrPredictor::SvrPredictor(SvrConfig config) : config_(config) {
+  if (config_.window == 0) throw std::invalid_argument("SvrPredictor: window > 0");
+  if (config_.c <= 0.0 || config_.epsilon < 0.0)
+    throw std::invalid_argument("SvrPredictor: need C > 0, epsilon >= 0");
+}
+
+double SvrPredictor::kernel(std::span<const double> a, std::span<const double> b) const {
+  double k;
+  if (config_.kernel == SvrKernel::kLinear) {
+    k = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) k += a[i] * b[i];
+  } else {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sq += d * d;
+    }
+    k = std::exp(-config_.gamma * sq);
+  }
+  return k + 1.0;  // implicit bias term
+}
+
+void SvrPredictor::standardize(std::span<double> x) const {
+  for (double& v : x) v = (v - x_mean_) / x_scale_;
+}
+
+void SvrPredictor::fit(std::span<const double> history) {
+  const std::size_t w = config_.window;
+  if (history.size() < w + 4) {
+    fitted_ = false;
+    return;
+  }
+  std::size_t rows = history.size() - w;
+  std::size_t first = 0;
+  if (rows > config_.max_train_samples) {
+    first = rows - config_.max_train_samples;
+    rows = config_.max_train_samples;
+  }
+
+  // Shared standardization for lag features and targets (same units).
+  double sum = 0.0, sq = 0.0;
+  for (const double v : history) {
+    sum += v;
+    sq += v * v;
+  }
+  const double n = static_cast<double>(history.size());
+  x_mean_ = sum / n;
+  const double var = std::max(sq / n - x_mean_ * x_mean_, 1e-12);
+  x_scale_ = std::sqrt(var);
+  y_mean_ = x_mean_;
+  y_scale_ = x_scale_;
+
+  support_x_ = tensor::Matrix(rows, w);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = first + r;
+    for (std::size_t j = 0; j < w; ++j)
+      support_x_(r, j) = (history[t + j] - x_mean_) / x_scale_;
+    y[r] = (history[t + w] - y_mean_) / y_scale_;
+  }
+
+  // Precompute the (bias-augmented) kernel matrix.
+  tensor::Matrix k(rows, rows);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(support_x_.row(i), support_x_.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+
+  // Dual coordinate descent with soft-thresholding:
+  //   beta_i <- clip(soft(y_i - r_i, eps) / K_ii, [-C, C])
+  // where r_i = f(x_i) - K_ii beta_i.
+  beta_.assign(rows, 0.0);
+  std::vector<double> f(rows, 0.0);  // current decision values
+  for (std::size_t pass = 0; pass < config_.max_passes; ++pass) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double kii = std::max(k(i, i), 1e-12);
+      const double r = f[i] - kii * beta_[i];
+      const double target = y[i] - r;
+      double nb;
+      if (target > config_.epsilon) {
+        nb = (target - config_.epsilon) / kii;
+      } else if (target < -config_.epsilon) {
+        nb = (target + config_.epsilon) / kii;
+      } else {
+        nb = 0.0;
+      }
+      nb = std::clamp(nb, -config_.c, config_.c);
+      const double delta = nb - beta_[i];
+      if (delta != 0.0) {
+        beta_[i] = nb;
+        for (std::size_t j = 0; j < rows; ++j) f[j] += delta * k(i, j);
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < config_.tolerance) break;
+  }
+  fitted_ = true;
+}
+
+double SvrPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("SvrPredictor: empty history");
+  if (!fitted_ || history.size() < config_.window) return history.back();
+  std::vector<double> q(history.end() - static_cast<std::ptrdiff_t>(config_.window),
+                        history.end());
+  standardize(q);
+  double f = 0.0;
+  for (std::size_t i = 0; i < beta_.size(); ++i) {
+    if (beta_[i] == 0.0) continue;
+    f += beta_[i] * kernel(support_x_.row(i), q);
+  }
+  return f * y_scale_ + y_mean_;
+}
+
+std::size_t SvrPredictor::support_vector_count() const {
+  std::size_t count = 0;
+  for (const double b : beta_)
+    if (b != 0.0) ++count;
+  return count;
+}
+
+}  // namespace ld::ml

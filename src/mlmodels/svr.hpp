@@ -1,0 +1,58 @@
+// Epsilon-insensitive Support Vector Regression on lag-window features
+// (Table II lists linear and Gaussian SVMs).
+//
+// Trained by dual coordinate descent on beta_i = alpha_i - alpha_i^* with an
+// implicit bias (kernel + 1), soft-thresholded closed-form updates, box
+// constraint |beta_i| <= C. Features are the previous `window` JARs,
+// standardized with training statistics.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "timeseries/predictor.hpp"
+
+namespace ld::ml {
+
+enum class SvrKernel { kLinear, kRbf };
+
+struct SvrConfig {
+  SvrKernel kernel = SvrKernel::kRbf;
+  std::size_t window = 8;     ///< number of lag features
+  double c = 1.0;             ///< box constraint
+  double epsilon = 0.1;       ///< insensitive tube (in standardized units)
+  double gamma = 0.5;         ///< RBF width (1 / (2 sigma^2) form)
+  std::size_t max_passes = 100;
+  double tolerance = 1e-4;
+  std::size_t max_train_samples = 600;  ///< cap the kernel matrix (most recent rows)
+};
+
+class SvrPredictor final : public ts::Predictor {
+ public:
+  explicit SvrPredictor(SvrConfig config = {});
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override {
+    return config_.kernel == SvrKernel::kLinear ? "svr_linear" : "svr_rbf";
+  }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<SvrPredictor>(*this);
+  }
+
+  /// Number of support vectors (|beta| > 0) after fit; exposed for tests.
+  [[nodiscard]] std::size_t support_vector_count() const;
+
+ private:
+  [[nodiscard]] double kernel(std::span<const double> a, std::span<const double> b) const;
+  void standardize(std::span<double> x) const;
+
+  SvrConfig config_;
+  tensor::Matrix support_x_;       // training features (standardized)
+  std::vector<double> beta_;       // dual coefficients
+  double x_mean_ = 0.0, x_scale_ = 1.0;  // feature standardization (shared: lag values)
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ld::ml

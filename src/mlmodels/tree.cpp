@@ -1,0 +1,154 @@
+#include "mlmodels/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ld::ml {
+
+namespace {
+struct SplitChoice {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // weighted SSE
+};
+
+double subset_mean(std::span<const double> y, std::span<const std::size_t> rows,
+                   std::size_t begin, std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[rows[i]];
+  return sum / static_cast<double>(end - begin);
+}
+}  // namespace
+
+void RegressionTree::fit(const tensor::Matrix& x, std::span<const double> y,
+                         std::span<const std::size_t> rows, const TreeConfig& config, Rng& rng) {
+  if (rows.empty()) throw std::invalid_argument("RegressionTree::fit: no samples");
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  (void)build(x, y, work, 0, work.size(), 0, config, rng);
+}
+
+int RegressionTree::build(const tensor::Matrix& x, std::span<const double> y,
+                          std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+                          std::size_t depth, const TreeConfig& config, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t count = end - begin;
+  const double node_mean = subset_mean(y, rows, begin, end);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back({.left = -1, .right = -1, .feature = -1, .threshold = 0.0, .value = node_mean});
+
+  if (depth >= config.max_depth || count < config.min_samples_split) return node_index;
+
+  // Check purity: constant targets need no split.
+  bool constant = true;
+  for (std::size_t i = begin + 1; i < end && constant; ++i)
+    constant = y[rows[i]] == y[rows[begin]];
+  if (constant) return node_index;
+
+  const std::size_t n_features = x.cols();
+  std::vector<std::size_t> features;
+  if (config.feature_subset == 0 || config.feature_subset >= n_features) {
+    features.resize(n_features);
+    for (std::size_t f = 0; f < n_features; ++f) features[f] = f;
+  } else {
+    // Sample without replacement.
+    std::vector<std::size_t> all(n_features);
+    for (std::size_t f = 0; f < n_features; ++f) all[f] = f;
+    for (std::size_t k = 0; k < config.feature_subset; ++k) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<long long>(k), static_cast<long long>(n_features) - 1));
+      std::swap(all[k], all[j]);
+    }
+    features.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(config.feature_subset));
+  }
+
+  SplitChoice best;
+  std::vector<std::pair<double, double>> fv;  // (feature value, target)
+  fv.reserve(count);
+
+  for (const std::size_t f : features) {
+    fv.clear();
+    for (std::size_t i = begin; i < end; ++i) fv.emplace_back(x(rows[i], f), y[rows[i]]);
+
+    if (config.random_thresholds) {
+      auto [lo_it, hi_it] = std::minmax_element(
+          fv.begin(), fv.end(), [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (lo_it->first == hi_it->first) continue;
+      const double thr = rng.uniform(lo_it->first, hi_it->first);
+      double lsum = 0.0, lsq = 0.0, rsum = 0.0, rsq = 0.0;
+      std::size_t ln = 0, rn = 0;
+      for (const auto& [v, t] : fv) {
+        if (v <= thr) {
+          lsum += t;
+          lsq += t * t;
+          ++ln;
+        } else {
+          rsum += t;
+          rsq += t * t;
+          ++rn;
+        }
+      }
+      if (ln < config.min_samples_leaf || rn < config.min_samples_leaf) continue;
+      const double sse = (lsq - lsum * lsum / static_cast<double>(ln)) +
+                         (rsq - rsum * rsum / static_cast<double>(rn));
+      if (sse < best.score) best = {static_cast<int>(f), thr, sse};
+    } else {
+      std::sort(fv.begin(), fv.end());
+      // Prefix sums enable O(1) SSE at every cut point.
+      double total_sum = 0.0, total_sq = 0.0;
+      for (const auto& [v, t] : fv) {
+        total_sum += t;
+        total_sq += t * t;
+      }
+      double lsum = 0.0, lsq = 0.0;
+      for (std::size_t i = 0; i + 1 < fv.size(); ++i) {
+        lsum += fv[i].second;
+        lsq += fv[i].second * fv[i].second;
+        if (fv[i].first == fv[i + 1].first) continue;  // no cut between equal values
+        const std::size_t ln = i + 1, rn = fv.size() - ln;
+        if (ln < config.min_samples_leaf || rn < config.min_samples_leaf) continue;
+        const double rsum = total_sum - lsum, rsq = total_sq - lsq;
+        const double sse = (lsq - lsum * lsum / static_cast<double>(ln)) +
+                           (rsq - rsum * rsum / static_cast<double>(rn));
+        if (sse < best.score) {
+          best = {static_cast<int>(f), 0.5 * (fv[i].first + fv[i + 1].first), sse};
+        }
+      }
+    }
+  }
+
+  if (best.feature < 0) return node_index;  // no valid split found
+
+  // Partition rows in place around the chosen split.
+  auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return x(r, static_cast<std::size_t>(best.feature)) <= best.threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return node_index;  // degenerate (ties)
+
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  const int left = build(x, y, rows, begin, mid, depth + 1, config, rng);
+  const int right = build(x, y, rows, mid, end, depth + 1, config, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) throw std::logic_error("RegressionTree::predict before fit");
+  int idx = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.left < 0) return node.value;
+    idx = features[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                             : node.right;
+  }
+}
+
+}  // namespace ld::ml

@@ -1,0 +1,60 @@
+// CART regression tree on lag-window features, with the knobs needed to
+// derive all three tree ensembles of Table II (decision tree, random forest,
+// extra trees, and the weak learners inside gradient boosting).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace ld::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 8;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features examined per split: 0 = all (plain CART); k>0 = random subset
+  /// of size min(k, n_features) (random forest style).
+  std::size_t feature_subset = 0;
+  /// Extra-trees style: draw one random threshold per candidate feature
+  /// instead of scanning every cut point.
+  bool random_thresholds = false;
+};
+
+/// A fitted regression tree (flattened node array).
+class RegressionTree {
+ public:
+  RegressionTree() = default;
+
+  /// Fit on rows of x (N x D) against y (N), using sample indices `rows`.
+  void fit(const tensor::Matrix& x, std::span<const double> y,
+           std::span<const std::size_t> rows, const TreeConfig& config, Rng& rng);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] bool fitted() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  struct Node {
+    // Leaf iff left == -1.
+    int left = -1;
+    int right = -1;
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+  };
+
+  int build(const tensor::Matrix& x, std::span<const double> y, std::vector<std::size_t>& rows,
+            std::size_t begin, std::size_t end, std::size_t depth, const TreeConfig& config,
+            Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace ld::ml

@@ -1,0 +1,23 @@
+#include "nn/activation.hpp"
+
+#include <stdexcept>
+
+namespace ld::nn {
+
+std::string activation_name(Activation activation) {
+  switch (activation) {
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kSoftsign: return "softsign";
+  }
+  return "?";
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "softsign") return Activation::kSoftsign;
+  throw std::invalid_argument("unknown activation '" + name + "'");
+}
+
+}  // namespace ld::nn

@@ -1,0 +1,48 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::nn {
+
+Adam::Adam(AdamConfig config) : config_(config) {
+  if (config_.learning_rate <= 0.0) throw std::invalid_argument("Adam: learning_rate <= 0");
+  if (config_.beta1 < 0.0 || config_.beta1 >= 1.0 || config_.beta2 < 0.0 || config_.beta2 >= 1.0)
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+}
+
+void Adam::attach(std::span<double> params, std::span<double> grads) {
+  if (params.size() != grads.size()) throw std::invalid_argument("Adam: param/grad size mismatch");
+  slots_.push_back({params, grads, std::vector<double>(params.size(), 0.0),
+                    std::vector<double>(params.size(), 0.0)});
+}
+
+double Adam::clip_gradients(double max_norm) {
+  double sq = 0.0;
+  for (const Slot& slot : slots_)
+    for (const double g : slot.grads) sq += g * g;
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Slot& slot : slots_)
+      for (double& g : slot.grads) g *= scale;
+  }
+  return norm;
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+  const double lr = config_.learning_rate * std::sqrt(bc2) / bc1;
+  for (Slot& slot : slots_) {
+    for (std::size_t i = 0; i < slot.params.size(); ++i) {
+      const double g = slot.grads[i];
+      slot.m[i] = config_.beta1 * slot.m[i] + (1.0 - config_.beta1) * g;
+      slot.v[i] = config_.beta2 * slot.v[i] + (1.0 - config_.beta2) * g * g;
+      slot.params[i] -= lr * slot.m[i] / (std::sqrt(slot.v[i]) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace ld::nn

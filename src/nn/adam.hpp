@@ -1,0 +1,49 @@
+// Adam optimizer (Kingma & Ba, 2015) — the optimizer the paper trains with.
+//
+// Operates on a registry of parameter/gradient span pairs so it works with
+// any collection of layers without copying weights into a single buffer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ld::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {});
+
+  /// Register a parameter tensor and its gradient buffer (same length).
+  /// Spans must stay valid for the optimizer's lifetime.
+  void attach(std::span<double> params, std::span<double> grads);
+
+  /// Apply one Adam update using the currently-accumulated gradients.
+  void step();
+
+  /// Global L2 gradient-norm clipping (applied by callers before step()).
+  /// Returns the pre-clip norm.
+  double clip_gradients(double max_norm);
+
+  [[nodiscard]] const AdamConfig& config() const noexcept { return config_; }
+  [[nodiscard]] long steps_taken() const noexcept { return t_; }
+
+ private:
+  struct Slot {
+    std::span<double> params;
+    std::span<double> grads;
+    std::vector<double> m;  // first moment
+    std::vector<double> v;  // second moment
+  };
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+  long t_ = 0;
+};
+
+}  // namespace ld::nn

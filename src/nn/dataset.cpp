@@ -1,0 +1,37 @@
+#include "nn/dataset.hpp"
+
+#include <stdexcept>
+
+namespace ld::nn {
+
+SlidingWindowDataset::SlidingWindowDataset(std::span<const double> series, std::size_t window)
+    : series_(series.begin(), series.end()), window_(window) {
+  if (window_ == 0) throw std::invalid_argument("SlidingWindowDataset: window must be > 0");
+  if (series_.size() < window_ + 1)
+    throw std::invalid_argument("SlidingWindowDataset: series shorter than window + 1");
+  count_ = series_.size() - window_;
+}
+
+std::span<const double> SlidingWindowDataset::input(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("SlidingWindowDataset: sample index");
+  return {series_.data() + i, window_};
+}
+
+double SlidingWindowDataset::target(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("SlidingWindowDataset: sample index");
+  return series_[i + window_];
+}
+
+void SlidingWindowDataset::gather(std::span<const std::size_t> indices, tensor::Matrix& x,
+                                  std::vector<double>& y) const {
+  const std::size_t b = indices.size();
+  if (x.rows() != b || x.cols() != window_) x = tensor::Matrix(b, window_);
+  y.resize(b);
+  for (std::size_t r = 0; r < b; ++r) {
+    const auto in = input(indices[r]);
+    for (std::size_t c = 0; c < window_; ++c) x(r, c) = in[c];
+    y[r] = target(indices[r]);
+  }
+}
+
+}  // namespace ld::nn

@@ -1,0 +1,39 @@
+// Sliding-window supervised dataset (Eq. 1 of the paper).
+//
+// From a scalar series J_1..J_T, builds samples (x, y) where
+//   x = <J_{i-n}, ..., J_{i-1}>  and  y = J_i
+// for every i with a full window of history. A batch is materialized as a
+// (B x n) matrix of inputs plus a B-vector of targets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace ld::nn {
+
+class SlidingWindowDataset {
+ public:
+  /// `series` must contain at least `window + 1` points.
+  SlidingWindowDataset(std::span<const double> series, std::size_t window);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+  /// Input window for sample i (length `window`).
+  [[nodiscard]] std::span<const double> input(std::size_t i) const;
+  /// Target J value for sample i.
+  [[nodiscard]] double target(std::size_t i) const;
+
+  /// Materialize a batch from sample indices: X is (indices.size() x window).
+  void gather(std::span<const std::size_t> indices, tensor::Matrix& x,
+              std::vector<double>& y) const;
+
+ private:
+  std::vector<double> series_;
+  std::size_t window_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ld::nn

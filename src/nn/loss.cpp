@@ -1,0 +1,74 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::nn {
+
+double compute_loss(Loss loss, std::span<const double> predictions,
+                    std::span<const double> targets, std::span<double> grad,
+                    double huber_delta, double pinball_tau) {
+  if (predictions.size() != targets.size() || predictions.size() != grad.size())
+    throw std::invalid_argument("compute_loss: size mismatch");
+  if (predictions.empty()) throw std::invalid_argument("compute_loss: empty batch");
+  if (pinball_tau <= 0.0 || pinball_tau >= 1.0)
+    throw std::invalid_argument("compute_loss: pinball_tau in (0,1)");
+  const double n = static_cast<double>(predictions.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double err = predictions[i] - targets[i];
+    switch (loss) {
+      case Loss::kMse:
+        total += err * err;
+        grad[i] = 2.0 * err / n;
+        break;
+      case Loss::kMae:
+        total += std::abs(err);
+        grad[i] = (err > 0.0 ? 1.0 : err < 0.0 ? -1.0 : 0.0) / n;
+        break;
+      case Loss::kHuber: {
+        const double a = std::abs(err);
+        if (a <= huber_delta) {
+          total += 0.5 * err * err;
+          grad[i] = err / n;
+        } else {
+          total += huber_delta * (a - 0.5 * huber_delta);
+          grad[i] = (err > 0.0 ? huber_delta : -huber_delta) / n;
+        }
+        break;
+      }
+      case Loss::kPinball: {
+        // err = pred - target; under-prediction costs tau, over costs 1-tau.
+        if (err < 0.0) {
+          total += -pinball_tau * err;
+          grad[i] = -pinball_tau / n;
+        } else {
+          total += (1.0 - pinball_tau) * err;
+          grad[i] = (1.0 - pinball_tau) / n;
+        }
+        break;
+      }
+    }
+  }
+  return total / n;
+}
+
+std::string loss_name(Loss loss) {
+  switch (loss) {
+    case Loss::kMse: return "mse";
+    case Loss::kMae: return "mae";
+    case Loss::kHuber: return "huber";
+    case Loss::kPinball: return "pinball";
+  }
+  return "?";
+}
+
+Loss loss_from_name(const std::string& name) {
+  if (name == "mse") return Loss::kMse;
+  if (name == "mae") return Loss::kMae;
+  if (name == "huber") return Loss::kHuber;
+  if (name == "pinball") return Loss::kPinball;
+  throw std::invalid_argument("unknown loss '" + name + "'");
+}
+
+}  // namespace ld::nn

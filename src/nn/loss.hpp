@@ -1,0 +1,32 @@
+// Selectable regression losses for LSTM training. The paper trains with MSE
+// (Section IV-A) and notes in Section V that other loss functions are
+// plausible tuning targets; MAE and Huber make the predictor robust to
+// burst outliers in the training window.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace ld::nn {
+
+enum class Loss { kMse, kMae, kHuber, kPinball };
+
+/// Mean loss over a batch plus the gradient dL/dpred (already divided by the
+/// batch size so the caller can pass it straight to backward()).
+struct LossResult {
+  double value = 0.0;
+};
+
+/// Computes loss value and writes per-sample gradients into `grad`.
+/// `huber_delta` only matters for kHuber (in the scaled target space);
+/// `pinball_tau` only for kPinball — the quantile being estimated (e.g. 0.9
+/// makes the model forecast the P90 of the next JAR, which an auto-scaler
+/// can provision against directly instead of adding ad-hoc headroom).
+[[nodiscard]] double compute_loss(Loss loss, std::span<const double> predictions,
+                                  std::span<const double> targets, std::span<double> grad,
+                                  double huber_delta = 0.1, double pinball_tau = 0.5);
+
+[[nodiscard]] std::string loss_name(Loss loss);
+[[nodiscard]] Loss loss_from_name(const std::string& name);
+
+}  // namespace ld::nn

@@ -1,0 +1,53 @@
+#include "nn/scaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ld::nn {
+
+void MinMaxScaler::fit(std::span<const double> data) {
+  if (data.empty()) throw std::invalid_argument("MinMaxScaler: empty data");
+  const auto [lo, hi] = std::minmax_element(data.begin(), data.end());
+  min_ = *lo;
+  max_ = *hi;
+  range_ = max_ - min_;
+  if (range_ <= 0.0) range_ = 1.0;  // constant series: map everything to 0
+  fitted_ = true;
+}
+
+MinMaxScaler MinMaxScaler::from_bounds(double min, double max) {
+  if (!(min <= max)) throw std::invalid_argument("MinMaxScaler: min > max");
+  MinMaxScaler s;
+  s.min_ = min;
+  s.max_ = max;
+  s.range_ = max - min;
+  if (s.range_ <= 0.0) s.range_ = 1.0;
+  s.fitted_ = true;
+  return s;
+}
+
+double MinMaxScaler::transform(double value) const {
+  if (!fitted_) throw std::logic_error("MinMaxScaler: transform before fit");
+  return (value - min_) / range_;
+}
+
+std::vector<double> MinMaxScaler::transform(std::span<const double> values) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) out.push_back(transform(v));
+  return out;
+}
+
+double MinMaxScaler::inverse(double scaled) const {
+  if (!fitted_) throw std::logic_error("MinMaxScaler: inverse before fit");
+  return scaled * range_ + min_;
+}
+
+std::vector<double> MinMaxScaler::inverse(std::span<const double> scaled) const {
+  std::vector<double> out;
+  out.reserve(scaled.size());
+  for (const double v : scaled) out.push_back(inverse(v));
+  return out;
+}
+
+}  // namespace ld::nn

@@ -1,0 +1,39 @@
+// Min-max feature scaling.
+//
+// LSTM training is numerically hostile to raw JAR magnitudes (Wikipedia
+// intervals hold millions of requests); inputs are scaled to [0, 1] using
+// statistics of the *training* split only, mirroring the paper's pipeline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ld::nn {
+
+class MinMaxScaler {
+ public:
+  /// Learn min/max from data. Throws std::invalid_argument on empty input.
+  void fit(std::span<const double> data);
+
+  /// Reconstruct a fitted scaler from stored bounds (model deserialization).
+  [[nodiscard]] static MinMaxScaler from_bounds(double min, double max);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Map value into [0,1] (values outside the fitted range extrapolate
+  /// linearly, which keeps the transform invertible).
+  [[nodiscard]] double transform(double value) const;
+  [[nodiscard]] std::vector<double> transform(std::span<const double> values) const;
+
+  /// Inverse map back to the original scale.
+  [[nodiscard]] double inverse(double scaled) const;
+  [[nodiscard]] std::vector<double> inverse(std::span<const double> scaled) const;
+
+ private:
+  double min_ = 0.0, max_ = 1.0, range_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ld::nn

@@ -1,0 +1,130 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ld::nn {
+
+TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
+                  const SlidingWindowDataset* validation, const TrainerConfig& config,
+                  std::uint64_t shuffle_seed) {
+  if (config.batch_size == 0 || config.max_epochs == 0)
+    throw std::invalid_argument("Trainer: batch_size and max_epochs must be > 0");
+
+  Adam adam({.learning_rate = config.learning_rate});
+  {
+    auto params = network.parameters();
+    auto grads = network.gradients();
+    for (std::size_t i = 0; i < params.size(); ++i) adam.attach(params[i], grads[i]);
+  }
+
+  Rng rng(shuffle_seed);
+  TrainResult result;
+  result.best_validation_loss = std::numeric_limits<double>::infinity();
+  std::vector<double> best_weights;
+
+  tensor::Matrix x;
+  std::vector<double> y, dy;
+
+  std::size_t epoch_budget = config.max_epochs;
+  if (config.min_updates > 0) {
+    const std::size_t updates_per_epoch =
+        (train.size() + config.batch_size - 1) / config.batch_size;
+    const std::size_t needed =
+        (config.min_updates + updates_per_epoch - 1) / updates_per_epoch;
+    epoch_budget = std::min(std::max(epoch_budget, needed), 10 * config.max_epochs);
+  }
+
+  for (std::size_t epoch = 0; epoch < epoch_budget; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(train.size());
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+
+    network.set_training(true);
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t count = std::min(config.batch_size, order.size() - start);
+      const std::span<const std::size_t> batch(order.data() + start, count);
+      train.gather(batch, x, y);
+
+      const std::vector<double> pred = network.forward(x);
+      dy.resize(count);
+      const double loss =
+          compute_loss(config.loss, pred, y, dy, config.huber_delta, config.pinball_tau);
+      epoch_loss += loss * static_cast<double>(count);
+      seen += count;
+
+      network.zero_grad();
+      network.backward(dy);
+      adam.clip_gradients(config.grad_clip_norm);
+      adam.step();
+    }
+    network.set_training(false);
+    result.train_losses.push_back(epoch_loss / static_cast<double>(seen));
+    ++result.epochs_run;
+
+    if (validation != nullptr) {
+      const double val = evaluate_mse(network, *validation);
+      result.validation_losses.push_back(val);
+      const double threshold =
+          result.best_validation_loss * (1.0 - config.min_improvement);
+      if (val < threshold) {
+        result.best_validation_loss = val;
+        result.best_epoch = epoch;
+        best_weights = network.save_weights();
+      } else if (epoch - result.best_epoch >= config.patience) {
+        break;  // early stop
+      }
+    }
+  }
+
+  if (validation != nullptr && !best_weights.empty()) {
+    network.load_weights(best_weights);
+  } else if (validation == nullptr) {
+    result.best_validation_loss = result.train_losses.back();
+    result.best_epoch = result.epochs_run - 1;
+  }
+  return result;
+}
+
+double evaluate_mse(LstmNetwork& network, const SlidingWindowDataset& data,
+                    std::size_t batch_size) {
+  tensor::Matrix x;
+  std::vector<double> y;
+  std::vector<std::size_t> idx;
+  double total = 0.0;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, data.size() - start);
+    idx.resize(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    data.gather(idx, x, y);
+    const std::vector<double> pred = network.forward(x);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double err = pred[i] - y[i];
+      total += err * err;
+    }
+  }
+  return total / static_cast<double>(data.size());
+}
+
+std::vector<double> predict_all(LstmNetwork& network, const SlidingWindowDataset& data,
+                                std::size_t batch_size) {
+  tensor::Matrix x;
+  std::vector<double> y;
+  std::vector<std::size_t> idx;
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, data.size() - start);
+    idx.resize(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    data.gather(idx, x, y);
+    const std::vector<double> pred = network.forward(x);
+    out.insert(out.end(), pred.begin(), pred.end());
+  }
+  return out;
+}
+
+}  // namespace ld::nn

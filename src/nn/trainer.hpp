@@ -1,0 +1,58 @@
+// Mini-batch trainer: MSE loss + Adam + gradient clipping + early stopping,
+// matching the training recipe described in Section IV-A of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+
+namespace ld::nn {
+
+struct TrainerConfig {
+  std::size_t batch_size = 64;
+  std::size_t max_epochs = 30;
+  std::size_t patience = 5;        ///< early-stop after this many non-improving epochs
+  double learning_rate = 1e-3;
+  double grad_clip_norm = 5.0;     ///< guards against LSTM exploding gradients
+  double min_improvement = 1e-6;   ///< relative improvement to reset patience
+  Loss loss = Loss::kMse;          ///< training loss (paper: MSE; Section V extension)
+  double huber_delta = 0.1;        ///< Huber threshold in scaled-target units
+  double pinball_tau = 0.5;        ///< quantile for Loss::kPinball
+  /// When > 0, raise the epoch budget so at least this many optimizer steps
+  /// happen (short traces like Facebook's one-day trace otherwise see only a
+  /// handful of updates). Capped at 10x max_epochs; early stopping still
+  /// applies.
+  std::size_t min_updates = 0;
+};
+
+struct TrainResult {
+  std::vector<double> train_losses;      ///< per-epoch mean MSE on training data
+  std::vector<double> validation_losses; ///< per-epoch MSE on the validation set
+  double best_validation_loss = 0.0;
+  std::size_t best_epoch = 0;
+  std::size_t epochs_run = 0;
+};
+
+/// Trains `network` on `train` (inputs already scaled by the caller), using
+/// `validation` for early stopping. On return the network holds the weights
+/// of the best validation epoch. If `validation` is null, trains for the
+/// full epoch budget and keeps the final weights.
+TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
+                  const SlidingWindowDataset* validation, const TrainerConfig& config,
+                  std::uint64_t shuffle_seed);
+
+/// Mean squared error of the network over an entire dataset.
+[[nodiscard]] double evaluate_mse(LstmNetwork& network, const SlidingWindowDataset& data,
+                                  std::size_t batch_size = 256);
+
+/// Predictions (in the network's scaled space) for every sample in order.
+[[nodiscard]] std::vector<double> predict_all(LstmNetwork& network,
+                                              const SlidingWindowDataset& data,
+                                              std::size_t batch_size = 256);
+
+}  // namespace ld::nn

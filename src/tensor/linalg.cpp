@@ -1,0 +1,125 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::tensor {
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag))
+      throw std::domain_error("cholesky: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const Matrix& l, std::span<const double> b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> solve_lower_transpose(const Matrix& l, std::span<const double> y) {
+  const std::size_t n = l.rows();
+  if (y.size() != n) throw std::invalid_argument("solve_lower_transpose: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+  const Matrix l = cholesky(a);
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+std::vector<double> solve_lu(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve_lu: size mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::domain_error("solve_lu: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> lstsq(const Matrix& a, std::span<const double> b, double ridge) {
+  if (a.rows() != b.size()) throw std::invalid_argument("lstsq: size mismatch");
+  const std::size_t p = a.cols();
+  Matrix ata(p, p);
+  matmul_at_b_into(a, a, ata);
+  // Scale the ridge by the mean diagonal so conditioning is size-invariant.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < p; ++i) trace += ata(i, i);
+  const double lambda = ridge * (trace / static_cast<double>(p) + 1.0);
+  for (std::size_t i = 0; i < p; ++i) ata(i, i) += lambda;
+  std::vector<double> atb(p, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double br = b[r];
+    const double* arow = a.data() + r * p;
+    for (std::size_t c = 0; c < p; ++c) atb[c] += arow[c] * br;
+  }
+  try {
+    return solve_spd(ata, atb);
+  } catch (const std::domain_error&) {
+    return solve_lu(std::move(ata), std::move(atb));
+  }
+}
+
+double logdet_from_cholesky(const Matrix& l) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) sum += std::log(l(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace ld::tensor

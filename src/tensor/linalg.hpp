@@ -1,0 +1,39 @@
+// Higher-level dense linear algebra: Cholesky for SPD systems (the Gaussian
+// process), LU with partial pivoting for general systems (ARMA/regression
+// normal equations fall back here when ill-conditioned), and least squares.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace ld::tensor {
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+/// Throws std::domain_error when the matrix is not positive definite.
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solve L * y = b where L is lower triangular (forward substitution).
+[[nodiscard]] std::vector<double> solve_lower(const Matrix& l, std::span<const double> b);
+
+/// Solve L^T * x = y where L is lower triangular (back substitution).
+[[nodiscard]] std::vector<double> solve_lower_transpose(const Matrix& l,
+                                                        std::span<const double> y);
+
+/// Solve A * x = b for SPD A via Cholesky.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Solve A * x = b with LU + partial pivoting; throws std::domain_error if
+/// A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_lu(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares: argmin_x ||A x - b||_2 via normal equations with
+/// a tiny ridge for numerical stability.
+[[nodiscard]] std::vector<double> lstsq(const Matrix& a, std::span<const double> b,
+                                        double ridge = 1e-10);
+
+/// log(det(A)) for SPD A given its Cholesky factor L: 2 * sum(log(L_ii)).
+[[nodiscard]] double logdet_from_cholesky(const Matrix& l);
+
+}  // namespace ld::tensor

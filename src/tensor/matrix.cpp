@@ -1,0 +1,158 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+void Matrix::fill(double value) noexcept {
+  for (double& v : data_) v = value;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+
+namespace {
+// i-k-j loop order keeps the inner loop streaming over contiguous rows of B
+// and C; good enough for the few-hundred-wide matrices in this project.
+void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+          std::size_t n) {
+#pragma omp parallel for if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    const double* arow = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_into(a, b, c, /*accumulate=*/true);  // c starts zeroed
+  return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  if (c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("matmul: output shape mismatch");
+  if (!accumulate) c.fill(0.0);
+  gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+}
+
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b: dim mismatch");
+  if (c.rows() != a.cols() || c.cols() != b.cols())
+    throw std::invalid_argument("matmul_at_b: output shape mismatch");
+  if (!accumulate) c.fill(0.0);
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  // C[i][j] += sum_p A[p][i] * B[p][j]; outer loop over p streams A and B rows.
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.data() + p * m;
+    const double* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt: dim mismatch");
+  if (c.rows() != a.rows() || c.cols() != b.rows())
+    throw std::invalid_argument("matmul_a_bt: output shape mismatch");
+  if (!accumulate) c.fill(0.0);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+#pragma omp parallel for if (m * n * k > 1u << 16)
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.data() + i * k;
+    double* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.data() + j * k;
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] += sum;
+    }
+  }
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: dim mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * a.cols();
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += arow[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace ld::tensor

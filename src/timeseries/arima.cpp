@@ -1,0 +1,174 @@
+#include "timeseries/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/matrix.hpp"
+#include "timeseries/stats.hpp"
+
+namespace ld::ts {
+
+namespace {
+/// OLS of y on the given lag design; returns {intercept, coef...}.
+/// Rows: t in [max_lag, n); predictors built by `fill_row`.
+template <typename FillRow>
+std::vector<double> ols_fit(std::size_t rows, std::size_t cols, FillRow&& fill_row,
+                            std::span<const double> targets) {
+  tensor::Matrix design(rows, cols + 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    design(r, 0) = 1.0;  // intercept
+    fill_row(r, design.row(r).subspan(1));
+  }
+  return tensor::lstsq(design, targets, 1e-8);
+}
+}  // namespace
+
+ArPredictor::ArPredictor(std::size_t p) : p_(p) {
+  if (p_ == 0) throw std::invalid_argument("ArPredictor: p must be > 0");
+}
+
+void ArPredictor::fit(std::span<const double> history) {
+  if (history.size() < p_ + 2) {
+    fitted_ = false;  // too short: predict_next falls back to last value
+    return;
+  }
+  const std::size_t rows = history.size() - p_;
+  std::vector<double> targets(rows);
+  for (std::size_t r = 0; r < rows; ++r) targets[r] = history[p_ + r];
+  const std::vector<double> beta = ols_fit(
+      rows, p_,
+      [&](std::size_t r, std::span<double> row) {
+        for (std::size_t j = 0; j < p_; ++j) row[j] = history[p_ + r - 1 - j];
+      },
+      targets);
+  intercept_ = beta[0];
+  phi_.assign(beta.begin() + 1, beta.end());
+  fitted_ = true;
+}
+
+double ArPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("ArPredictor: empty history");
+  if (!fitted_ || history.size() < p_) return history.back();
+  double pred = intercept_;
+  for (std::size_t j = 0; j < p_; ++j) pred += phi_[j] * history[history.size() - 1 - j];
+  return pred;
+}
+
+ArmaPredictor::ArmaPredictor(std::size_t p, std::size_t q) : p_(p), q_(q) {
+  if (p_ == 0 && q_ == 0) throw std::invalid_argument("ArmaPredictor: p + q must be > 0");
+}
+
+void ArmaPredictor::fit(std::span<const double> history) {
+  const std::size_t long_p = std::min<std::size_t>(
+      std::max<std::size_t>(2 * (p_ + q_), 4), history.size() / 4);
+  if (history.size() < std::max(p_, q_) + long_p + 4 || long_p == 0) {
+    fitted_ = false;
+    return;
+  }
+  // Stage 1: long AR to estimate the innovation sequence.
+  ArPredictor long_ar(long_p);
+  long_ar.fit(history);
+  std::vector<double> eps(history.size(), 0.0);
+  for (std::size_t t = long_p; t < history.size(); ++t) {
+    double pred = long_ar.intercept();
+    for (std::size_t j = 0; j < long_p; ++j)
+      pred += long_ar.coefficients()[j] * history[t - 1 - j];
+    eps[t] = history[t] - pred;
+  }
+  // Stage 2: OLS of x_t on p lags of x and q lags of eps.
+  const std::size_t start = std::max(p_, q_) + long_p;
+  const std::size_t rows = history.size() - start;
+  std::vector<double> targets(rows);
+  for (std::size_t r = 0; r < rows; ++r) targets[r] = history[start + r];
+  const std::vector<double> beta = ols_fit(
+      rows, p_ + q_,
+      [&](std::size_t r, std::span<double> row) {
+        const std::size_t t = start + r;
+        for (std::size_t j = 0; j < p_; ++j) row[j] = history[t - 1 - j];
+        for (std::size_t j = 0; j < q_; ++j) row[p_ + j] = eps[t - 1 - j];
+      },
+      targets);
+  intercept_ = beta[0];
+  phi_.assign(beta.begin() + 1, beta.begin() + 1 + static_cast<std::ptrdiff_t>(p_));
+  theta_.assign(beta.begin() + 1 + static_cast<std::ptrdiff_t>(p_), beta.end());
+
+  // Invertibility guard: if the MA polynomial is (close to) non-invertible,
+  // the conditional residual recursion in predict_next diverges. A cheap
+  // sufficient condition for invertibility is sum|theta| < 1; shrink toward
+  // it when violated (Hannan-Rissanen OLS offers no such constraint).
+  double theta_mass = 0.0;
+  for (const double t : theta_) theta_mass += std::abs(t);
+  if (theta_mass >= 0.95) {
+    const double shrink = 0.95 / theta_mass;
+    for (double& t : theta_) t *= shrink;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> ArmaPredictor::residuals(std::span<const double> x) const {
+  std::vector<double> eps(x.size(), 0.0);
+  const std::size_t start = std::max(p_, q_);
+  for (std::size_t t = start; t < x.size(); ++t) {
+    double pred = intercept_;
+    for (std::size_t j = 0; j < p_; ++j) pred += phi_[j] * x[t - 1 - j];
+    for (std::size_t j = 0; j < q_; ++j) pred += theta_[j] * eps[t - 1 - j];
+    eps[t] = x[t] - pred;
+  }
+  return eps;
+}
+
+double ArmaPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("ArmaPredictor: empty history");
+  if (!fitted_ || history.size() < std::max(p_, q_) + 1) return history.back();
+  // Recompute conditional residuals over a bounded suffix to keep the online
+  // loop O(window) per step.
+  const std::size_t window = std::min<std::size_t>(history.size(), 512);
+  const std::span<const double> tail = history.subspan(history.size() - window);
+  const std::vector<double> eps = residuals(tail);
+  double pred = intercept_;
+  for (std::size_t j = 0; j < p_; ++j) pred += phi_[j] * tail[tail.size() - 1 - j];
+  for (std::size_t j = 0; j < q_; ++j) pred += theta_[j] * eps[eps.size() - 1 - j];
+  // Last-ditch sanity: an unstable fit must never emit a wild forecast.
+  double lo = tail[0], hi = tail[0];
+  for (const double v : tail) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = std::max(hi - lo, std::abs(hi) + 1.0);
+  if (!std::isfinite(pred) || pred > hi + 3.0 * span || pred < lo - 3.0 * span)
+    return tail.back();
+  return pred;
+}
+
+ArimaPredictor::ArimaPredictor(std::size_t p, std::size_t d, std::size_t q)
+    : d_(d), arma_(std::max<std::size_t>(p, 1), q) {}
+
+void ArimaPredictor::fit(std::span<const double> history) {
+  if (history.size() < d_ + 4) return;
+  const std::vector<double> diffed = difference(history, d_);
+  arma_.fit(diffed);
+}
+
+double ArimaPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("ArimaPredictor: empty history");
+  if (history.size() < d_ + 2) return history.back();
+  const std::vector<double> diffed = difference(history, d_);
+  const double dpred = arma_.predict_next(diffed);
+  // Integrate back: add the forecast difference to the appropriate partial
+  // sums of the original series (for d=1 this is last + dpred; general d by
+  // reconstructing the last value of each differencing level).
+  double forecast = dpred;
+  std::vector<double> level(history.begin(), history.end());
+  std::vector<double> lasts;
+  lasts.reserve(d_);
+  for (std::size_t k = 0; k < d_; ++k) {
+    lasts.push_back(level.back());
+    level = difference(level, 1);
+  }
+  for (std::size_t k = d_; k > 0; --k) forecast += lasts[k - 1];
+  return forecast;
+}
+
+}  // namespace ld::ts

@@ -1,0 +1,77 @@
+// Autoregressive model family: AR(p), ARMA(p,q) and ARIMA(p,d,q).
+//
+// AR coefficients are estimated by conditional least squares (OLS on lagged
+// values with an intercept). ARMA uses the Hannan-Rissanen two-stage
+// procedure: a long-order AR fit provides residual estimates, then the
+// ARMA coefficients come from OLS on lags + lagged residuals. ARIMA
+// differences d times, fits ARMA, and integrates the forecast back.
+#pragma once
+
+#include <vector>
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::ts {
+
+class ArPredictor final : public Predictor {
+ public:
+  explicit ArPredictor(std::size_t p = 4);
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "ar"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<ArPredictor>(*this);
+  }
+
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return phi_; }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+ private:
+  std::size_t p_;
+  std::vector<double> phi_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+class ArmaPredictor final : public Predictor {
+ public:
+  ArmaPredictor(std::size_t p = 2, std::size_t q = 1);
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "arma"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<ArmaPredictor>(*this);
+  }
+
+  [[nodiscard]] const std::vector<double>& ar_coefficients() const noexcept { return phi_; }
+  [[nodiscard]] const std::vector<double>& ma_coefficients() const noexcept { return theta_; }
+
+ private:
+  /// Residuals of the fitted model over a history (conditional, zero-padded).
+  [[nodiscard]] std::vector<double> residuals(std::span<const double> x) const;
+
+  std::size_t p_, q_;
+  std::vector<double> phi_, theta_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+class ArimaPredictor final : public Predictor {
+ public:
+  ArimaPredictor(std::size_t p = 2, std::size_t d = 1, std::size_t q = 1);
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "arima"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<ArimaPredictor>(*this);
+  }
+
+ private:
+  std::size_t d_;
+  ArmaPredictor arma_;
+};
+
+}  // namespace ld::ts

@@ -1,0 +1,83 @@
+#include "timeseries/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "timeseries/stats.hpp"
+
+namespace ld::ts {
+
+namespace {
+
+/// Sum of squared errors of a segment around its own mean, from prefix sums.
+struct Prefix {
+  std::vector<double> sum, sumsq;
+  explicit Prefix(std::span<const double> x) : sum(x.size() + 1, 0.0), sumsq(x.size() + 1, 0.0) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      sum[i + 1] = sum[i] + x[i];
+      sumsq[i + 1] = sumsq[i] + x[i] * x[i];
+    }
+  }
+  [[nodiscard]] double sse(std::size_t lo, std::size_t hi) const {  // [lo, hi)
+    const double n = static_cast<double>(hi - lo);
+    if (n <= 0.0) return 0.0;
+    const double s = sum[hi] - sum[lo];
+    return (sumsq[hi] - sumsq[lo]) - s * s / n;
+  }
+};
+
+void segment(const Prefix& prefix, std::size_t lo, std::size_t hi, double threshold,
+             std::size_t min_segment, std::vector<std::size_t>& out,
+             std::size_t max_changepoints) {
+  if (out.size() >= max_changepoints) return;
+  if (hi - lo < 2 * min_segment) return;
+  const double whole = prefix.sse(lo, hi);
+  double best_gain = 0.0;
+  std::size_t best_split = 0;
+  for (std::size_t split = lo + min_segment; split + min_segment <= hi; ++split) {
+    const double gain = whole - prefix.sse(lo, split) - prefix.sse(split, hi);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_split = split;
+    }
+  }
+  if (best_split == 0 || best_gain < threshold) return;
+  segment(prefix, lo, best_split, threshold, min_segment, out, max_changepoints);
+  out.push_back(best_split);
+  segment(prefix, best_split, hi, threshold, min_segment, out, max_changepoints);
+}
+
+}  // namespace
+
+std::vector<std::size_t> detect_changepoints(std::span<const double> x,
+                                             const ChangepointConfig& config) {
+  if (config.min_segment < 2) throw std::invalid_argument("changepoint: min_segment >= 2");
+  std::vector<std::size_t> out;
+  if (x.size() < 2 * config.min_segment) return out;
+
+  const Prefix prefix(x);
+  // Noise scale from first differences (robust to the very level shifts we
+  // are hunting): var(diff)/2 estimates the within-segment variance.
+  double diff_var = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double d = x[i] - x[i - 1];
+    diff_var += d * d;
+  }
+  diff_var /= 2.0 * static_cast<double>(x.size() - 1);
+  const double threshold =
+      config.penalty * diff_var * std::log(static_cast<double>(x.size()));
+
+  segment(prefix, 0, x.size(), threshold, config.min_segment, out, config.max_changepoints);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool recent_changepoint(std::span<const double> x, std::size_t window,
+                        const ChangepointConfig& config) {
+  const auto points = detect_changepoints(x, config);
+  if (points.empty()) return false;
+  return points.back() + window >= x.size();
+}
+
+}  // namespace ld::ts

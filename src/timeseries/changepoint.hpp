@@ -1,0 +1,28 @@
+// Mean-shift changepoint detection (binary segmentation with a BIC-style
+// penalty). Used by the adaptive LoadDynamics variant as an alternative
+// drift trigger, and by the trace-characterization tooling to locate the
+// regime shifts the Azure/Google generators produce.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ld::ts {
+
+struct ChangepointConfig {
+  std::size_t min_segment = 8;   ///< shortest allowed segment
+  double penalty = 3.0;          ///< cost threshold multiplier (x log n x variance)
+  std::size_t max_changepoints = 32;
+};
+
+/// Indices i such that a mean shift occurs between x[i-1] and x[i],
+/// ascending. Empty when the series looks homogeneous.
+[[nodiscard]] std::vector<std::size_t> detect_changepoints(std::span<const double> x,
+                                                           const ChangepointConfig& config = {});
+
+/// Convenience: does a change occur within the last `window` samples?
+/// (What an online drift monitor actually wants to know.)
+[[nodiscard]] bool recent_changepoint(std::span<const double> x, std::size_t window,
+                                      const ChangepointConfig& config = {});
+
+}  // namespace ld::ts

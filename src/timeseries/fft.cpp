@@ -1,0 +1,106 @@
+#include "timeseries/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "timeseries/stats.hpp"
+
+namespace ld::ts {
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) throw std::invalid_argument("fft: size not a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : data) v /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("fft_real: empty input");
+  std::size_t n = 1;
+  while (n < x.size()) n <<= 1;
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = {x[i], 0.0};
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const double> x) {
+  const double m = mean(x);
+  std::vector<double> centered(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) centered[i] = x[i] - m;
+  const auto spectrum = fft_real(centered);
+  const std::size_t half = spectrum.size() / 2;
+  std::vector<double> power(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) power[k] = std::norm(spectrum[k]);
+  return power;
+}
+
+std::optional<DetectedPeriod> detect_period(std::span<const double> x, double min_strength,
+                                            double min_acf) {
+  if (x.size() < 8) return std::nullopt;
+  const std::vector<double> power = power_spectrum(x);
+  std::size_t padded = 1;
+  while (padded < x.size()) padded <<= 1;
+
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) total += power[k];
+  if (total <= 0.0) return std::nullopt;
+
+  // Peak bin, excluding DC and periods longer than half the observed data
+  // (cannot confirm a cycle we saw fewer than twice).
+  std::size_t best_k = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double period = static_cast<double>(padded) / static_cast<double>(k);
+    if (period > static_cast<double>(x.size()) / 2.0) continue;
+    if (period < 2.0) continue;
+    if (best_k == 0 || power[k] > power[best_k]) best_k = k;
+  }
+  if (best_k == 0) return std::nullopt;
+
+  const double strength = power[best_k] / total;
+  auto period = static_cast<std::size_t>(
+      std::round(static_cast<double>(padded) / static_cast<double>(best_k)));
+  if (period < 2 || period > x.size() / 2) return std::nullopt;
+  if (strength < min_strength) return std::nullopt;
+
+  // Refine against the autocorrelation: FFT bins quantize the period (a
+  // 48-sample day can land on bin "49"); the ACF peak in a ±10% window
+  // around the spectral estimate recovers the exact lag.
+  const std::size_t slack = std::max<std::size_t>(2, period / 10);
+  const std::size_t hi = std::min(period + slack, x.size() / 2);
+  const std::size_t lo = period > slack ? period - slack : 2;
+  const std::vector<double> rho = acf(x, hi);
+  for (std::size_t lag = lo; lag <= hi; ++lag)
+    if (rho[lag] > rho[period]) period = lag;
+
+  if (rho[period] < min_acf) return std::nullopt;
+
+  return DetectedPeriod{.period = period, .strength = strength};
+}
+
+}  // namespace ld::ts

@@ -1,0 +1,34 @@
+// Radix-2 FFT and spectral-periodicity detection (CloudScale's signature
+// mechanism: "uses FFT to detect repeating patterns in the workload").
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ld::ts {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// FFT of a real series zero-padded to the next power of two.
+[[nodiscard]] std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// Power spectrum |X_k|^2 for k in [0, N/2], input mean-removed and padded.
+[[nodiscard]] std::vector<double> power_spectrum(std::span<const double> x);
+
+struct DetectedPeriod {
+  std::size_t period = 0;    ///< in samples
+  double strength = 0.0;     ///< fraction of (non-DC) spectral energy at the peak
+};
+
+/// Dominant periodicity via the spectral peak, cross-checked with the
+/// autocorrelation at that lag. Returns nullopt when no convincing period
+/// exists (strength and ACF below thresholds), which CloudScale uses to fall
+/// back to its Markov-chain predictor.
+[[nodiscard]] std::optional<DetectedPeriod> detect_period(std::span<const double> x,
+                                                          double min_strength = 0.08,
+                                                          double min_acf = 0.3);
+
+}  // namespace ld::ts

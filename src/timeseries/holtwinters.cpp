@@ -1,0 +1,71 @@
+#include "timeseries/holtwinters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "timeseries/fft.hpp"
+
+namespace ld::ts {
+
+HoltWintersPredictor::HoltWintersPredictor(HoltWintersConfig config) : config_(config) {
+  auto in_unit = [](double v) { return v > 0.0 && v <= 1.0; };
+  if (!in_unit(config_.alpha) || !in_unit(config_.beta) || !in_unit(config_.gamma))
+    throw std::invalid_argument("HoltWinters: smoothing factors in (0,1]");
+}
+
+void HoltWintersPredictor::fit(std::span<const double> history) {
+  if (config_.period != 0) {
+    period_ = config_.period;
+    return;
+  }
+  if (history.size() < 16) {
+    period_ = 0;
+    return;
+  }
+  const auto detected = detect_period(history);
+  period_ = detected ? detected->period : 0;
+}
+
+double HoltWintersPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("HoltWinters: empty history");
+  const std::size_t m = period_;
+
+  // Degenerate cases: no seasonality detected, or not enough data for two
+  // full cycles — fall back to Holt's linear smoothing.
+  if (m < 2 || history.size() < 2 * m) {
+    if (history.size() == 1) return history[0];
+    double level = history[0];
+    double trend = history[1] - history[0];
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      const double prev = level;
+      level = config_.alpha * history[i] + (1.0 - config_.alpha) * (level + trend);
+      trend = config_.beta * (level - prev) + (1.0 - config_.beta) * trend;
+    }
+    return level + trend;
+  }
+
+  // Initialize from the first cycle: level = cycle mean, trend = mean
+  // cycle-over-cycle step, season = deviations from the cycle mean.
+  double level = 0.0;
+  for (std::size_t i = 0; i < m; ++i) level += history[i];
+  level /= static_cast<double>(m);
+  double second = 0.0;
+  for (std::size_t i = m; i < 2 * m; ++i) second += history[i];
+  second /= static_cast<double>(m);
+  double trend = (second - level) / static_cast<double>(m);
+  std::vector<double> season(m);
+  for (std::size_t i = 0; i < m; ++i) season[i] = history[i] - level;
+
+  for (std::size_t i = m; i < history.size(); ++i) {
+    const std::size_t s = i % m;
+    const double prev_level = level;
+    level = config_.alpha * (history[i] - season[s]) +
+            (1.0 - config_.alpha) * (level + trend);
+    trend = config_.beta * (level - prev_level) + (1.0 - config_.beta) * trend;
+    season[s] = config_.gamma * (history[i] - level) + (1.0 - config_.gamma) * season[s];
+  }
+  return level + trend + season[history.size() % m];
+}
+
+}  // namespace ld::ts

@@ -1,0 +1,40 @@
+// Triple (seasonal) Holt-Winters exponential smoothing — the full seasonal
+// member of the Holt-Winters family whose double-smoothing variant sits in
+// CloudInsight's Table II pool. Additive seasonality; the period can be
+// supplied or auto-detected from the spectral/ACF detector.
+#pragma once
+
+#include <optional>
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::ts {
+
+struct HoltWintersConfig {
+  double alpha = 0.3;    ///< level smoothing
+  double beta = 0.05;    ///< trend smoothing
+  double gamma = 0.3;    ///< seasonal smoothing
+  std::size_t period = 0;  ///< 0 = auto-detect on each fit
+};
+
+class HoltWintersPredictor final : public Predictor {
+ public:
+  explicit HoltWintersPredictor(HoltWintersConfig config = {});
+
+  void fit(std::span<const double> history) override;
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "holt_winters_seasonal"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<HoltWintersPredictor>(*this);
+  }
+
+  /// Period in use after fit (0 when no seasonality was found; the model
+  /// then degrades to Holt's DES).
+  [[nodiscard]] std::size_t period() const noexcept { return period_; }
+
+ private:
+  HoltWintersConfig config_;
+  std::size_t period_ = 0;
+};
+
+}  // namespace ld::ts

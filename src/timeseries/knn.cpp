@@ -1,0 +1,42 @@
+#include "timeseries/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ld::ts {
+
+KnnPredictor::KnnPredictor(std::size_t k, std::size_t window) : k_(k), window_(window) {
+  if (k_ == 0 || window_ == 0) throw std::invalid_argument("KnnPredictor: k, window > 0");
+}
+
+double KnnPredictor::predict_next(std::span<const double> history) const {
+  if (history.empty()) throw std::invalid_argument("KnnPredictor: empty history");
+  if (history.size() < window_ + 1) return history.back();  // not enough context
+
+  const std::span<const double> query = history.subspan(history.size() - window_);
+  // Candidate windows end at index e (exclusive), followed by history[e].
+  struct Scored {
+    double dist;
+    double successor;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(history.size() - window_);
+  for (std::size_t e = window_; e < history.size(); ++e) {
+    double sq = 0.0;
+    for (std::size_t j = 0; j < window_; ++j) {
+      const double d = history[e - window_ + j] - query[j];
+      sq += d * d;
+    }
+    scored.push_back({std::sqrt(sq), history[e]});
+  }
+  const std::size_t k = std::min(k_, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(), [](const Scored& a, const Scored& b) { return a.dist < b.dist; });
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += scored[i].successor;
+  return sum / static_cast<double>(k);
+}
+
+}  // namespace ld::ts

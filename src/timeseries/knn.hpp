@@ -1,0 +1,25 @@
+// k-nearest-neighbor forecaster (the second "Naive" member of Table II):
+// find the k historical windows most similar to the current one and average
+// the observations that followed them.
+#pragma once
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::ts {
+
+class KnnPredictor final : public Predictor {
+ public:
+  explicit KnnPredictor(std::size_t k = 5, std::size_t window = 6);
+
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<KnnPredictor>(*this);
+  }
+
+ private:
+  std::size_t k_, window_;
+};
+
+}  // namespace ld::ts

@@ -1,0 +1,30 @@
+#include "timeseries/predictor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ld::ts {
+
+std::vector<double> walk_forward(Predictor& predictor, std::span<const double> series,
+                                 std::size_t test_start, const WalkForwardOptions& options) {
+  if (test_start == 0 || test_start >= series.size())
+    throw std::invalid_argument("walk_forward: test_start out of range");
+
+  std::vector<double> forecasts;
+  forecasts.reserve(series.size() - test_start);
+  predictor.fit(series.subspan(0, test_start));
+  std::size_t since_fit = 0;
+  for (std::size_t i = test_start; i < series.size(); ++i) {
+    if (options.refit_every != 0 && since_fit >= options.refit_every) {
+      predictor.fit(series.subspan(0, i));
+      since_fit = 0;
+    }
+    double p = predictor.predict_next(series.subspan(0, i));
+    if (options.clamp_non_negative) p = std::max(0.0, p);
+    forecasts.push_back(p);
+    ++since_fit;
+  }
+  return forecasts;
+}
+
+}  // namespace ld::ts

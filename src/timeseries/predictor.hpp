@@ -1,0 +1,45 @@
+// The common one-step-ahead forecaster interface (the function f of Eq. 1).
+//
+// Every predictive model in this repository — the 21 CloudInsight members,
+// CloudScale, Wood et al., and LoadDynamics itself — implements Predictor so
+// the evaluation harness can drive them interchangeably in the walk-forward
+// loop used by the paper's accuracy experiments.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ld::ts {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// (Re)train on the full known history J_1..J_t. Models without trainable
+  /// state (e.g. moving averages) may ignore this.
+  virtual void fit(std::span<const double> history) = 0;
+
+  /// Forecast J_{t+1} given the history J_1..J_t. `history` always extends
+  /// the series passed to the latest fit() call.
+  [[nodiscard]] virtual double predict_next(std::span<const double> history) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Predictor> clone() const = 0;
+};
+
+struct WalkForwardOptions {
+  std::size_t refit_every = 0;  ///< 0 = fit once at test start, never refit
+  bool clamp_non_negative = true;  ///< JARs are counts; clamp forecasts at 0
+};
+
+/// Walk-forward (online) evaluation: for each index i in
+/// [test_start, series.size()), fit/refit per options, then predict J_i from
+/// J_0..J_{i-1}. Returns the forecasts aligned with series[test_start..].
+[[nodiscard]] std::vector<double> walk_forward(Predictor& predictor,
+                                               std::span<const double> series,
+                                               std::size_t test_start,
+                                               const WalkForwardOptions& options = {});
+
+}  // namespace ld::ts

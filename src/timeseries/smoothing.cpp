@@ -1,0 +1,88 @@
+#include "timeseries/smoothing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ld::ts {
+
+namespace {
+void require_history(std::span<const double> history) {
+  if (history.empty()) throw std::invalid_argument("predict_next: empty history");
+}
+}  // namespace
+
+double MeanPredictor::predict_next(std::span<const double> history) const {
+  require_history(history);
+  const std::size_t n =
+      window_ == 0 ? history.size() : std::min(window_, history.size());
+  double sum = 0.0;
+  for (std::size_t i = history.size() - n; i < history.size(); ++i) sum += history[i];
+  return sum / static_cast<double>(n);
+}
+
+WmaPredictor::WmaPredictor(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("WmaPredictor: window must be > 0");
+}
+
+double WmaPredictor::predict_next(std::span<const double> history) const {
+  require_history(history);
+  const std::size_t n = std::min(window_, history.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double weight = static_cast<double>(n - k);  // most recent -> weight n
+    num += weight * history[history.size() - 1 - k];
+    den += weight;
+  }
+  return num / den;
+}
+
+EmaPredictor::EmaPredictor(double alpha) : alpha_(alpha) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0) throw std::invalid_argument("EmaPredictor: alpha in (0,1]");
+}
+
+double EmaPredictor::predict_next(std::span<const double> history) const {
+  require_history(history);
+  double level = history.front();
+  for (std::size_t i = 1; i < history.size(); ++i)
+    level = alpha_ * history[i] + (1.0 - alpha_) * level;
+  return level;
+}
+
+BrownDesPredictor::BrownDesPredictor(double alpha) : alpha_(alpha) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0)
+    throw std::invalid_argument("BrownDesPredictor: alpha in (0,1]");
+}
+
+double BrownDesPredictor::predict_next(std::span<const double> history) const {
+  require_history(history);
+  double s1 = history.front();  // singly smoothed
+  double s2 = history.front();  // doubly smoothed
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    s1 = alpha_ * history[i] + (1.0 - alpha_) * s1;
+    s2 = alpha_ * s1 + (1.0 - alpha_) * s2;
+  }
+  const double level = 2.0 * s1 - s2;
+  const double trend =
+      alpha_ < 1.0 ? alpha_ / (1.0 - alpha_) * (s1 - s2) : 0.0;
+  return level + trend;  // one-step-ahead forecast
+}
+
+HoltDesPredictor::HoltDesPredictor(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0 || beta_ <= 0.0 || beta_ > 1.0)
+    throw std::invalid_argument("HoltDesPredictor: alpha, beta in (0,1]");
+}
+
+double HoltDesPredictor::predict_next(std::span<const double> history) const {
+  require_history(history);
+  if (history.size() == 1) return history[0];
+  double level = history[0];
+  double trend = history[1] - history[0];
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const double prev_level = level;
+    level = alpha_ * history[i] + (1.0 - alpha_) * (level + trend);
+    trend = beta_ * (level - prev_level) + (1.0 - beta_) * trend;
+  }
+  return level + trend;
+}
+
+}  // namespace ld::ts

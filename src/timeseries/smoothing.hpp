@@ -1,0 +1,87 @@
+// Naive and exponential-smoothing forecasters (the "Naive" and part of the
+// "Time-series" rows of Table II).
+#pragma once
+
+#include "timeseries/predictor.hpp"
+
+namespace ld::ts {
+
+/// Mean of the last `window` observations (window = 0 -> full-history mean).
+class MeanPredictor final : public Predictor {
+ public:
+  explicit MeanPredictor(std::size_t window = 0) : window_(window) {}
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "mean"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<MeanPredictor>(*this);
+  }
+
+ private:
+  std::size_t window_;
+};
+
+/// Weighted moving average with linearly increasing weights (most recent
+/// observation weighs most).
+class WmaPredictor final : public Predictor {
+ public:
+  explicit WmaPredictor(std::size_t window = 8);
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "wma"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<WmaPredictor>(*this);
+  }
+
+ private:
+  std::size_t window_;
+};
+
+/// Simple exponential moving average, forecast = current smoothed level.
+class EmaPredictor final : public Predictor {
+ public:
+  explicit EmaPredictor(double alpha = 0.5);
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "ema"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<EmaPredictor>(*this);
+  }
+
+ private:
+  double alpha_;
+};
+
+/// Brown's double exponential smoothing (single parameter alpha, captures a
+/// linear local trend).
+class BrownDesPredictor final : public Predictor {
+ public:
+  explicit BrownDesPredictor(double alpha = 0.5);
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "brown_des"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<BrownDesPredictor>(*this);
+  }
+
+ private:
+  double alpha_;
+};
+
+/// Holt's double exponential smoothing (separate level and trend smoothing,
+/// the "Holt-Winters DES" member of Table II).
+class HoltDesPredictor final : public Predictor {
+ public:
+  HoltDesPredictor(double alpha = 0.5, double beta = 0.3);
+  void fit(std::span<const double>) override {}
+  [[nodiscard]] double predict_next(std::span<const double> history) const override;
+  [[nodiscard]] std::string name() const override { return "holt_des"; }
+  [[nodiscard]] std::unique_ptr<Predictor> clone() const override {
+    return std::make_unique<HoltDesPredictor>(*this);
+  }
+
+ private:
+  double alpha_, beta_;
+};
+
+}  // namespace ld::ts

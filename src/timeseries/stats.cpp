@@ -1,0 +1,95 @@
+#include "timeseries/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::ts {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("mean: empty");
+  double s = 0.0;
+  for (const double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  const double m = mean(x);
+  double s = 0.0;
+  for (const double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+std::vector<double> acf(std::span<const double> x, std::size_t max_lag) {
+  if (x.size() < 2) throw std::invalid_argument("acf: series too short");
+  if (max_lag >= x.size()) max_lag = x.size() - 1;
+  const double m = mean(x);
+  double denom = 0.0;
+  for (const double v : x) denom += (v - m) * (v - m);
+  std::vector<double> out(max_lag + 1, 0.0);
+  out[0] = 1.0;
+  if (denom < 1e-300) return out;  // constant series
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (std::size_t t = lag; t < x.size(); ++t) num += (x[t] - m) * (x[t - lag] - m);
+    out[lag] = num / denom;
+  }
+  return out;
+}
+
+std::vector<double> pacf(std::span<const double> x, std::size_t max_lag) {
+  const std::vector<double> rho = acf(x, max_lag);
+  max_lag = rho.size() - 1;
+  // Durbin-Levinson recursion.
+  std::vector<double> out(max_lag + 1, 0.0);
+  out[0] = 1.0;
+  if (max_lag == 0) return out;
+  std::vector<double> phi_prev(max_lag + 1, 0.0), phi(max_lag + 1, 0.0);
+  phi[1] = rho[1];
+  out[1] = rho[1];
+  for (std::size_t k = 2; k <= max_lag; ++k) {
+    std::swap(phi_prev, phi);
+    double num = rho[k];
+    double den = 1.0;
+    for (std::size_t j = 1; j < k; ++j) {
+      num -= phi_prev[j] * rho[k - j];
+      den -= phi_prev[j] * rho[j];
+    }
+    const double phikk = std::abs(den) < 1e-300 ? 0.0 : num / den;
+    phi[k] = phikk;
+    for (std::size_t j = 1; j < k; ++j) phi[j] = phi_prev[j] - phikk * phi_prev[k - j];
+    out[k] = phikk;
+  }
+  return out;
+}
+
+std::vector<double> difference(std::span<const double> x, std::size_t order) {
+  std::vector<double> cur(x.begin(), x.end());
+  for (std::size_t d = 0; d < order; ++d) {
+    if (cur.size() < 2) throw std::invalid_argument("difference: series too short");
+    std::vector<double> next(cur.size() - 1);
+    for (std::size_t i = 0; i + 1 < cur.size(); ++i) next[i] = cur[i + 1] - cur[i];
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<double> undifference(std::span<const double> diffs, double anchor) {
+  std::vector<double> out;
+  out.reserve(diffs.size());
+  double acc = anchor;
+  for (const double d : diffs) {
+    acc += d;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double coefficient_of_variation(std::span<const double> x) {
+  const double m = mean(x);
+  if (std::abs(m) < 1e-300) return 0.0;
+  return stddev(x) / std::abs(m);
+}
+
+}  // namespace ld::ts

@@ -1,0 +1,31 @@
+// Time-series statistics: sample moments, autocorrelation, partial
+// autocorrelation (Durbin-Levinson) and differencing/integration operators
+// used by the ARIMA family and the trace characterization bench.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ld::ts {
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);          ///< population variance
+[[nodiscard]] double stddev(std::span<const double> x);
+
+/// Sample autocorrelation at lags 0..max_lag (acf[0] == 1).
+[[nodiscard]] std::vector<double> acf(std::span<const double> x, std::size_t max_lag);
+
+/// Partial autocorrelation at lags 1..max_lag via Durbin-Levinson.
+[[nodiscard]] std::vector<double> pacf(std::span<const double> x, std::size_t max_lag);
+
+/// First difference applied `order` times; result is shorter by `order`.
+[[nodiscard]] std::vector<double> difference(std::span<const double> x, std::size_t order = 1);
+
+/// Invert one first-difference step given the last original value preceding
+/// the differenced series: undifference({d1..dn}, x0) = {x0+d1, x0+d1+d2, ...}.
+[[nodiscard]] std::vector<double> undifference(std::span<const double> diffs, double anchor);
+
+/// Coefficient of variation (stddev / mean); 0 for a zero-mean series.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> x);
+
+}  // namespace ld::ts

@@ -1,0 +1,249 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ld::workloads {
+
+namespace {
+
+constexpr double kMinutesPerDay = 24.0 * 60.0;
+
+/// Mean-reverting AR(1) on a log scale ("volatility process"): each call
+/// advances one minute. rho close to 1 = slow-moving, sigma = innovation.
+class LogOuProcess {
+ public:
+  LogOuProcess(double rho, double sigma, Rng& rng) : rho_(rho), sigma_(sigma), rng_(&rng) {}
+  double next() {
+    x_ = rho_ * x_ + sigma_ * rng_->normal();
+    return std::exp(x_);
+  }
+
+ private:
+  double rho_, sigma_;
+  double x_ = 0.0;
+  Rng* rng_;
+};
+
+double diurnal(double minute, double amplitude, double phase_minutes = 0.0) {
+  const double angle =
+      2.0 * std::numbers::pi * (minute - phase_minutes) / kMinutesPerDay;
+  return 1.0 + amplitude * std::sin(angle);
+}
+
+/// Realistic (asymmetric) daily request curve: slow morning ramp, sharp
+/// evening peak, deep night trough — a fundamental plus harmonics, as real
+/// web traffic shows. Always positive.
+double diurnal_web(double minute, double amplitude, double phase_minutes) {
+  const double w = 2.0 * std::numbers::pi * (minute - phase_minutes) / kMinutesPerDay;
+  const double shape =
+      std::sin(w) + 0.45 * std::sin(2.0 * w + 0.8) + 0.2 * std::sin(3.0 * w + 2.1);
+  const double v = 1.0 + amplitude * shape / 1.65;  // normalize |shape| <= ~1.65
+  return v > 0.05 ? v : 0.05;
+}
+
+/// Draw counts for one minute from the rate (exact Poisson; the RNG switches
+/// to a normal approximation automatically for very large rates).
+double draw(Rng& rng, double rate) {
+  if (rate <= 0.0) return 0.0;
+  return static_cast<double>(rng.poisson(rate));
+}
+
+Trace make_trace(const char* name, std::size_t minutes) {
+  Trace t;
+  t.name = name;
+  t.interval_minutes = 1;
+  t.jars.reserve(minutes);
+  return t;
+}
+
+Trace generate_wikipedia(const GeneratorConfig& cfg) {
+  // ~5.4M requests / 30 min in Fig. 1b -> 180k/min base.
+  const auto minutes = static_cast<std::size_t>(cfg.days * kMinutesPerDay);
+  Trace trace = make_trace("wiki", minutes);
+  Rng rng(cfg.seed ^ 0x77696b69ULL);
+  LogOuProcess noise(0.98, 0.004, rng);  // gentle drift, the trace is clean
+  const double base = 180000.0 * cfg.scale;
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const double t = static_cast<double>(m);
+    const double day_of_week = std::fmod(t / kMinutesPerDay, 7.0);
+    const double weekly = day_of_week >= 5.0 ? 0.88 : 1.0;  // quieter weekends
+    const double trend = 1.0 + 0.002 * (t / kMinutesPerDay);  // slow growth
+    const double rate =
+        base * diurnal_web(t, 0.55, 6.0 * 60.0) * weekly * trend * noise.next();
+    trace.jars.push_back(draw(rng, rate));
+  }
+  return trace;
+}
+
+Trace generate_google(const GeneratorConfig& cfg) {
+  // ~800k jobs / 30 min in Fig. 1a -> ~27k/min base; spikes in the first
+  // half of the trace and occasional persistent level shifts.
+  const auto minutes = static_cast<std::size_t>(cfg.days * kMinutesPerDay);
+  Trace trace = make_trace("google", minutes);
+  Rng rng(cfg.seed ^ 0x676f6f67ULL);
+  LogOuProcess noise(0.9, 0.02, rng);
+  const double base = 27000.0 * cfg.scale;
+  double level = 1.0;
+  double spike = 1.0;
+  std::size_t spike_remaining = 0;
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const double t = static_cast<double>(m);
+    // Level shifts roughly every 3 days on average.
+    if (rng.uniform() < 1.0 / (3.0 * kMinutesPerDay)) {
+      level *= rng.uniform(0.75, 1.35);
+      level = std::clamp(level, 0.4, 2.5);
+    }
+    // Spike episodes (2-6 hours, x1.5-3), concentrated in the first half.
+    if (spike_remaining == 0) {
+      const bool first_half = m < minutes / 2;
+      const double spike_rate = first_half ? 1.0 / (0.75 * kMinutesPerDay)
+                                           : 1.0 / (4.0 * kMinutesPerDay);
+      if (rng.uniform() < spike_rate) {
+        spike = rng.uniform(1.5, 3.0);
+        spike_remaining = static_cast<std::size_t>(rng.uniform(120.0, 360.0));
+      } else {
+        spike = 1.0;
+      }
+    } else {
+      --spike_remaining;
+      if (spike_remaining == 0) spike = 1.0;
+    }
+    const double rate = base * level * spike * diurnal(t, 0.08) * noise.next();
+    trace.jars.push_back(draw(rng, rate));
+  }
+  return trace;
+}
+
+Trace generate_facebook(const GeneratorConfig& cfg) {
+  // One day of Hadoop job submissions (Chen et al., MASCOTS'11): MapReduce
+  // arrivals come in batch "waves" with unpredictable onsets and sizes, on
+  // top of a small background rate. The onset randomness — not smooth
+  // seasonality — is what makes the 5-minute configuration the hardest of
+  // Fig. 9a for every predictor.
+  (void)cfg.days;  // the Facebook trace covers exactly one day (Table I)
+  const auto minutes = static_cast<std::size_t>(kMinutesPerDay);
+  Trace trace = make_trace("facebook", minutes);
+  Rng rng(cfg.seed ^ 0x66616365ULL);
+  LogOuProcess noise(0.6, 0.25, rng);
+  const double base = 6.0 * cfg.scale;
+  double wave = 1.0;
+  std::size_t wave_remaining = 0;
+  for (std::size_t m = 0; m < minutes; ++m) {
+    if (wave_remaining == 0) {
+      if (rng.uniform() < 1.0 / 45.0) {  // a batch wave roughly every ~45 min
+        wave = rng.uniform(2.5, 7.0);
+        wave_remaining = static_cast<std::size_t>(rng.uniform(10.0, 60.0));
+      } else {
+        wave = 1.0;
+      }
+    } else {
+      --wave_remaining;
+      if (wave_remaining == 0) wave = 1.0;
+    }
+    const double rate = base * wave * noise.next();
+    trace.jars.push_back(draw(rng, rate));
+  }
+  return trace;
+}
+
+Trace generate_azure(const GeneratorConfig& cfg) {
+  // Public-cloud VM requests: multi-day regimes with different levels plus
+  // fast volatility that a 60-minute aggregation smooths out (Fig. 8a).
+  const auto minutes = static_cast<std::size_t>(cfg.days * kMinutesPerDay);
+  Trace trace = make_trace("azure", minutes);
+  Rng rng(cfg.seed ^ 0x617a7572ULL);
+  LogOuProcess fast(0.75, 0.3, rng);  // ~10-minute correlation, large swings
+  const double base = 40.0 * cfg.scale;
+  double regime = 1.0;
+  double until = rng.uniform(2.0, 5.0) * kMinutesPerDay;
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const double t = static_cast<double>(m);
+    if (t >= until) {
+      regime = rng.uniform(0.5, 2.0);
+      until = t + rng.uniform(2.0, 5.0) * kMinutesPerDay;
+    }
+    const double rate = base * regime * diurnal(t, 0.2) * fast.next();
+    trace.jars.push_back(draw(rng, rate));
+  }
+  return trace;
+}
+
+Trace generate_lcg(const GeneratorConfig& cfg) {
+  // Grid/HPC job arrivals: background load plus heavy-tailed "job storm"
+  // episodes (users submitting large batches), no clear periodicity.
+  const auto minutes = static_cast<std::size_t>(cfg.days * kMinutesPerDay);
+  Trace trace = make_trace("lcg", minutes);
+  // Small per-minute rates: at 5-minute intervals the JARs are a few dozen
+  // jobs, so Poisson burstiness dominates — the paper's explanation for why
+  // LCG (like FB/Azure) is harder to predict at fine granularity.
+  Rng rng(cfg.seed ^ 0x6c636720ULL);
+  LogOuProcess noise(0.95, 0.05, rng);
+  const double base = 4.0 * cfg.scale;
+  double burst = 1.0;
+  std::size_t burst_remaining = 0;
+  for (std::size_t m = 0; m < minutes; ++m) {
+    if (burst_remaining == 0) {
+      if (rng.uniform() < 1.0 / (0.5 * kMinutesPerDay)) {  // ~2 storms/day
+        // Heavy-tailed burst magnitude (Pareto-like via exp of exponential).
+        burst = 1.5 + 6.0 * rng.exponential(2.0);
+        burst_remaining = static_cast<std::size_t>(rng.uniform(30.0, 240.0));
+      } else {
+        burst = 1.0;
+      }
+    } else {
+      --burst_remaining;
+      if (burst_remaining == 0) burst = 1.0;
+    }
+    const double rate = base * burst * noise.next();
+    trace.jars.push_back(draw(rng, rate));
+  }
+  return trace;
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kWikipedia: return "wiki";
+    case TraceKind::kGoogle: return "google";
+    case TraceKind::kFacebook: return "facebook";
+    case TraceKind::kAzure: return "azure";
+    case TraceKind::kLcg: return "lcg";
+  }
+  return "unknown";
+}
+
+Trace generate_minutely(TraceKind kind, const GeneratorConfig& config) {
+  if (config.days <= 0.0) throw std::invalid_argument("generate: days must be > 0");
+  if (config.scale <= 0.0) throw std::invalid_argument("generate: scale must be > 0");
+  switch (kind) {
+    case TraceKind::kWikipedia: return generate_wikipedia(config);
+    case TraceKind::kGoogle: return generate_google(config);
+    case TraceKind::kFacebook: return generate_facebook(config);
+    case TraceKind::kAzure: return generate_azure(config);
+    case TraceKind::kLcg: return generate_lcg(config);
+  }
+  throw std::invalid_argument("generate: unknown trace kind");
+}
+
+Trace generate(TraceKind kind, std::size_t interval_minutes, const GeneratorConfig& config) {
+  return aggregate(generate_minutely(kind, config), interval_minutes);
+}
+
+std::vector<WorkloadConfiguration> paper_workload_configurations() {
+  using K = TraceKind;
+  return {
+      {K::kWikipedia, 5}, {K::kWikipedia, 10}, {K::kWikipedia, 30},
+      {K::kLcg, 5},       {K::kLcg, 10},       {K::kLcg, 30},
+      {K::kAzure, 10},    {K::kAzure, 30},     {K::kAzure, 60},
+      {K::kGoogle, 5},    {K::kGoogle, 10},    {K::kGoogle, 30},
+      {K::kFacebook, 5},  {K::kFacebook, 10},
+  };
+}
+
+}  // namespace ld::workloads

@@ -1,0 +1,112 @@
+#include "workloads/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "timeseries/stats.hpp"
+
+namespace ld::workloads {
+
+Trace aggregate(const Trace& minutely, std::size_t interval_minutes) {
+  if (interval_minutes == 0) throw std::invalid_argument("aggregate: interval must be > 0");
+  if (minutely.interval_minutes != 1)
+    throw std::invalid_argument("aggregate: expected a per-minute trace");
+  Trace out;
+  out.name = minutely.name;
+  out.interval_minutes = interval_minutes;
+  const std::size_t full = minutely.jars.size() / interval_minutes;
+  out.jars.reserve(full);
+  for (std::size_t i = 0; i < full; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < interval_minutes; ++j)
+      sum += minutely.jars[i * interval_minutes + j];
+    out.jars.push_back(sum);
+  }
+  return out;
+}
+
+std::vector<double> TraceSplit::train_and_validation() const {
+  std::vector<double> out = train;
+  out.insert(out.end(), validation.begin(), validation.end());
+  return out;
+}
+
+std::vector<double> TraceSplit::all() const {
+  std::vector<double> out = train;
+  out.insert(out.end(), validation.begin(), validation.end());
+  out.insert(out.end(), test.begin(), test.end());
+  return out;
+}
+
+TraceSplit split_trace(const Trace& trace, double train_fraction, double validation_fraction) {
+  if (train_fraction <= 0.0 || validation_fraction < 0.0 ||
+      train_fraction + validation_fraction >= 1.0)
+    throw std::invalid_argument("split_trace: fractions must satisfy 0 < train, train+val < 1");
+  validate_trace(trace);
+  const std::size_t n = trace.jars.size();
+  const auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(n));
+  const auto n_val = static_cast<std::size_t>(validation_fraction * static_cast<double>(n));
+  if (n_train < 2 || n - n_train - n_val < 1)
+    throw std::invalid_argument("split_trace: trace too short for requested split");
+  TraceSplit split;
+  split.train.assign(trace.jars.begin(), trace.jars.begin() + static_cast<std::ptrdiff_t>(n_train));
+  split.validation.assign(trace.jars.begin() + static_cast<std::ptrdiff_t>(n_train),
+                          trace.jars.begin() + static_cast<std::ptrdiff_t>(n_train + n_val));
+  split.test.assign(trace.jars.begin() + static_cast<std::ptrdiff_t>(n_train + n_val),
+                    trace.jars.end());
+  return split;
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  validate_trace(trace);
+  TraceStats stats;
+  stats.mean = ts::mean(trace.jars);
+  stats.stddev = ts::stddev(trace.jars);
+  stats.cv = ts::coefficient_of_variation(trace.jars);
+  stats.min = trace.jars.front();
+  stats.max = trace.jars.front();
+  for (const double v : trace.jars) {
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  if (trace.jars.size() > 2) {
+    const auto rho = ts::acf(trace.jars, 1);
+    stats.acf_lag1 = rho[1];
+  }
+  const std::size_t day_lag = 24 * 60 / trace.interval_minutes;
+  if (trace.jars.size() > 2 * day_lag && day_lag > 0) {
+    const auto rho = ts::acf(trace.jars, day_lag);
+    stats.daily_acf = rho[day_lag];
+  }
+  return stats;
+}
+
+void validate_trace(const Trace& trace) {
+  if (trace.jars.empty()) throw std::invalid_argument("trace '" + trace.name + "' is empty");
+  if (trace.interval_minutes == 0)
+    throw std::invalid_argument("trace '" + trace.name + "' has zero interval");
+  for (const double v : trace.jars) {
+    if (!std::isfinite(v))
+      throw std::invalid_argument("trace '" + trace.name + "' contains non-finite JARs");
+    if (v < 0.0)
+      throw std::invalid_argument("trace '" + trace.name + "' contains negative JARs");
+  }
+}
+
+Trace load_csv_trace(const std::string& path, const std::string& name,
+                     std::size_t interval_minutes, bool has_header) {
+  const csv::Table table = csv::read_file(path, has_header);
+  Trace trace;
+  trace.name = name;
+  trace.interval_minutes = interval_minutes;
+  if (table.rows.empty()) throw std::invalid_argument("load_csv_trace: no rows in " + path);
+  // Use the last column (files may carry a timestamp first).
+  const std::size_t col = table.rows.front().size() - 1;
+  trace.jars = csv::numeric_column(table, col);
+  validate_trace(trace);
+  return trace;
+}
+
+}  // namespace ld::workloads

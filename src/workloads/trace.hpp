@@ -1,0 +1,70 @@
+// Workload traces: the JAR series of Section II-A plus utilities.
+//
+// A Trace is a named series of job-arrival-rate (JAR) counts at a fixed
+// interval length. Synthetic generators produce *per-minute* arrival counts
+// first; aggregate() then sums them into 5/10/30/60-minute intervals — the
+// same trace therefore stays self-consistent across the interval lengths of
+// Table I, exactly like re-binning a real trace log.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ld::workloads {
+
+struct Trace {
+  std::string name;
+  std::size_t interval_minutes = 1;
+  std::vector<double> jars;
+
+  [[nodiscard]] std::size_t size() const noexcept { return jars.size(); }
+};
+
+/// Sum per-minute counts into intervals of `interval_minutes`. A trailing
+/// partial interval is dropped.
+[[nodiscard]] Trace aggregate(const Trace& minutely, std::size_t interval_minutes);
+
+/// The paper's data partitioning: first `train_fraction` for training, next
+/// `validation_fraction` for cross-validation/hyperparameter selection, the
+/// remainder for testing (Section IV-A uses 60/20/20).
+struct TraceSplit {
+  std::vector<double> train;
+  std::vector<double> validation;
+  std::vector<double> test;
+
+  /// train + validation (what the final model may see before testing).
+  [[nodiscard]] std::vector<double> train_and_validation() const;
+  /// The full series, for walk-forward baselines.
+  [[nodiscard]] std::vector<double> all() const;
+  [[nodiscard]] std::size_t test_start() const noexcept {
+    return train.size() + validation.size();
+  }
+};
+
+[[nodiscard]] TraceSplit split_trace(const Trace& trace, double train_fraction = 0.6,
+                                     double validation_fraction = 0.2);
+
+/// Descriptive statistics used by the Fig.1/Fig.8 characterization bench.
+struct TraceStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;        ///< coefficient of variation
+  double min = 0.0;
+  double max = 0.0;
+  double acf_lag1 = 0.0;
+  double daily_acf = 0.0; ///< autocorrelation at a 1-day lag (0 if trace shorter)
+};
+
+[[nodiscard]] TraceStats compute_stats(const Trace& trace);
+
+/// Throws std::invalid_argument when a trace is unusable for prediction
+/// (empty, non-finite or negative JARs).
+void validate_trace(const Trace& trace);
+
+/// Load a JAR column from CSV (one value per row, header optional).
+[[nodiscard]] Trace load_csv_trace(const std::string& path, const std::string& name,
+                                   std::size_t interval_minutes, bool has_header = true);
+
+}  // namespace ld::workloads

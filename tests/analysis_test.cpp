@@ -1,0 +1,184 @@
+// Analysis utilities: bootstrap confidence intervals, paired comparisons,
+// seasonal Holt-Winters, and changepoint detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bootstrap.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "timeseries/changepoint.hpp"
+#include "timeseries/holtwinters.hpp"
+
+namespace {
+
+using namespace ld;
+
+// --- Bootstrap ----------------------------------------------------------------
+
+TEST(Bootstrap, CiContainsPointEstimate) {
+  Rng rng(3);
+  std::vector<double> actual(200), predicted(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    actual[i] = rng.uniform(50.0, 150.0);
+    predicted[i] = actual[i] * rng.uniform(0.8, 1.2);
+  }
+  const auto ci = stats::bootstrap_mape(actual, predicted);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+  EXPECT_GT(ci.upper, ci.lower);
+}
+
+TEST(Bootstrap, CiShrinksWithMoreData) {
+  Rng rng(5);
+  auto make = [&](std::size_t n) {
+    std::vector<double> actual(n), predicted(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      actual[i] = rng.uniform(50.0, 150.0);
+      predicted[i] = actual[i] * rng.uniform(0.85, 1.15);
+    }
+    const auto ci = stats::bootstrap_mape(actual, predicted, 1000, 0.95, 7);
+    return ci.upper - ci.lower;
+  };
+  EXPECT_LT(make(2000), make(50));
+}
+
+TEST(Bootstrap, PerfectPredictionGivesDegenerateCi) {
+  const std::vector<double> actual{10.0, 20.0, 30.0, 40.0};
+  const auto ci = stats::bootstrap_mape(actual, actual);
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.upper, 0.0);
+}
+
+TEST(Bootstrap, PairedComparisonDetectsClearWinner) {
+  Rng rng(7);
+  std::vector<double> actual(300), good(300), bad(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    actual[i] = rng.uniform(80.0, 120.0);
+    good[i] = actual[i] * rng.uniform(0.97, 1.03);  // ~1.5% error
+    bad[i] = actual[i] * rng.uniform(0.7, 1.3);     // ~15% error
+  }
+  const auto cmp = stats::paired_bootstrap(actual, good, bad);
+  EXPECT_LT(cmp.mape_a, cmp.mape_b);
+  EXPECT_GT(cmp.prob_a_better, 0.99);
+}
+
+TEST(Bootstrap, PairedComparisonOfEqualsIsAmbivalent) {
+  Rng rng(9);
+  std::vector<double> actual(300), a(300), b(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    actual[i] = rng.uniform(80.0, 120.0);
+    a[i] = actual[i] * rng.uniform(0.9, 1.1);
+    b[i] = actual[i] * rng.uniform(0.9, 1.1);
+  }
+  const auto cmp = stats::paired_bootstrap(actual, a, b);
+  EXPECT_GT(cmp.prob_a_better, 0.05);
+  EXPECT_LT(cmp.prob_a_better, 0.95);
+}
+
+TEST(Bootstrap, InputValidation) {
+  const std::vector<double> a{1.0}, b{1.0, 2.0}, empty;
+  EXPECT_THROW((void)stats::bootstrap_mape(a, b), std::invalid_argument);
+  EXPECT_THROW((void)stats::bootstrap_mape(empty, empty), std::invalid_argument);
+  EXPECT_THROW((void)stats::bootstrap_mape(a, a, 100, 1.5), std::invalid_argument);
+}
+
+// --- Seasonal Holt-Winters -----------------------------------------------------
+
+TEST(HoltWinters, BeatsNonSeasonalHoltOnSeasonalData) {
+  std::vector<double> series(400);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 100.0 + 0.1 * static_cast<double>(i) +
+                30.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 24.0);
+
+  ts::HoltWintersPredictor hw({.period = 24});
+  hw.fit(std::span<const double>(series).subspan(0, 320));
+
+  double hw_se = 0.0, naive_se = 0.0;
+  for (std::size_t t = 320; t < 400; ++t) {
+    const auto hist = std::span<const double>(series).subspan(0, t);
+    const double p = hw.predict_next(hist);
+    hw_se += (p - series[t]) * (p - series[t]);
+    naive_se += (series[t - 1] - series[t]) * (series[t - 1] - series[t]);
+  }
+  EXPECT_LT(hw_se, naive_se * 0.2)
+      << "seasonal HW should crush naive persistence on a seasonal+trend signal";
+}
+
+TEST(HoltWinters, AutoDetectsPeriod) {
+  std::vector<double> series(512);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] =
+        50.0 + 20.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 32.0);
+  ts::HoltWintersPredictor hw;  // period = 0 -> auto
+  hw.fit(series);
+  EXPECT_NEAR(static_cast<double>(hw.period()), 32.0, 4.0);
+}
+
+TEST(HoltWinters, FallsBackToHoltWithoutSeasonality) {
+  // Pure line: no period; forecast must continue the trend.
+  std::vector<double> series(100);
+  for (std::size_t i = 0; i < series.size(); ++i) series[i] = 5.0 + 2.0 * static_cast<double>(i);
+  ts::HoltWintersPredictor hw;
+  hw.fit(series);
+  EXPECT_EQ(hw.period(), 0u);
+  EXPECT_NEAR(hw.predict_next(series), 5.0 + 2.0 * 100.0, 5.0);
+}
+
+TEST(HoltWinters, InvalidConfigThrows) {
+  EXPECT_THROW(ts::HoltWintersPredictor({.alpha = 0.0}), std::invalid_argument);
+  EXPECT_THROW(ts::HoltWintersPredictor({.gamma = 1.5}), std::invalid_argument);
+}
+
+// --- Changepoint detection ------------------------------------------------------
+
+TEST(Changepoint, FindsSingleMeanShift) {
+  Rng rng(11);
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < 200; ++i)
+    x[i] = (i < 120 ? 10.0 : 30.0) + rng.normal(0.0, 1.0);
+  const auto points = ts::detect_changepoints(x);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(points[0]), 120.0, 4.0);
+}
+
+TEST(Changepoint, FindsMultipleShifts) {
+  Rng rng(13);
+  std::vector<double> x(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double level = i < 100 ? 10.0 : i < 200 ? 40.0 : 20.0;
+    x[i] = level + rng.normal(0.0, 1.5);
+  }
+  const auto points = ts::detect_changepoints(x);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(points[0]), 100.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(points[1]), 200.0, 5.0);
+}
+
+TEST(Changepoint, QuietOnHomogeneousNoise) {
+  Rng rng(17);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.normal(50.0, 5.0);
+  EXPECT_TRUE(ts::detect_changepoints(x).empty());
+}
+
+TEST(Changepoint, RecentChangeDetector) {
+  Rng rng(19);
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < 200; ++i)
+    x[i] = (i < 180 ? 10.0 : 60.0) + rng.normal(0.0, 1.0);
+  EXPECT_TRUE(ts::recent_changepoint(x, 40));
+  EXPECT_FALSE(ts::recent_changepoint(std::span<const double>(x).subspan(0, 150), 40));
+}
+
+TEST(Changepoint, ShortSeriesSafe) {
+  const std::vector<double> tiny{1.0, 2.0, 3.0};
+  EXPECT_TRUE(ts::detect_changepoints(tiny).empty());
+  ts::ChangepointConfig bad;
+  bad.min_segment = 1;
+  EXPECT_THROW((void)ts::detect_changepoints(tiny, bad), std::invalid_argument);
+}
+
+}  // namespace

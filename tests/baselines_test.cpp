@@ -1,0 +1,194 @@
+// Baseline predictors: Wood et al. (robust IRLS), CloudScale (FFT + Markov),
+// CloudInsight (21-member council).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "baselines/cloudinsight.hpp"
+#include "baselines/cloudscale.hpp"
+#include "baselines/wood.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "timeseries/predictor.hpp"
+
+namespace {
+
+using namespace ld::baselines;
+using ld::Rng;
+
+std::vector<double> sine_series(std::size_t n, double period, double level = 100.0,
+                                double amp = 40.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = level + amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  return out;
+}
+
+// --- Wood ---------------------------------------------------------------------
+
+TEST(Wood, FitsArProcess) {
+  Rng rng(3);
+  std::vector<double> x(1500);
+  x[0] = 50.0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    x[i] = 20.0 + 0.6 * x[i - 1] + rng.normal(0.0, 1.0);
+  WoodPredictor wood({.lags = 2});
+  wood.fit(std::span<const double>(x).subspan(0, 1200));
+  // Coefficients are oldest-lag-first; the most recent lag carries ~0.6.
+  EXPECT_NEAR(wood.coefficients()[2], 0.6, 0.08);
+  double se = 0.0, naive = 0.0;
+  for (std::size_t t = 1200; t < 1500; ++t) {
+    const auto hist = std::span<const double>(x).subspan(0, t);
+    const double p = wood.predict_next(hist);
+    se += (p - x[t]) * (p - x[t]);
+    naive += (x[t - 1] - x[t]) * (x[t - 1] - x[t]);
+  }
+  EXPECT_LT(se, naive);
+}
+
+TEST(Wood, RobustToOutliers) {
+  // A clean line plus a few massive spikes: Huber IRLS must track the line
+  // substantially better than plain OLS would be dragged by the spikes.
+  std::vector<double> x(300);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 10.0 + 0.5 * static_cast<double>(i);
+  for (const std::size_t spike : {50u, 120u, 200u}) x[spike] += 5000.0;
+  WoodPredictor wood({.lags = 1});
+  wood.fit(x);
+  // Forecast from a clean suffix should continue the line, not the spikes.
+  const std::vector<double> clean_tail{10.0 + 0.5 * 300.0};
+  const double p = wood.predict_next(clean_tail);
+  EXPECT_NEAR(p, 10.0 + 0.5 * 301.0, 15.0);
+}
+
+TEST(Wood, ShortHistoryFallsBack) {
+  WoodPredictor wood;
+  const std::vector<double> tiny{3.0, 4.0};
+  wood.fit(tiny);
+  EXPECT_EQ(wood.predict_next(tiny), 4.0);
+}
+
+TEST(Wood, InvalidConfigThrows) {
+  EXPECT_THROW(WoodPredictor({.lags = 0}), std::invalid_argument);
+  EXPECT_THROW(WoodPredictor({.huber_delta = 0.0}), std::invalid_argument);
+}
+
+// --- CloudScale ------------------------------------------------------------------
+
+TEST(CloudScale, DetectsSeasonalityAndPredictsWell) {
+  const auto series = sine_series(600, 24.0);
+  CloudScalePredictor cs;
+  cs.fit(std::span<const double>(series).subspan(0, 480));
+  EXPECT_TRUE(cs.periodic_mode());
+  double worst = 0.0;
+  for (std::size_t t = 480; t < 560; ++t) {
+    const auto hist = std::span<const double>(series).subspan(0, t);
+    worst = std::max(worst, std::abs(cs.predict_next(hist) - series[t]));
+  }
+  EXPECT_LT(worst, 12.0);  // well inside the 40-unit amplitude
+}
+
+TEST(CloudScale, FallsBackToMarkovOnAperiodicData) {
+  Rng rng(11);
+  std::vector<double> noise(600);
+  // Mean-reverting noise: the Markov chain learns the pull toward the mean.
+  noise[0] = 100.0;
+  for (std::size_t i = 1; i < noise.size(); ++i)
+    noise[i] = 100.0 + 0.5 * (noise[i - 1] - 100.0) + rng.normal(0.0, 10.0);
+  CloudScalePredictor cs;
+  cs.fit(std::span<const double>(noise).subspan(0, 500));
+  EXPECT_FALSE(cs.periodic_mode());
+  double se = 0.0, naive = 0.0;
+  for (std::size_t t = 500; t < 600; ++t) {
+    const auto hist = std::span<const double>(noise).subspan(0, t);
+    const double p = cs.predict_next(hist);
+    se += (p - noise[t]) * (p - noise[t]);
+    naive += (noise[t - 1] - noise[t]) * (noise[t - 1] - noise[t]);
+  }
+  EXPECT_LT(se, naive);
+}
+
+TEST(CloudScale, TracksLevelDrift) {
+  // Seasonal pattern whose level doubles: the ratio adjustment must follow.
+  std::vector<double> series = sine_series(480, 24.0, 100.0, 20.0);
+  for (std::size_t i = 240; i < series.size(); ++i) series[i] += 100.0;
+  CloudScalePredictor cs;
+  cs.fit(series);
+  const double p = cs.predict_next(series);
+  EXPECT_GT(p, 150.0);  // closer to the new level than the old one
+}
+
+TEST(CloudScale, BurstPaddingInflatesForecast) {
+  const auto series = sine_series(480, 24.0);
+  CloudScalePredictor plain;
+  CloudScalePredictor padded({.burst_padding = 0.2});
+  plain.fit(series);
+  padded.fit(series);
+  EXPECT_NEAR(padded.predict_next(series), 1.2 * plain.predict_next(series), 1e-9);
+}
+
+TEST(CloudScale, InvalidConfigThrows) {
+  EXPECT_THROW(CloudScalePredictor({.markov_bins = 1}), std::invalid_argument);
+}
+
+// --- CloudInsight ------------------------------------------------------------------
+
+TEST(CloudInsight, PoolHasTwentyOneMembers) {
+  const auto pool = make_cloudinsight_pool();
+  EXPECT_EQ(pool.size(), 21u);
+  // All names unique.
+  std::vector<std::string> names;
+  for (const auto& p : pool) names.push_back(p->name());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(CloudInsight, ConvergesToGoodExpertOnSeasonalData) {
+  const auto series = sine_series(400, 16.0);
+  CloudInsightPredictor ci;
+  ld::ts::WalkForwardOptions options{.refit_every = 5};
+  const auto preds = ld::ts::walk_forward(ci, series, 320, options);
+  const std::span<const double> actual(series.data() + 320, series.size() - 320);
+  const double mape = ld::metrics::mape(actual, preds);
+  EXPECT_LT(mape, 12.0);
+  EXPECT_NE(ci.current_best_member(), "n/a");
+}
+
+TEST(CloudInsight, BeatsItsWorstMemberOnArData) {
+  Rng rng(13);
+  std::vector<double> x(500);
+  x[0] = 100.0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    x[i] = 30.0 + 0.7 * x[i - 1] + rng.normal(0.0, 4.0);
+
+  ld::ts::WalkForwardOptions options{.refit_every = 5};
+  CloudInsightPredictor council;
+  const auto council_preds = ld::ts::walk_forward(council, x, 400, options);
+  const std::span<const double> actual(x.data() + 400, 100);
+  const double council_mape = ld::metrics::mape(actual, council_preds);
+
+  double worst_mape = 0.0;
+  for (auto& member : make_cloudinsight_pool()) {
+    const auto preds = ld::ts::walk_forward(*member, x, 400, options);
+    worst_mape = std::max(worst_mape, ld::metrics::mape(actual, preds));
+  }
+  EXPECT_LT(council_mape, worst_mape);
+}
+
+TEST(CloudInsight, CloneIsIndependent) {
+  const auto series = sine_series(200, 16.0);
+  CloudInsightPredictor a;
+  a.fit(series);
+  auto b = a.clone();
+  // Both clones predict without touching each other.
+  const double pa = a.predict_next(series);
+  const double pb = b->predict_next(series);
+  EXPECT_TRUE(std::isfinite(pa));
+  EXPECT_NEAR(pa, pb, std::abs(pa) * 0.5 + 1.0);
+}
+
+TEST(CloudInsight, InvalidConfigThrows) {
+  EXPECT_THROW(CloudInsightPredictor({.eval_window = 0}), std::invalid_argument);
+}
+
+}  // namespace

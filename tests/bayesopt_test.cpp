@@ -1,0 +1,226 @@
+// Bayesian-optimization stack: kernels, GP posterior correctness, EI
+// properties and the full optimizer loop on analytic objectives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bayesopt/acquisition.hpp"
+#include "bayesopt/gaussian_process.hpp"
+#include "bayesopt/kernel.hpp"
+#include "bayesopt/optimizer.hpp"
+#include "bayesopt/search_space.hpp"
+
+namespace {
+
+using namespace ld::bayesopt;
+using ld::tensor::Matrix;
+
+TEST(Kernel, DiagonalEqualsSignalVariance) {
+  for (const KernelType type :
+       {KernelType::kRbf, KernelType::kMatern32, KernelType::kMatern52}) {
+    auto k = make_kernel(type);
+    k->set_params({.signal_variance = 2.5, .lengthscale = 0.3});
+    const std::vector<double> x{0.2, 0.7, 0.4};
+    EXPECT_NEAR((*k)(x, x), 2.5, 1e-12) << k->name();
+  }
+}
+
+TEST(Kernel, DecreasesWithDistanceAndStaysPositive) {
+  for (const KernelType type :
+       {KernelType::kRbf, KernelType::kMatern32, KernelType::kMatern52}) {
+    auto k = make_kernel(type);
+    k->set_params({.signal_variance = 1.0, .lengthscale = 0.25});
+    const std::vector<double> origin{0.0};
+    double prev = (*k)(origin, origin);
+    for (double d = 0.1; d <= 2.0; d += 0.1) {
+      const std::vector<double> x{d};
+      const double v = (*k)(origin, x);
+      EXPECT_LT(v, prev) << k->name() << " at distance " << d;
+      EXPECT_GT(v, 0.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(Kernel, DimensionMismatchThrows) {
+  auto k = make_kernel(KernelType::kRbf);
+  const std::vector<double> a{0.1, 0.2}, b{0.3};
+  EXPECT_THROW((void)(*k)(a, b), std::invalid_argument);
+}
+
+TEST(GaussianProcess, InterpolatesTrainingPointsWithLowNoise) {
+  Matrix x(5, 1);
+  std::vector<double> y(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    x(i, 0) = static_cast<double>(i) / 4.0;
+    y[i] = std::sin(3.0 * x(i, 0));
+  }
+  GaussianProcess gp({.kernel = KernelType::kMatern52, .noise_variance = 1e-8});
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto p = gp.predict(x.row(i));
+    EXPECT_NEAR(p.mean, y[i], 5e-2);
+    EXPECT_LT(p.variance, 0.2);
+  }
+}
+
+TEST(GaussianProcess, VarianceGrowsAwayFromData) {
+  Matrix x(3, 1);
+  std::vector<double> y{0.0, 0.5, 1.0};
+  x(0, 0) = 0.4;
+  x(1, 0) = 0.5;
+  x(2, 0) = 0.6;
+  GaussianProcess gp;
+  gp.fit(x, y);
+  const std::vector<double> near{0.5}, far{5.0};
+  EXPECT_LT(gp.predict(near).variance, gp.predict(far).variance);
+}
+
+TEST(GaussianProcess, SinglePointPosteriorRevertsToPriorFarAway) {
+  Matrix x(1, 1);
+  x(0, 0) = 0.5;
+  std::vector<double> y{3.0};
+  GaussianProcess gp({.optimize_hyperparams = false});
+  gp.fit(x, y);
+  // Far from the observation the mean returns to the (standardized) prior
+  // mean, which after destandardization is the observation mean itself.
+  const std::vector<double> far{100.0};
+  EXPECT_NEAR(gp.predict(far).mean, 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, HandlesDuplicatePoints) {
+  Matrix x(4, 1);
+  std::vector<double> y{1.0, 1.2, 1.0, 1.2};
+  x(0, 0) = 0.5;
+  x(1, 0) = 0.5;  // exact duplicates with conflicting targets
+  x(2, 0) = 0.5;
+  x(3, 0) = 0.5;
+  GaussianProcess gp;
+  EXPECT_NO_THROW(gp.fit(x, y));
+  const std::vector<double> q{0.5};
+  const auto p = gp.predict(q);
+  EXPECT_GT(p.mean, 0.9);
+  EXPECT_LT(p.mean, 1.3);
+}
+
+TEST(GaussianProcess, RejectsNonFiniteTargets) {
+  Matrix x(2, 1);
+  std::vector<double> y{1.0, std::nan("")};
+  GaussianProcess gp;
+  EXPECT_THROW(gp.fit(x, y), std::invalid_argument);
+}
+
+TEST(Acquisition, NormalCdfPdfSanity) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+}
+
+class EiProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EiProperty, NonNegativeAndMonotonicInBest) {
+  const double mean = GetParam();
+  const double ei_low_best = expected_improvement(mean, 0.04, mean - 1.0);
+  const double ei_high_best = expected_improvement(mean, 0.04, mean + 1.0);
+  EXPECT_GE(ei_low_best, 0.0);
+  EXPECT_GE(ei_high_best, ei_low_best);  // more room to improve -> higher EI
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, EiProperty, ::testing::Values(-2.0, -0.5, 0.0, 0.7, 3.0));
+
+TEST(Acquisition, ZeroVarianceGivesZeroEi) {
+  EXPECT_EQ(expected_improvement(0.5, 0.0, 1.0), 0.0);
+}
+
+TEST(Acquisition, LcbOrdersByUncertainty) {
+  EXPECT_LT(lower_confidence_bound(1.0, 4.0), lower_confidence_bound(1.0, 0.25));
+}
+
+TEST(SearchSpace, RoundTripLinearAndLog) {
+  SearchSpace space({{.name = "a", .low = 1.0, .high = 512.0, .integer = true, .log_scale = true},
+                     {.name = "b", .low = 0.0, .high = 10.0}});
+  const std::vector<double> unit{0.5, 0.3};
+  const auto values = space.to_values(unit);
+  EXPECT_GE(values[0], 1.0);
+  EXPECT_LE(values[0], 512.0);
+  EXPECT_DOUBLE_EQ(values[1], 3.0);
+  // Canonicalized points map to themselves.
+  const auto canon = space.canonicalize(unit);
+  EXPECT_EQ(space.canonicalize(canon), canon);
+}
+
+TEST(SearchSpace, LogScaleSkewsTowardSmallValues) {
+  SearchSpace space({{.name = "n", .low = 1.0, .high = 1000.0, .log_scale = true}});
+  const auto mid = space.to_values(std::vector<double>{0.5});
+  EXPECT_NEAR(mid[0], std::sqrt(1000.0), 1.0);  // geometric midpoint
+}
+
+TEST(SearchSpace, RejectsBadDimensions) {
+  SearchSpace space;
+  EXPECT_THROW(space.add({.name = "x", .low = 5.0, .high = 1.0}), std::invalid_argument);
+  EXPECT_THROW(space.add({.name = "x", .low = 0.0, .high = 1.0, .log_scale = true}),
+               std::invalid_argument);
+}
+
+double quadratic_objective(const std::vector<double>& v) {
+  // Minimum at (0.3, 0.7) with value 1.0.
+  const double a = v[0] - 0.3, b = v[1] - 0.7;
+  return 1.0 + 10.0 * (a * a + b * b);
+}
+
+TEST(BayesianOptimizer, FindsQuadraticMinimum) {
+  SearchSpace space({{.name = "x", .low = 0.0, .high = 1.0},
+                     {.name = "y", .low = 0.0, .high = 1.0}});
+  BayesianOptimizer optimizer(space, {.max_iterations = 30, .initial_random = 6}, 17);
+  const auto result = optimizer.optimize(quadratic_objective);
+  EXPECT_EQ(result.history.size(), 30u);
+  EXPECT_LT(result.best().objective, 1.3);
+  EXPECT_NEAR(result.best().values[0], 0.3, 0.25);
+  EXPECT_NEAR(result.best().values[1], 0.7, 0.25);
+}
+
+TEST(BayesianOptimizer, BeatsRandomSearchOnAverage) {
+  SearchSpace space({{.name = "x", .low = 0.0, .high = 1.0},
+                     {.name = "y", .low = 0.0, .high = 1.0}});
+  double bo_total = 0.0, rs_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    BayesianOptimizer optimizer(space, {.max_iterations = 25, .initial_random = 5}, seed);
+    bo_total += optimizer.optimize(quadratic_objective).best().objective;
+    rs_total += random_search(space, quadratic_objective, 25, seed).best().objective;
+  }
+  EXPECT_LE(bo_total, rs_total * 1.05);  // BO should not lose by more than noise
+}
+
+TEST(BayesianOptimizer, SurvivesNanObjective) {
+  SearchSpace space({{.name = "x", .low = 0.0, .high = 1.0}});
+  std::size_t calls = 0;
+  const Objective objective = [&](const std::vector<double>& v) {
+    ++calls;
+    return v[0] < 0.5 ? std::nan("") : v[0];
+  };
+  BayesianOptimizer optimizer(space, {.max_iterations = 15, .initial_random = 4}, 3);
+  const auto result = optimizer.optimize(objective);
+  EXPECT_EQ(calls, 15u);
+  EXPECT_GE(result.best().values[0], 0.5);  // never picks the NaN region as best
+}
+
+TEST(OptimizationResult, IncumbentTraceIsMonotone) {
+  SearchSpace space({{.name = "x", .low = 0.0, .high = 1.0}});
+  const auto result =
+      random_search(space, [](const std::vector<double>& v) { return v[0]; }, 20, 5);
+  const auto trace = result.incumbent_trace();
+  for (std::size_t i = 1; i < trace.size(); ++i) EXPECT_LE(trace[i], trace[i - 1]);
+}
+
+TEST(GridSearch, CoversLatticeWithinBudget) {
+  SearchSpace space({{.name = "x", .low = 0.0, .high = 1.0},
+                     {.name = "y", .low = 0.0, .high = 1.0}});
+  const auto result =
+      grid_search(space, [](const std::vector<double>& v) { return v[0] + v[1]; }, 25);
+  EXPECT_LE(result.history.size(), 25u);
+  EXPECT_GE(result.history.size(), 16u);  // 4x4 lattice fits in 25
+  EXPECT_NEAR(result.best().objective, 0.0, 1e-12);
+}
+
+}  // namespace

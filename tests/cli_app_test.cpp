@@ -1,0 +1,130 @@
+// End-to-end tests of the `loaddynamics` CLI, driven in-process: generate a
+// trace, train a model, predict, evaluate and simulate — the full user
+// journey through temp files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/cli_app.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& args) {
+  std::vector<const char*> argv{"loaddynamics"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  std::ostringstream out, err;
+  CliResult result;
+  result.code = ld::app::run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+class CliJourney : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ld_cli_test";
+    fs::create_directories(dir_);
+    trace_ = (dir_ / "trace.csv").string();
+    model_ = (dir_ / "model.ldm").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string trace_, model_;
+};
+
+TEST_F(CliJourney, HelpAndUnknownCommand) {
+  const auto help = run({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+
+  const auto none = run({});
+  EXPECT_EQ(none.code, 1);
+
+  const auto bogus = run({"frobnicate"});
+  EXPECT_EQ(bogus.code, 1);
+  EXPECT_NE(bogus.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliJourney, MissingFlagReportsCleanError) {
+  const auto result = run({"generate", "--workload", "wiki"});  // no --out
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliJourney, GenerateWritesValidCsv) {
+  const auto result =
+      run({"generate", "--workload", "google", "--out", trace_, "--days", "6", "--seed", "3"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_TRUE(fs::exists(trace_));
+  EXPECT_NE(result.out.find("mean JAR"), std::string::npos);
+}
+
+TEST_F(CliJourney, FullTrainPredictEvaluateSimulateJourney) {
+  // 1. generate
+  ASSERT_EQ(run({"generate", "--workload", "azure", "--interval", "60", "--out", trace_,
+                 "--days", "16", "--seed", "5", "--scale", "0.01"})
+                .code,
+            0);
+
+  // 2. train (tiny budget; we only test the plumbing here)
+  const auto train = run({"train", "--csv", trace_, "--interval", "60", "--model", model_,
+                          "--iterations", "4", "--epochs", "8", "--seed", "5"});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_TRUE(fs::exists(model_));
+  EXPECT_NE(train.out.find("test MAPE"), std::string::npos);
+
+  // 3. predict
+  const std::string forecast = (dir_ / "forecast.csv").string();
+  const auto predict = run({"predict", "--model", model_, "--csv", trace_, "--interval",
+                            "60", "--horizon", "6", "--out", forecast});
+  ASSERT_EQ(predict.code, 0) << predict.err;
+  EXPECT_TRUE(fs::exists(forecast));
+  EXPECT_NE(predict.out.find("t+6"), std::string::npos);
+
+  // 4. evaluate
+  const auto evaluate = run({"evaluate", "--csv", trace_, "--interval", "60",
+                             "--iterations", "3", "--epochs", "6", "--seed", "5"});
+  ASSERT_EQ(evaluate.code, 0) << evaluate.err;
+  for (const char* name : {"loaddynamics", "cloudinsight", "cloudscale", "wood"})
+    EXPECT_NE(evaluate.out.find(name), std::string::npos) << evaluate.out;
+
+  // 5. simulate with each policy kind
+  for (const char* policy : {"predictive", "reactive", "oracle"}) {
+    const auto simulate = run({"simulate", "--model", model_, "--csv", trace_, "--interval",
+                               "60", "--policy", policy});
+    ASSERT_EQ(simulate.code, 0) << policy << ": " << simulate.err;
+    EXPECT_NE(simulate.out.find("mean turnaround"), std::string::npos);
+  }
+}
+
+TEST_F(CliJourney, PredictWithMissingModelFails) {
+  ASSERT_EQ(run({"generate", "--workload", "lcg", "--out", trace_, "--days", "4"}).code, 0);
+  const auto result = run({"predict", "--model", (dir_ / "nope.ldm").string(), "--csv", trace_});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliJourney, TrainOnGarbageCsvFails) {
+  const std::string bad = (dir_ / "bad.csv").string();
+  std::FILE* f = std::fopen(bad.c_str(), "w");
+  std::fputs("jar\nhello\nworld\n", f);
+  std::fclose(f);
+  const auto result = run({"train", "--csv", bad, "--model", model_});
+  EXPECT_EQ(result.code, 2);
+}
+
+}  // namespace

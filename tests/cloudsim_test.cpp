@@ -1,0 +1,125 @@
+// Auto-scaling simulator: the mechanistic link from prediction error to
+// turnaround / provisioning metrics (Fig. 10's substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloudsim/autoscaler.hpp"
+#include "timeseries/smoothing.hpp"
+
+namespace {
+
+using namespace ld::cloudsim;
+
+AutoScalerConfig deterministic_config() {
+  AutoScalerConfig cfg;
+  cfg.vm.job_service_cv = 0.0;  // deterministic service times (lognormal collapses)
+  cfg.vm.job_service_mean = 180.0;
+  cfg.vm.startup_seconds = 100.0;
+  return cfg;
+}
+
+TEST(AutoScaler, PerfectOracleHasNoProvisioningError) {
+  const std::vector<double> actual{10.0, 20.0, 15.0, 30.0};
+  const auto result = simulate(actual, actual, deterministic_config());
+  EXPECT_EQ(result.under_provisioning_rate(), 0.0);
+  EXPECT_EQ(result.over_provisioning_rate(), 0.0);
+  EXPECT_NEAR(result.avg_turnaround(), 180.0, 1.0);  // pure service time
+  EXPECT_EQ(result.total_idle_cost(), 0.0);
+}
+
+TEST(AutoScaler, UnderProvisioningAddsStartupLatency) {
+  const std::vector<double> actual{10.0};
+  const std::vector<double> predicted{5.0};  // half the jobs wait for cold VMs
+  const auto result = simulate(predicted, actual, deterministic_config());
+  EXPECT_EQ(result.intervals[0].under_provisioned, 5u);
+  EXPECT_EQ(result.intervals[0].over_provisioned, 0u);
+  // Half the jobs: 180 s; other half: 280 s -> mean 230 s.
+  EXPECT_NEAR(result.avg_turnaround(), 230.0, 1.0);
+  EXPECT_NEAR(result.under_provisioning_rate(), 50.0, 1e-9);
+}
+
+TEST(AutoScaler, OverProvisioningWastesMoneyNotTime) {
+  const std::vector<double> actual{10.0};
+  const std::vector<double> predicted{15.0};
+  const auto result = simulate(predicted, actual, deterministic_config());
+  EXPECT_EQ(result.intervals[0].over_provisioned, 5u);
+  EXPECT_NEAR(result.avg_turnaround(), 180.0, 1.0);  // no latency penalty
+  EXPECT_NEAR(result.over_provisioning_rate(), 50.0, 1e-9);
+  EXPECT_GT(result.total_idle_cost(), 0.0);
+  EXPECT_NEAR(result.intervals[0].idle_vm_seconds, 5.0 * 3600.0, 1e-9);
+}
+
+TEST(AutoScaler, FractionalPredictionsRoundUp) {
+  const std::vector<double> actual{3.0};
+  const std::vector<double> predicted{2.2};
+  const auto result = simulate(predicted, actual, deterministic_config());
+  EXPECT_EQ(result.intervals[0].provisioned_vms, 3u);  // ceil(2.2)
+  EXPECT_EQ(result.intervals[0].under_provisioned, 0u);
+}
+
+TEST(AutoScaler, NegativePredictionsTreatedAsZero) {
+  const std::vector<double> actual{4.0};
+  const std::vector<double> predicted{-5.0};
+  const auto result = simulate(predicted, actual, deterministic_config());
+  EXPECT_EQ(result.intervals[0].provisioned_vms, 0u);
+  EXPECT_EQ(result.intervals[0].under_provisioned, 4u);
+}
+
+TEST(AutoScaler, EmptyIntervalsIgnoredInAverages) {
+  const std::vector<double> actual{0.0, 10.0};
+  const std::vector<double> predicted{3.0, 10.0};
+  const auto result = simulate(predicted, actual, deterministic_config());
+  EXPECT_NEAR(result.avg_turnaround(), 180.0, 1.0);
+  EXPECT_EQ(result.under_provisioning_rate(), 0.0);
+}
+
+TEST(AutoScaler, WorsePredictorYieldsWorseOutcomes) {
+  // Same actuals; one forecast persistently 20% low, one 5% low.
+  std::vector<double> actual(50);
+  for (std::size_t i = 0; i < 50; ++i)
+    actual[i] = 30.0 + 10.0 * std::sin(static_cast<double>(i) / 3.0);
+  std::vector<double> bad(50), good(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    bad[i] = actual[i] * 0.8;
+    good[i] = actual[i] * 0.95;
+  }
+  const auto bad_result = simulate(bad, actual, deterministic_config());
+  const auto good_result = simulate(good, actual, deterministic_config());
+  EXPECT_GT(bad_result.avg_turnaround(), good_result.avg_turnaround());
+  EXPECT_GT(bad_result.under_provisioning_rate(), good_result.under_provisioning_rate());
+}
+
+TEST(AutoScaler, ServiceTimeDispersionIsReproducible) {
+  AutoScalerConfig cfg;
+  cfg.vm.job_service_cv = 0.3;
+  cfg.seed = 99;
+  const std::vector<double> actual{20.0, 20.0};
+  const auto a = simulate(actual, actual, cfg);
+  const auto b = simulate(actual, actual, cfg);
+  EXPECT_EQ(a.avg_turnaround(), b.avg_turnaround());
+  // Mean service time should still be near the configured mean.
+  EXPECT_NEAR(a.avg_turnaround(), cfg.vm.job_service_mean, 40.0);
+}
+
+TEST(AutoScaler, SimulateWithPredictorWiresWalkForward) {
+  std::vector<double> series(60, 12.0);  // constant workload
+  ld::ts::MeanPredictor mean(5);
+  const auto result =
+      simulate_with_predictor(mean, series, 40, /*refit_every=*/5, deterministic_config());
+  EXPECT_EQ(result.intervals.size(), 20u);
+  // A mean predictor nails a constant workload.
+  EXPECT_EQ(result.under_provisioning_rate(), 0.0);
+  EXPECT_EQ(result.over_provisioning_rate(), 0.0);
+}
+
+TEST(AutoScaler, InputValidation) {
+  const std::vector<double> a{1.0}, b{1.0, 2.0}, empty;
+  EXPECT_THROW((void)simulate(a, b), std::invalid_argument);
+  EXPECT_THROW((void)simulate(empty, empty), std::invalid_argument);
+  AutoScalerConfig bad;
+  bad.vm.job_service_mean = 0.0;
+  EXPECT_THROW((void)simulate(a, a, bad), std::invalid_argument);
+}
+
+}  // namespace

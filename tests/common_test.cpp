@@ -1,0 +1,188 @@
+// Common utilities: RNG distributions and determinism, metrics, CSV, CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using ld::Rng;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng a(42);
+  Rng b = a.split();
+  Rng c = a.split();
+  EXPECT_NE(b.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const long long v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+class PoissonMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMean, MatchesLambda) {
+  const double lambda = GetParam();
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+  EXPECT_NEAR(sum / n, lambda, std::max(0.05, 4.0 * std::sqrt(lambda / n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMean,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0, 500.0, 50000.0));
+
+TEST(Rng, GammaMeanMatchesShapeScale) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(2.5, 3.0);
+  EXPECT_NEAR(sum / n, 7.5, 0.2);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(5);
+  const auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (const std::size_t idx : perm) {
+    ASSERT_LT(idx, 100u);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(Metrics, MapeBasic) {
+  const std::vector<double> actual{100.0, 200.0};
+  const std::vector<double> pred{110.0, 180.0};
+  EXPECT_NEAR(ld::metrics::mape(actual, pred), 10.0, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsZeroActuals) {
+  const std::vector<double> actual{0.0, 100.0};
+  const std::vector<double> pred{50.0, 150.0};
+  EXPECT_NEAR(ld::metrics::mape(actual, pred), 50.0, 1e-12);
+}
+
+TEST(Metrics, PerfectPredictionIsZeroError) {
+  const std::vector<double> x{3.0, 1.0, 4.0, 1.5};
+  EXPECT_EQ(ld::metrics::mape(x, x), 0.0);
+  EXPECT_EQ(ld::metrics::mae(x, x), 0.0);
+  EXPECT_EQ(ld::metrics::rmse(x, x), 0.0);
+  EXPECT_NEAR(ld::metrics::r2(x, x), 1.0, 1e-12);
+}
+
+TEST(Metrics, ScaleInvarianceOfMape) {
+  const std::vector<double> actual{10.0, 20.0, 30.0};
+  const std::vector<double> pred{12.0, 18.0, 33.0};
+  std::vector<double> actual_scaled, pred_scaled;
+  for (double v : actual) actual_scaled.push_back(v * 1000.0);
+  for (double v : pred) pred_scaled.push_back(v * 1000.0);
+  EXPECT_NEAR(ld::metrics::mape(actual, pred), ld::metrics::mape(actual_scaled, pred_scaled),
+              1e-9);
+}
+
+TEST(Metrics, MismatchedOrEmptyThrows) {
+  const std::vector<double> a{1.0, 2.0}, b{1.0};
+  EXPECT_THROW((void)ld::metrics::mape(a, b), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)ld::metrics::mape(empty, empty), std::invalid_argument);
+}
+
+TEST(Metrics, SmapeBounded) {
+  const std::vector<double> actual{1.0, 5.0, 10.0};
+  const std::vector<double> pred{100.0, 0.1, -10.0};
+  const double s = ld::metrics::smape(actual, pred);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 200.0);
+}
+
+TEST(Csv, ParseWithHeaderAndQuotes) {
+  const auto table = ld::csv::parse("a,b\n1,\"x,\"\"y\"\"\"\n2,z\n");
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][1], "x,\"y\"");
+  EXPECT_EQ(table.column("b"), 1u);
+  EXPECT_THROW((void)table.column("missing"), std::out_of_range);
+}
+
+TEST(Csv, NumericColumnAndErrors) {
+  const auto table = ld::csv::parse("v\n1.5\n2.5\n");
+  const auto col = ld::csv::numeric_column(table, 0);
+  EXPECT_EQ(col, (std::vector<double>{1.5, 2.5}));
+  const auto bad = ld::csv::parse("v\nnot_a_number\n");
+  EXPECT_THROW((void)ld::csv::numeric_column(bad, 0), std::invalid_argument);
+}
+
+TEST(Csv, WriteReadRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "ld_csv_test.csv";
+  ld::csv::write_file(path, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+  const auto table = ld::csv::read_file(path);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(ld::csv::numeric_column(table, 1), (std::vector<double>{2.0, 4.0}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW((void)ld::csv::read_file("/nonexistent/definitely_missing.csv"),
+               std::runtime_error);
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha", "3",     "--beta=0.5", "--verbose=true",
+                        "pos1", "--gamma", "hello", "pos2", "--quick"};
+  const ld::cli::Args args(10, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0.0), 0.5);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("quick"));  // trailing bare flag
+  EXPECT_EQ(args.get("gamma", ""), "hello");
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+}  // namespace

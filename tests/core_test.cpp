@@ -1,0 +1,248 @@
+// LoadDynamics core: hyperparameter spaces (Table III), single-model
+// training, the Fig. 6 workflow and the brute-force comparator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/hyperparameters.hpp"
+#include "core/loaddynamics.hpp"
+#include "core/model.hpp"
+
+namespace {
+
+using namespace ld::core;
+
+std::vector<double> seasonal_series(std::size_t n, double period, double level = 100.0,
+                                    double amplitude = 40.0) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] =
+        level + amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  return out;
+}
+
+ModelTrainingConfig fast_training() {
+  ModelTrainingConfig cfg;
+  cfg.trainer.max_epochs = 15;
+  cfg.trainer.patience = 4;
+  cfg.trainer.learning_rate = 5e-3;
+  return cfg;
+}
+
+TEST(HyperparameterSpace, PaperDefaultMatchesTableIII) {
+  const auto s = HyperparameterSpace::paper_default();
+  EXPECT_EQ(s.history_min, 1u);
+  EXPECT_EQ(s.history_max, 512u);
+  EXPECT_EQ(s.cell_min, 1u);
+  EXPECT_EQ(s.cell_max, 100u);
+  EXPECT_EQ(s.layers_min, 1u);
+  EXPECT_EQ(s.layers_max, 5u);
+  EXPECT_EQ(s.batch_min, 16u);
+  EXPECT_EQ(s.batch_max, 1024u);
+}
+
+TEST(HyperparameterSpace, FacebookRowMatchesTableIII) {
+  const auto s = HyperparameterSpace::paper_facebook();
+  EXPECT_EQ(s.history_max, 100u);
+  EXPECT_EQ(s.cell_max, 50u);
+  EXPECT_EQ(s.batch_min, 8u);
+  EXPECT_EQ(s.batch_max, 128u);
+  EXPECT_EQ(s.layers_max, 5u);  // layer range is shared across all rows
+}
+
+TEST(HyperparameterSpace, ValuesRoundTrip) {
+  const auto s = HyperparameterSpace::paper_default();
+  const Hyperparameters hp{.history_length = 37, .cell_size = 21, .num_layers = 3,
+                           .batch_size = 128};
+  EXPECT_EQ(s.from_values(s.to_values(hp)), hp);
+}
+
+TEST(HyperparameterSpace, SearchSpaceRespectsBounds) {
+  const auto space = HyperparameterSpace::paper_default().to_search_space();
+  ld::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto values = space.to_values(space.sample_unit(rng));
+    EXPECT_GE(values[0], 1.0);
+    EXPECT_LE(values[0], 512.0);
+    EXPECT_GE(values[1], 1.0);
+    EXPECT_LE(values[1], 100.0);
+    EXPECT_GE(values[2], 1.0);
+    EXPECT_LE(values[2], 5.0);
+    EXPECT_GE(values[3], 16.0);
+    EXPECT_LE(values[3], 1024.0);
+  }
+}
+
+TEST(HyperparameterSpace, ClampToDataShrinksHistory) {
+  const auto s = HyperparameterSpace::paper_default().clamped_to_data(64);
+  EXPECT_LE(s.history_max, 60u);
+  EXPECT_THROW((void)HyperparameterSpace::paper_default().clamped_to_data(4),
+               std::invalid_argument);
+}
+
+TEST(HyperparameterSpace, InvalidRangesThrow) {
+  HyperparameterSpace s;
+  s.history_min = 10;
+  s.history_max = 5;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  HyperparameterSpace z;
+  z.cell_min = 0;
+  EXPECT_THROW(z.validate(), std::invalid_argument);
+}
+
+TEST(TrainedModel, LearnsSeasonalSeriesWithLowMape) {
+  const auto series = seasonal_series(500, 24.0);
+  const std::span<const double> all(series);
+  const auto train = all.subspan(0, 300);
+  const auto val = all.subspan(300, 100);
+  const auto test = all.subspan(400);
+
+  const Hyperparameters hp{.history_length = 24, .cell_size = 16, .num_layers = 1,
+                           .batch_size = 32};
+  TrainedModel model(train, val, hp, fast_training(), 5);
+
+  EXPECT_LT(model.validation_mape(), 10.0);
+
+  const std::vector<double> preds = model.predict_series(series, 400);
+  const double mape = ld::metrics::mape(test, preds);
+  EXPECT_LT(mape, 10.0) << "test MAPE too high for a clean seasonal signal";
+}
+
+TEST(TrainedModel, PredictNextMatchesPredictSeries) {
+  const auto series = seasonal_series(300, 16.0);
+  const std::span<const double> all(series);
+  const Hyperparameters hp{.history_length = 8, .cell_size = 8, .num_layers = 1,
+                           .batch_size = 32};
+  TrainedModel model(all.subspan(0, 200), all.subspan(200, 50), hp, fast_training(), 3);
+
+  const std::vector<double> series_preds = model.predict_series(series, 250);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double single = model.predict_next(all.subspan(0, 250 + i));
+    EXPECT_NEAR(single, series_preds[i], 1e-9);
+  }
+}
+
+TEST(TrainedModel, HorizonFeedsPredictionsBack) {
+  const auto series = seasonal_series(300, 12.0);
+  const std::span<const double> all(series);
+  const Hyperparameters hp{.history_length = 12, .cell_size = 8, .num_layers = 1,
+                           .batch_size = 32};
+  TrainedModel model(all.subspan(0, 220), all.subspan(220, 40), hp, fast_training(), 3);
+  const auto horizon = model.predict_horizon(all.subspan(0, 260), 10);
+  ASSERT_EQ(horizon.size(), 10u);
+  for (const double p : horizon) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST(TrainedModel, ClampsWindowToShortData) {
+  const auto series = seasonal_series(40, 8.0);
+  const std::span<const double> all(series);
+  const Hyperparameters hp{.history_length = 500, .cell_size = 4, .num_layers = 1,
+                           .batch_size = 16};
+  // history_length far exceeds the data; construction must still succeed.
+  EXPECT_NO_THROW(TrainedModel(all.subspan(0, 30), all.subspan(30), hp, fast_training(), 1));
+}
+
+TEST(TrainedModel, RejectsBadInput) {
+  const std::vector<double> tiny{1.0, 2.0, 3.0};
+  const Hyperparameters hp;
+  EXPECT_THROW(TrainedModel(tiny, {}, hp, fast_training(), 1), std::invalid_argument);
+  std::vector<double> bad = seasonal_series(50, 8.0);
+  bad[10] = std::nan("");
+  EXPECT_THROW(TrainedModel(bad, {}, hp, fast_training(), 1), std::invalid_argument);
+}
+
+LoadDynamicsConfig quick_config(std::size_t iters = 8) {
+  LoadDynamicsConfig cfg;
+  cfg.space = HyperparameterSpace::reduced();
+  cfg.space.layers_max = 1;
+  cfg.space.cell_max = 16;
+  cfg.space.history_max = 24;
+  cfg.max_iterations = iters;
+  cfg.initial_random = 3;
+  cfg.training = fast_training();
+  cfg.training.trainer.max_epochs = 8;
+  return cfg;
+}
+
+TEST(LoadDynamics, WorkflowSelectsBestDatabaseEntry) {
+  const auto series = seasonal_series(400, 24.0);
+  const std::span<const double> all(series);
+  LoadDynamics framework(quick_config());
+  const FitResult fit = framework.fit(all.subspan(0, 240), all.subspan(240, 80));
+
+  ASSERT_EQ(fit.database.size(), 8u);
+  // best_index really is the argmin of the database.
+  for (const ModelRecord& rec : fit.database)
+    EXPECT_GE(rec.validation_mape, fit.best_record().validation_mape);
+  // The returned model's validation error matches the selected record.
+  EXPECT_NEAR(fit.predictor().validation_mape(), fit.best_record().validation_mape, 1e-9);
+}
+
+TEST(LoadDynamics, BeatsNaiveMeanOnSeasonalData) {
+  const auto series = seasonal_series(420, 24.0);
+  const std::span<const double> all(series);
+  LoadDynamics framework(quick_config());
+  const FitResult fit = framework.fit(all.subspan(0, 260), all.subspan(260, 80));
+
+  const auto test = all.subspan(340);
+  const std::vector<double> preds = fit.predictor().predict_series(series, 340);
+  const double lstm_mape = ld::metrics::mape(test, preds);
+
+  // Naive forecast: overall mean of the training data.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < 260; ++i) mean += series[i];
+  mean /= 260.0;
+  std::vector<double> naive(test.size(), mean);
+  const double naive_mape = ld::metrics::mape(test, naive);
+
+  EXPECT_LT(lstm_mape, naive_mape * 0.5)
+      << "self-optimized LSTM should easily halve the naive error on seasonal data";
+}
+
+TEST(LoadDynamics, RandomAndGridStrategiesRun) {
+  const auto series = seasonal_series(300, 16.0);
+  const std::span<const double> all(series);
+  for (const SearchStrategy strategy : {SearchStrategy::kRandom, SearchStrategy::kGrid}) {
+    LoadDynamicsConfig cfg = quick_config(6);
+    cfg.strategy = strategy;
+    LoadDynamics framework(cfg);
+    const FitResult fit = framework.fit(all.subspan(0, 200), all.subspan(200, 60));
+    EXPECT_FALSE(fit.database.empty());
+    EXPECT_TRUE(std::isfinite(fit.best_record().validation_mape));
+  }
+}
+
+TEST(LoadDynamics, IncumbentTraceMonotone) {
+  const auto series = seasonal_series(300, 16.0);
+  const std::span<const double> all(series);
+  LoadDynamics framework(quick_config(6));
+  const FitResult fit = framework.fit(all.subspan(0, 200), all.subspan(200, 60));
+  const auto trace = fit.incumbent_trace();
+  for (std::size_t i = 1; i < trace.size(); ++i) EXPECT_LE(trace[i], trace[i - 1]);
+}
+
+TEST(BruteForce, SearchesLatticeAndSelectsBest) {
+  const auto series = seasonal_series(300, 16.0);
+  const std::span<const double> all(series);
+  LoadDynamicsConfig cfg = quick_config();
+  const FitResult fit =
+      brute_force_search(all.subspan(0, 200), all.subspan(200, 60), cfg, /*points_per_dim=*/2);
+  EXPECT_GE(fit.database.size(), 8u);   // up to 2^4 minus dedup
+  EXPECT_LE(fit.database.size(), 16u);
+  for (const ModelRecord& rec : fit.database)
+    EXPECT_GE(rec.validation_mape, fit.best_record().validation_mape);
+}
+
+TEST(LoadDynamics, InvalidConfigThrows) {
+  LoadDynamicsConfig cfg;
+  cfg.max_iterations = 0;
+  EXPECT_THROW(LoadDynamics{cfg}, std::invalid_argument);
+}
+
+}  // namespace

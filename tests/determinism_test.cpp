@@ -1,0 +1,81 @@
+// End-to-end reproducibility: the repository's claim that a seed pins every
+// experiment bit-for-bit. Two independent runs of the full pipeline — trace
+// generation, BO search, LSTM training, prediction, simulation — must agree
+// exactly; a different seed must diverge.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/cloudinsight.hpp"
+#include "cloudsim/autoscaler.hpp"
+#include "core/loaddynamics.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace ld;
+
+struct PipelineResult {
+  std::vector<double> database_mapes;
+  std::vector<double> predictions;
+  double turnaround = 0.0;
+};
+
+PipelineResult run_pipeline(std::uint64_t seed) {
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kAzure, 60, {.days = 12.0, .seed = seed});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+
+  core::LoadDynamicsConfig cfg;
+  cfg.space = core::HyperparameterSpace::reduced();
+  cfg.space.history_max = 16;
+  cfg.space.cell_max = 8;
+  cfg.space.layers_max = 1;
+  cfg.max_iterations = 5;
+  cfg.initial_random = 3;
+  cfg.training.trainer.max_epochs = 8;
+  cfg.seed = seed;
+  const core::LoadDynamics framework(cfg);
+  const core::FitResult fit = framework.fit(split.train, split.validation);
+
+  PipelineResult result;
+  for (const auto& rec : fit.database) result.database_mapes.push_back(rec.validation_mape);
+  const std::vector<double> series = split.all();
+  result.predictions = fit.predictor().predict_series(series, split.test_start());
+
+  cloudsim::AutoScalerConfig sim_cfg;
+  sim_cfg.seed = seed;
+  result.turnaround =
+      cloudsim::simulate(result.predictions, split.test, sim_cfg).avg_turnaround();
+  return result;
+}
+
+TEST(Determinism, FullPipelineBitExactAcrossRuns) {
+  const PipelineResult a = run_pipeline(42);
+  const PipelineResult b = run_pipeline(42);
+  EXPECT_EQ(a.database_mapes, b.database_mapes)
+      << "BO search must explore identical configurations";
+  EXPECT_EQ(a.predictions, b.predictions) << "trained model must be bit-identical";
+  EXPECT_EQ(a.turnaround, b.turnaround) << "simulation must be bit-identical";
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const PipelineResult a = run_pipeline(42);
+  const PipelineResult c = run_pipeline(43);
+  EXPECT_NE(a.predictions, c.predictions);
+}
+
+TEST(Determinism, CloudInsightOnlineLoopReproducible) {
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kLcg, 30, {.days = 6.0, .seed = 9});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  const std::vector<double> series = split.all();
+  auto run = [&] {
+    baselines::CloudInsightPredictor ci({.light_pool = true});
+    return ts::walk_forward(ci, series, split.test_start(), {.refit_every = 5});
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

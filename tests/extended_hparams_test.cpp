@@ -1,0 +1,266 @@
+// Section V extension: alternative activations, loss functions, learning
+// rate and dropout — gradient exactness for each activation, loss gradients,
+// dropout semantics, and the extended search-space plumbing end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "core/hyperparameters.hpp"
+#include "core/loaddynamics.hpp"
+#include "nn/activation.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace ld;
+using nn::Activation;
+using nn::Loss;
+
+// --- Activations -------------------------------------------------------------
+
+class ActivationGradCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradCheck, DerivativeMatchesFiniteDifference) {
+  const Activation act = GetParam();
+  for (double x : {-2.0, -0.5, 0.0, 0.3, 1.7}) {
+    const double eps = 1e-6;
+    const double numeric =
+        (nn::activate(act, x + eps) - nn::activate(act, x - eps)) / (2.0 * eps);
+    const double analytic = nn::activate_grad_from_output(act, nn::activate(act, x));
+    EXPECT_NEAR(analytic, numeric, 1e-6) << nn::activation_name(act) << " at x=" << x;
+  }
+}
+
+TEST_P(ActivationGradCheck, NetworkBpttStaysExact) {
+  // Full-network gradient check with the non-default activation.
+  const Activation act = GetParam();
+  nn::LstmNetwork net(
+      {.input_size = 1, .hidden_size = 4, .num_layers = 2, .activation = act}, 31);
+  Rng rng(7);
+  tensor::Matrix x(3, 5);
+  for (double& v : x.flat()) v = rng.uniform(-1.0, 1.0);
+
+  const std::vector<double> out = net.forward(x);
+  net.zero_grad();
+  net.backward(out);  // dL/dy = y for L = 0.5 sum y^2
+
+  auto params = net.parameters();
+  auto grads = net.gradients();
+  const double eps = 1e-5;
+  for (std::size_t s = 0; s < params.size(); ++s) {
+    const std::size_t stride = std::max<std::size_t>(1, params[s].size() / 5);
+    for (std::size_t i = 0; i < params[s].size(); i += stride) {
+      const double orig = params[s][i];
+      auto loss = [&] {
+        double l = 0.0;
+        for (const double v : net.forward(x)) l += 0.5 * v * v;
+        return l;
+      };
+      params[s][i] = orig + eps;
+      const double lp = loss();
+      params[s][i] = orig - eps;
+      const double lm = loss();
+      params[s][i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double scale = std::max({1.0, std::abs(numeric), std::abs(grads[s][i])});
+      EXPECT_NEAR(grads[s][i], numeric, 2e-5 * scale)
+          << nn::activation_name(act) << " tensor " << s << " index " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ActivationGradCheck,
+                         ::testing::Values(Activation::kTanh, Activation::kSigmoid,
+                                           Activation::kSoftsign));
+
+TEST(Activation, NameRoundTrip) {
+  for (const Activation a :
+       {Activation::kTanh, Activation::kSigmoid, Activation::kSoftsign})
+    EXPECT_EQ(nn::activation_from_name(nn::activation_name(a)), a);
+  EXPECT_THROW((void)nn::activation_from_name("relu6"), std::invalid_argument);
+}
+
+// --- Losses ---------------------------------------------------------------------
+
+class LossGradCheck : public ::testing::TestWithParam<Loss> {};
+
+TEST_P(LossGradCheck, GradientMatchesFiniteDifference) {
+  const Loss loss = GetParam();
+  const std::vector<double> targets{0.2, 0.8, 0.5};
+  std::vector<double> preds{0.4, 0.3, 0.9};
+  std::vector<double> grad(3);
+  (void)nn::compute_loss(loss, preds, targets, grad, 0.15);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const double eps = 1e-7;
+    std::vector<double> scratch(3);
+    preds[i] += eps;
+    const double lp = nn::compute_loss(loss, preds, targets, scratch, 0.15);
+    preds[i] -= 2.0 * eps;
+    const double lm = nn::compute_loss(loss, preds, targets, scratch, 0.15);
+    preds[i] += eps;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2.0 * eps), 1e-6) << nn::loss_name(loss);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, LossGradCheck,
+                         ::testing::Values(Loss::kMse, Loss::kMae, Loss::kHuber));
+
+TEST(Loss, HuberInterpolatesBetweenMseAndMae) {
+  const std::vector<double> target{0.0};
+  std::vector<double> grad(1);
+  // Small error: Huber ~ 0.5 * MSE shape.
+  const std::vector<double> small{0.05};
+  EXPECT_NEAR(nn::compute_loss(Loss::kHuber, small, target, grad, 0.1), 0.5 * 0.05 * 0.05,
+              1e-12);
+  // Large error: linear like MAE.
+  const std::vector<double> large{10.0};
+  EXPECT_NEAR(nn::compute_loss(Loss::kHuber, large, target, grad, 0.1),
+              0.1 * (10.0 - 0.05), 1e-9);
+}
+
+TEST(Loss, ValidationAndNames) {
+  std::vector<double> grad(1);
+  const std::vector<double> a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW((void)nn::compute_loss(Loss::kMse, a, b, grad), std::invalid_argument);
+  for (const Loss l : {Loss::kMse, Loss::kMae, Loss::kHuber})
+    EXPECT_EQ(nn::loss_from_name(nn::loss_name(l)), l);
+}
+
+// --- Dropout ----------------------------------------------------------------------
+
+TEST(Dropout, InferenceIsDeterministicAndDropFree) {
+  nn::LstmNetwork net(
+      {.input_size = 1, .hidden_size = 8, .num_layers = 2, .dropout = 0.5}, 5);
+  Rng rng(3);
+  tensor::Matrix x(4, 6);
+  for (double& v : x.flat()) v = rng.uniform();
+  // Inference mode (default): dropout inactive -> identical outputs.
+  EXPECT_EQ(net.forward(x), net.forward(x));
+}
+
+TEST(Dropout, TrainingModeInjectsNoise) {
+  nn::LstmNetwork net(
+      {.input_size = 1, .hidden_size = 8, .num_layers = 2, .dropout = 0.5}, 5);
+  Rng rng(3);
+  tensor::Matrix x(4, 6);
+  for (double& v : x.flat()) v = rng.uniform();
+  net.set_training(true);
+  const auto a = net.forward(x);
+  const auto b = net.forward(x);  // fresh masks each forward
+  EXPECT_NE(a, b);
+}
+
+TEST(Dropout, SingleLayerNetworkUnaffected) {
+  // Dropout applies between stacked layers only; with one layer it is a no-op.
+  nn::LstmNetwork net(
+      {.input_size = 1, .hidden_size = 8, .num_layers = 1, .dropout = 0.5}, 5);
+  Rng rng(3);
+  tensor::Matrix x(2, 4);
+  for (double& v : x.flat()) v = rng.uniform();
+  net.set_training(true);
+  EXPECT_EQ(net.forward(x), net.forward(x));
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(nn::LstmNetwork({.input_size = 1, .hidden_size = 4, .num_layers = 1,
+                                .dropout = 1.0},
+                               1),
+               std::invalid_argument);
+}
+
+TEST(Dropout, TrainingStillConvergesWithDropout) {
+  std::vector<double> series(300);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 0.5 + 0.3 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 12.0);
+  const nn::SlidingWindowDataset train(std::span<const double>(series).subspan(0, 240), 12);
+  const nn::SlidingWindowDataset val(std::span<const double>(series).subspan(228), 12);
+  nn::LstmNetwork net(
+      {.input_size = 1, .hidden_size = 12, .num_layers = 2, .dropout = 0.2}, 9);
+  nn::TrainerConfig tc;
+  tc.max_epochs = 40;
+  tc.learning_rate = 5e-3;
+  const auto result = nn::train(net, train, &val, tc, 13);
+  EXPECT_LT(result.best_validation_loss, 5e-3);
+}
+
+// --- Extended search space --------------------------------------------------------
+
+TEST(ExtendedSpace, RoundTripAllEightDimensions) {
+  core::HyperparameterSpace space = core::HyperparameterSpace::reduced();
+  space.extended = true;
+  const core::Hyperparameters hp{.history_length = 12,
+                                 .cell_size = 10,
+                                 .num_layers = 2,
+                                 .batch_size = 32,
+                                 .activation = Activation::kSoftsign,
+                                 .loss = Loss::kHuber,
+                                 .learning_rate = 3e-3,
+                                 .dropout = 0.25};
+  const core::Hyperparameters back = space.from_values(space.to_values(hp));
+  EXPECT_EQ(back.activation, hp.activation);
+  EXPECT_EQ(back.loss, hp.loss);
+  EXPECT_NEAR(back.learning_rate, hp.learning_rate, 1e-12);
+  EXPECT_NEAR(back.dropout, hp.dropout, 1e-12);
+}
+
+TEST(ExtendedSpace, SearchSpaceHasEightDims) {
+  core::HyperparameterSpace space = core::HyperparameterSpace::reduced();
+  EXPECT_EQ(space.to_search_space().size(), 4u);
+  space.extended = true;
+  EXPECT_EQ(space.to_search_space().size(), 8u);
+}
+
+TEST(ExtendedSpace, SampledValuesStayInRange) {
+  core::HyperparameterSpace space = core::HyperparameterSpace::reduced();
+  space.extended = true;
+  const auto ss = space.to_search_space();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto hp = space.from_values(ss.to_values(ss.sample_unit(rng)));
+    EXPECT_GE(hp.learning_rate, space.lr_min);
+    EXPECT_LE(hp.learning_rate, space.lr_max);
+    EXPECT_GE(hp.dropout, 0.0);
+    EXPECT_LE(hp.dropout, space.dropout_max);
+  }
+}
+
+TEST(ExtendedSpace, InvalidRangesThrow) {
+  core::HyperparameterSpace space = core::HyperparameterSpace::reduced();
+  space.extended = true;
+  space.lr_min = 0.0;
+  EXPECT_THROW(space.validate(), std::invalid_argument);
+  space = core::HyperparameterSpace::reduced();
+  space.extended = true;
+  space.dropout_max = 1.0;
+  EXPECT_THROW(space.validate(), std::invalid_argument);
+}
+
+TEST(ExtendedSpace, LoadDynamicsRunsWithExtendedSearch) {
+  std::vector<double> series(260);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] =
+        100.0 + 40.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 16.0);
+  const std::span<const double> all(series);
+
+  core::LoadDynamicsConfig cfg;
+  cfg.space = core::HyperparameterSpace::reduced();
+  cfg.space.extended = true;
+  cfg.space.history_max = 20;
+  cfg.space.cell_max = 10;
+  cfg.space.layers_max = 2;
+  cfg.max_iterations = 6;
+  cfg.initial_random = 3;
+  cfg.training.trainer.max_epochs = 10;
+  const core::LoadDynamics framework(cfg);
+  const core::FitResult fit = framework.fit(all.subspan(0, 180), all.subspan(180, 50));
+  EXPECT_EQ(fit.database.size(), 6u);
+  EXPECT_TRUE(std::isfinite(fit.best_record().validation_mape));
+  // The selected learning rate came from the search space, not the default.
+  EXPECT_GT(fit.best_record().hyperparameters.learning_rate, 0.0);
+}
+
+}  // namespace

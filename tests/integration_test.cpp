@@ -1,0 +1,181 @@
+// Cross-module integration: the full LoadDynamics pipeline on synthetic
+// paper workloads, against the baselines, through to the auto-scaling sim.
+// These are the "does the reproduced system behave like the paper says"
+// tests at a miniature scale.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/cloudscale.hpp"
+#include "baselines/wood.hpp"
+#include "cloudsim/autoscaler.hpp"
+#include "common/metrics.hpp"
+#include "core/loaddynamics.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace ld;
+
+core::LoadDynamicsConfig tiny_config() {
+  core::LoadDynamicsConfig cfg;
+  cfg.space = core::HyperparameterSpace::reduced();
+  cfg.space.history_max = 48;
+  cfg.space.cell_max = 16;
+  cfg.space.layers_max = 1;
+  cfg.max_iterations = 8;
+  cfg.initial_random = 4;
+  cfg.training.trainer.max_epochs = 30;
+  cfg.training.trainer.patience = 6;
+  cfg.training.trainer.learning_rate = 1e-2;
+  cfg.training.trainer.min_updates = 400;
+  cfg.training.max_train_windows = 1200;
+  return cfg;
+}
+
+TEST(Integration, LoadDynamicsPredictsWikipediaAccurately) {
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kWikipedia, 30, {.days = 12.0, .seed = 11});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+
+  core::LoadDynamics framework(tiny_config());
+  const core::FitResult fit = framework.fit(split.train, split.validation);
+
+  const std::vector<double> series = split.all();
+  const std::vector<double> preds =
+      fit.predictor().predict_series(series, split.test_start());
+  const double mape = metrics::mape(split.test, preds);
+  // The paper reports ~1% on Wikipedia; at miniature scale we accept <10%.
+  EXPECT_LT(mape, 10.0) << "Wikipedia should be highly predictable";
+}
+
+TEST(Integration, LoadDynamicsBeatsBaselinesOnAverage) {
+  // The paper's headline comparison (Fig. 9b "Average"). At this miniature
+  // scale (12 BO iterations vs the paper's 100) we assert the robust version:
+  // LoadDynamics clearly beats CloudScale (the paper's largest margin,
+  // -14.1%) and stays within noise of the online-refit Wood baseline.
+  double lstm_total = 0.0, wood_total = 0.0, cloudscale_total = 0.0;
+  for (const workloads::TraceKind kind :
+       {workloads::TraceKind::kWikipedia, workloads::TraceKind::kGoogle,
+        workloads::TraceKind::kLcg}) {
+    const workloads::Trace trace = workloads::generate(kind, 30, {.days = 12.0, .seed = 21});
+    const workloads::TraceSplit split = workloads::split_trace(trace);
+    const std::vector<double> series = split.all();
+
+    core::LoadDynamicsConfig strong = tiny_config();
+    strong.max_iterations = 12;
+    strong.training.trainer.max_epochs = 40;
+    strong.training.trainer.patience = 8;
+    core::LoadDynamics framework(strong);
+    const core::FitResult fit = framework.fit(split.train, split.validation);
+    const std::vector<double> lstm_preds =
+        fit.predictor().predict_series(series, split.test_start());
+    lstm_total += metrics::mape(split.test, lstm_preds);
+
+    baselines::WoodPredictor wood;
+    const auto wood_preds =
+        ts::walk_forward(wood, series, split.test_start(), {.refit_every = 5});
+    wood_total += metrics::mape(split.test, wood_preds);
+
+    baselines::CloudScalePredictor cloudscale;
+    const auto cs_preds =
+        ts::walk_forward(cloudscale, series, split.test_start(), {.refit_every = 48});
+    cloudscale_total += metrics::mape(split.test, cs_preds);
+  }
+  EXPECT_LT(lstm_total, cloudscale_total)
+      << "LoadDynamics must clearly beat CloudScale on average (paper: -14.1%)";
+  EXPECT_LT(lstm_total, wood_total * 1.10)
+      << "LoadDynamics must stay competitive with the online-refit Wood baseline";
+}
+
+TEST(Integration, SmallIntervalsHarderThanLargeForAzure) {
+  // The paper's observation: FB/LCG/Azure errors grow as intervals shrink.
+  const workloads::Trace minutely =
+      workloads::generate_minutely(workloads::TraceKind::kAzure, {.days = 12.0, .seed = 31});
+
+  auto mape_at = [&](std::size_t interval) {
+    const workloads::Trace t = workloads::aggregate(minutely, interval);
+    const workloads::TraceSplit split = workloads::split_trace(t);
+    core::LoadDynamics framework(tiny_config());
+    const core::FitResult fit = framework.fit(split.train, split.validation);
+    const std::vector<double> series = split.all();
+    const std::vector<double> preds =
+        fit.predictor().predict_series(series, split.test_start());
+    return metrics::mape(split.test, preds);
+  };
+
+  const double fine = mape_at(10);
+  const double coarse = mape_at(60);
+  EXPECT_GT(fine, coarse) << "10-minute Azure should be harder than 60-minute (Fig. 9a)";
+}
+
+TEST(Integration, AutoScalingOrderingFollowsAccuracy) {
+  // Fig. 10's mechanism: a more accurate predictor must produce better
+  // turnaround and lower over-provisioning in the simulator. Compare
+  // LoadDynamics against a deliberately crippled forecaster.
+  const workloads::Trace trace = workloads::generate(
+      workloads::TraceKind::kAzure, 60, {.days = 12.0, .seed = 41, .scale = 0.01});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  const std::vector<double> series = split.all();
+
+  core::LoadDynamics framework(tiny_config());
+  const core::FitResult fit = framework.fit(split.train, split.validation);
+  const std::vector<double> ld_preds =
+      fit.predictor().predict_series(series, split.test_start());
+
+  // Crippled baseline: global cubic extrapolation (wild on regime shifts).
+  std::vector<double> stale_preds(split.test.size(),
+                                  series[split.test_start() - 24]);  // day-old value
+
+  cloudsim::AutoScalerConfig sim_cfg;
+  sim_cfg.vm.job_service_cv = 0.1;
+  const auto ld_sim = cloudsim::simulate(ld_preds, split.test, sim_cfg);
+  const auto stale_sim = cloudsim::simulate(stale_preds, split.test, sim_cfg);
+
+  const double ld_mape = metrics::mape(split.test, ld_preds);
+  const double stale_mape = metrics::mape(split.test, stale_preds);
+  ASSERT_LT(ld_mape, stale_mape);  // precondition of the comparison
+
+  EXPECT_LE(ld_sim.avg_turnaround(), stale_sim.avg_turnaround() * 1.02);
+  EXPECT_LT(ld_sim.over_provisioning_rate() + ld_sim.under_provisioning_rate(),
+            stale_sim.over_provisioning_rate() + stale_sim.under_provisioning_rate());
+}
+
+TEST(Integration, CloudScaleShinesOnSeasonalStrugglesOnBursty) {
+  // Fig. 2's motivation: pattern-matching predictors are workload-sensitive.
+  const workloads::Trace wiki =
+      workloads::generate(workloads::TraceKind::kWikipedia, 30, {.days = 12.0, .seed = 51});
+  const workloads::Trace lcg =
+      workloads::generate(workloads::TraceKind::kLcg, 30, {.days = 12.0, .seed = 51});
+
+  auto cloudscale_mape = [](const workloads::Trace& trace) {
+    const workloads::TraceSplit split = workloads::split_trace(trace);
+    const std::vector<double> series = split.all();
+    baselines::CloudScalePredictor cs;
+    const auto preds =
+        ts::walk_forward(cs, series, split.test_start(), {.refit_every = 48});
+    return metrics::mape(split.test, preds);
+  };
+
+  EXPECT_LT(cloudscale_mape(wiki), cloudscale_mape(lcg));
+}
+
+TEST(Integration, TrainedModelPluggableIntoWalkForward) {
+  // TrainedModel implements ts::Predictor, so the baseline harness drives it.
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kGoogle, 30, {.days = 8.0, .seed = 61});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+
+  core::LoadDynamics framework(tiny_config());
+  const core::FitResult fit = framework.fit(split.train, split.validation);
+  auto predictor = fit.model;
+
+  const std::vector<double> series = split.all();
+  const auto preds = ts::walk_forward(*predictor, series, split.test_start());
+  EXPECT_EQ(preds.size(), split.test.size());
+  const double mape = metrics::mape(split.test, preds);
+  EXPECT_LT(mape, 60.0);
+}
+
+}  // namespace

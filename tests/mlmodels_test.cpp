@@ -1,0 +1,301 @@
+// ML substrate: polynomial trend models, the SVR dual solver, CART trees and
+// the three ensemble variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "mlmodels/ensembles.hpp"
+#include "mlmodels/polynomial.hpp"
+#include "mlmodels/svr.hpp"
+#include "mlmodels/tree.hpp"
+
+namespace {
+
+using namespace ld::ml;
+using ld::Rng;
+using ld::tensor::Matrix;
+
+std::vector<double> poly_series(std::size_t n, double a, double b, double c) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    out[i] = a + b * t + c * t * t;
+  }
+  return out;
+}
+
+// --- Polynomial regression ---------------------------------------------------
+
+TEST(Polynomial, LinearExtrapolatesLine) {
+  const auto series = poly_series(50, 2.0, 3.0, 0.0);
+  PolynomialTrendPredictor global(1, RegressionScope::kGlobal);
+  PolynomialTrendPredictor local(1, RegressionScope::kLocal, 24);
+  const double expected = 2.0 + 3.0 * 50.0;
+  EXPECT_NEAR(global.predict_next(series), expected, 1e-6);
+  EXPECT_NEAR(local.predict_next(series), expected, 1e-6);
+}
+
+TEST(Polynomial, QuadraticFitsParabola) {
+  const auto series = poly_series(40, 1.0, 0.5, 0.25);
+  PolynomialTrendPredictor quad(2, RegressionScope::kGlobal);
+  const double t = 40.0;
+  EXPECT_NEAR(quad.predict_next(series), 1.0 + 0.5 * t + 0.25 * t * t, 1e-4);
+  // A linear model must underestimate a convex parabola's next value.
+  PolynomialTrendPredictor lin(1, RegressionScope::kGlobal);
+  EXPECT_LT(lin.predict_next(series), quad.predict_next(series));
+}
+
+TEST(Polynomial, CubicFitsCubicLocally) {
+  std::vector<double> series(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const double t = static_cast<double>(i) / 10.0;
+    series[i] = t * t * t - t;
+  }
+  PolynomialTrendPredictor cubic(3, RegressionScope::kGlobal);
+  const double t_next = 3.0;
+  EXPECT_NEAR(cubic.predict_next(series), t_next * t_next * t_next - t_next, 0.05);
+}
+
+TEST(Polynomial, LocalAdaptsToRecentBreakFasterThanGlobal) {
+  // Flat for 80 steps, then a steep line: local window sees only the line.
+  std::vector<double> series(100, 10.0);
+  for (std::size_t i = 80; i < 100; ++i)
+    series[i] = 10.0 + 5.0 * static_cast<double>(i - 79);
+  PolynomialTrendPredictor local(1, RegressionScope::kLocal, 12);
+  PolynomialTrendPredictor global(1, RegressionScope::kGlobal);
+  const double actual_next = 10.0 + 5.0 * 21.0;
+  EXPECT_LT(std::abs(local.predict_next(series) - actual_next),
+            std::abs(global.predict_next(series) - actual_next));
+}
+
+TEST(Polynomial, InvalidDegreeThrows) {
+  EXPECT_THROW(PolynomialTrendPredictor(0, RegressionScope::kGlobal), std::invalid_argument);
+  EXPECT_THROW(PolynomialTrendPredictor(4, RegressionScope::kGlobal), std::invalid_argument);
+  EXPECT_THROW(PolynomialTrendPredictor(3, RegressionScope::kLocal, 3), std::invalid_argument);
+}
+
+TEST(Polynomial, NamesMatchTableII) {
+  EXPECT_EQ(PolynomialTrendPredictor(1, RegressionScope::kGlobal).name(), "linear_global");
+  EXPECT_EQ(PolynomialTrendPredictor(3, RegressionScope::kLocal, 24).name(), "cubic_local");
+}
+
+// --- SVR -----------------------------------------------------------------------
+
+TEST(Svr, LinearKernelFitsArProcess) {
+  Rng rng(3);
+  std::vector<double> x(800);
+  x[0] = 50.0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    x[i] = 10.0 + 0.3 * x[i - 1] + rng.normal(0.0, 1.0);
+  SvrConfig cfg;
+  cfg.kernel = SvrKernel::kLinear;
+  cfg.window = 4;
+  SvrPredictor svr(cfg);
+  svr.fit(std::span<const double>(x).subspan(0, 700));
+
+  double se = 0.0, naive = 0.0;
+  for (std::size_t t = 700; t < 800; ++t) {
+    const auto hist = std::span<const double>(x).subspan(0, t);
+    const double p = svr.predict_next(hist);
+    se += (p - x[t]) * (p - x[t]);
+    naive += (x[t - 1] - x[t]) * (x[t - 1] - x[t]);
+  }
+  EXPECT_LT(se, naive);
+  EXPECT_GT(svr.support_vector_count(), 0u);
+}
+
+TEST(Svr, RbfKernelFitsNonlinearMap) {
+  // Next value = sin of previous: linear models cannot express this.
+  std::vector<double> x(600);
+  x[0] = 0.3;
+  for (std::size_t i = 1; i < x.size(); ++i) x[i] = std::sin(2.5 * x[i - 1]) + 1.5;
+  SvrConfig cfg;
+  cfg.kernel = SvrKernel::kRbf;
+  cfg.window = 2;
+  cfg.gamma = 2.0;
+  SvrPredictor svr(cfg);
+  svr.fit(std::span<const double>(x).subspan(0, 500));
+  double worst = 0.0;
+  for (std::size_t t = 500; t < 560; ++t) {
+    const auto hist = std::span<const double>(x).subspan(0, t);
+    worst = std::max(worst, std::abs(svr.predict_next(hist) - x[t]));
+  }
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(Svr, ShortHistoryFallsBack) {
+  SvrPredictor svr;
+  const std::vector<double> tiny{1.0, 2.0};
+  svr.fit(tiny);
+  EXPECT_EQ(svr.predict_next(tiny), 2.0);
+}
+
+TEST(Svr, InvalidConfigThrows) {
+  SvrConfig bad;
+  bad.c = -1.0;
+  EXPECT_THROW(SvrPredictor{bad}, std::invalid_argument);
+  SvrConfig zero_window;
+  zero_window.window = 0;
+  EXPECT_THROW(SvrPredictor{zero_window}, std::invalid_argument);
+}
+
+// --- Regression tree -------------------------------------------------------------
+
+TEST(Tree, FitsPiecewiseConstantExactly) {
+  // y = 1 if x < 0.5 else 9: one split suffices.
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i) / 100.0;
+    y[i] = x(i, 0) < 0.5 ? 1.0 : 9.0;
+  }
+  std::vector<std::size_t> rows(100);
+  for (std::size_t i = 0; i < 100; ++i) rows[i] = i;
+  Rng rng(1);
+  RegressionTree tree;
+  tree.fit(x, y, rows, {.max_depth = 3, .min_samples_leaf = 1, .min_samples_split = 2}, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.2}), 1.0, 1e-12);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.8}), 9.0, 1e-12);
+}
+
+TEST(Tree, RespectsMaxDepth) {
+  Rng rng(2);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  std::vector<std::size_t> rows(200);
+  for (std::size_t i = 0; i < 200; ++i) rows[i] = i;
+  RegressionTree tree;
+  tree.fit(x, y, rows, {.max_depth = 3, .min_samples_leaf = 1, .min_samples_split = 2}, rng);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(Tree, ConstantTargetsProduceLeaf) {
+  Matrix x(10, 2);
+  std::vector<double> y(10, 4.0);
+  std::vector<std::size_t> rows(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    rows[i] = i;
+    x(i, 0) = static_cast<double>(i);
+  }
+  Rng rng(3);
+  RegressionTree tree;
+  tree.fit(x, y, rows, {}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0, 0.0}), 4.0);
+}
+
+// --- Ensembles ------------------------------------------------------------------
+
+class EnsembleKindTest : public ::testing::TestWithParam<EnsembleKind> {};
+
+TEST_P(EnsembleKindTest, PredictionWithinTargetRange) {
+  Rng rng(5);
+  std::vector<double> series(400);
+  for (double& v : series) v = rng.uniform(10.0, 50.0);
+  EnsembleConfig cfg;
+  cfg.kind = GetParam();
+  cfg.window = 6;
+  cfg.n_trees = 12;
+  TreeEnsemblePredictor model(cfg);
+  model.fit(series);
+  const double p = model.predict_next(series);
+  // Averages of training targets can never leave the observed range.
+  EXPECT_GE(p, 10.0);
+  EXPECT_LE(p, 50.0);
+}
+
+TEST_P(EnsembleKindTest, LearnsSeasonalSignal) {
+  std::vector<double> series(600);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] =
+        50.0 + 20.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 12.0);
+  EnsembleConfig cfg;
+  cfg.kind = GetParam();
+  cfg.window = 12;
+  cfg.n_trees = 25;
+  TreeEnsemblePredictor model(cfg);
+  model.fit(std::span<const double>(series).subspan(0, 500));
+  double worst = 0.0;
+  for (std::size_t t = 500; t < 560; ++t) {
+    const auto hist = std::span<const double>(series).subspan(0, t);
+    worst = std::max(worst, std::abs(model.predict_next(hist) - series[t]));
+  }
+  EXPECT_LT(worst, 8.0);  // within 40% of the amplitude at worst
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EnsembleKindTest,
+                         ::testing::Values(EnsembleKind::kDecisionTree,
+                                           EnsembleKind::kRandomForest,
+                                           EnsembleKind::kExtraTrees,
+                                           EnsembleKind::kGradientBoosting));
+
+TEST(Ensembles, ForestAveragesReduceSingleTreeVariance) {
+  Rng rng(7);
+  // Noisy linear target.
+  std::vector<double> series(500);
+  series[0] = 100.0;
+  for (std::size_t i = 1; i < series.size(); ++i)
+    series[i] = 0.9 * series[i - 1] + 10.0 + rng.normal(0.0, 5.0);
+  auto eval = [&](EnsembleConfig cfg) {
+    TreeEnsemblePredictor model(cfg);
+    model.fit(std::span<const double>(series).subspan(0, 400));
+    double se = 0.0;
+    for (std::size_t t = 400; t < 500; ++t) {
+      const auto hist = std::span<const double>(series).subspan(0, t);
+      const double p = model.predict_next(hist);
+      se += (p - series[t]) * (p - series[t]);
+    }
+    return se;
+  };
+  const double forest_se = eval(random_forest_config(6, 40));
+  const double tree_se = eval(decision_tree_config(6));
+  EXPECT_LT(forest_se, tree_se * 1.1);  // bagging should not be (much) worse
+}
+
+TEST(Ensembles, GradientBoostingImprovesWithMoreTrees) {
+  std::vector<double> series(400);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] =
+        30.0 + 10.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 16.0);
+  auto eval = [&](std::size_t n_trees) {
+    EnsembleConfig cfg = gradient_boosting_config(8, n_trees);
+    TreeEnsemblePredictor model(cfg);
+    model.fit(std::span<const double>(series).subspan(0, 340));
+    double se = 0.0;
+    for (std::size_t t = 340; t < 400; ++t) {
+      const auto hist = std::span<const double>(series).subspan(0, t);
+      const double p = model.predict_next(hist);
+      se += (p - series[t]) * (p - series[t]);
+    }
+    return se;
+  };
+  EXPECT_LT(eval(60), eval(3));
+}
+
+TEST(Ensembles, DeterministicGivenSeed) {
+  Rng rng(9);
+  std::vector<double> series(300);
+  for (double& v : series) v = rng.uniform(0.0, 10.0);
+  EnsembleConfig cfg = random_forest_config(5, 10);
+  TreeEnsemblePredictor a(cfg), b(cfg);
+  a.fit(series);
+  b.fit(series);
+  EXPECT_EQ(a.predict_next(series), b.predict_next(series));
+}
+
+TEST(Ensembles, InvalidConfigThrows) {
+  EnsembleConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(TreeEnsemblePredictor{bad}, std::invalid_argument);
+  EnsembleConfig bad2 = random_forest_config();
+  bad2.subsample = 0.0;
+  EXPECT_THROW(TreeEnsemblePredictor{bad2}, std::invalid_argument);
+}
+
+}  // namespace

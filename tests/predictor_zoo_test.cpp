@@ -1,0 +1,116 @@
+// Cross-cutting invariants over the whole predictor zoo: every forecaster
+// in the library must clone faithfully, produce finite forecasts on
+// realistic traces, and degrade gracefully on short histories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "baselines/cloudinsight.hpp"
+#include "baselines/cloudscale.hpp"
+#include "baselines/wood.hpp"
+#include "mlmodels/ensembles.hpp"
+#include "mlmodels/polynomial.hpp"
+#include "mlmodels/svr.hpp"
+#include "timeseries/arima.hpp"
+#include "timeseries/holtwinters.hpp"
+#include "timeseries/knn.hpp"
+#include "timeseries/smoothing.hpp"
+
+namespace {
+
+using namespace ld;
+
+std::vector<std::unique_ptr<ts::Predictor>> full_zoo() {
+  auto zoo = baselines::make_cloudinsight_pool(/*light=*/true);
+  zoo.push_back(std::make_unique<ts::HoltWintersPredictor>());
+  zoo.push_back(std::make_unique<baselines::CloudScalePredictor>());
+  zoo.push_back(std::make_unique<baselines::WoodPredictor>());
+  return zoo;
+}
+
+std::vector<double> realistic_series(std::size_t n) {
+  Rng rng(77);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = 100.0 +
+             30.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 24.0) +
+             rng.normal(0.0, 5.0);
+  return out;
+}
+
+TEST(PredictorZoo, EveryPredictorProducesFiniteForecasts) {
+  const auto series = realistic_series(300);
+  for (auto& p : full_zoo()) {
+    p->fit(std::span<const double>(series).subspan(0, 250));
+    for (std::size_t t = 250; t < 260; ++t) {
+      const double v = p->predict_next(std::span<const double>(series).subspan(0, t));
+      EXPECT_TRUE(std::isfinite(v)) << p->name() << " at t=" << t;
+      EXPECT_GE(v, -1e6) << p->name();
+      EXPECT_LE(v, 1e6) << p->name();
+    }
+  }
+}
+
+TEST(PredictorZoo, ClonePredictsIdenticallyAfterFit) {
+  const auto series = realistic_series(300);
+  const std::span<const double> all(series);
+  for (auto& p : full_zoo()) {
+    p->fit(all.subspan(0, 250));
+    const auto clone = p->clone();
+    // Clones of deterministic fitted models must agree exactly.
+    const double a = p->predict_next(all.subspan(0, 260));
+    const double b = clone->predict_next(all.subspan(0, 260));
+    EXPECT_EQ(a, b) << p->name();
+  }
+}
+
+TEST(PredictorZoo, NamesAreUniqueAndStable) {
+  std::vector<std::string> names;
+  for (auto& p : full_zoo()) names.push_back(p->name());
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+      << "duplicate predictor names would corrupt leaderboards";
+  // Clone preserves the name.
+  for (auto& p : full_zoo()) EXPECT_EQ(p->name(), p->clone()->name());
+}
+
+TEST(PredictorZoo, SurvivesTwoPointHistory) {
+  const std::vector<double> tiny{10.0, 12.0};
+  for (auto& p : full_zoo()) {
+    p->fit(tiny);
+    EXPECT_NO_THROW({
+      const double v = p->predict_next(tiny);
+      EXPECT_TRUE(std::isfinite(v)) << p->name();
+    }) << p->name();
+  }
+}
+
+TEST(PredictorZoo, EmptyHistoryAlwaysThrows) {
+  const std::vector<double> empty;
+  for (auto& p : full_zoo())
+    EXPECT_THROW((void)p->predict_next(empty), std::invalid_argument) << p->name();
+}
+
+TEST(PredictorZoo, RefitImprovesOrMatchesOnDriftingSeries) {
+  // Global sanity: for each model, walk-forward with refits should not be
+  // substantially worse than a frozen fit on a series with a level shift.
+  std::vector<double> series(300, 50.0);
+  for (std::size_t i = 150; i < series.size(); ++i) series[i] = 150.0;
+  for (auto& p : full_zoo()) {
+    auto frozen = p->clone();
+    const auto adaptive_preds = ts::walk_forward(*p, series, 200, {.refit_every = 10});
+    const auto frozen_preds = ts::walk_forward(*frozen, series, 200, {});
+    double adaptive_err = 0.0, frozen_err = 0.0;
+    for (std::size_t i = 0; i < adaptive_preds.size(); ++i) {
+      adaptive_err += std::abs(adaptive_preds[i] - series[200 + i]);
+      frozen_err += std::abs(frozen_preds[i] - series[200 + i]);
+    }
+    EXPECT_LE(adaptive_err, frozen_err * 1.5 + 10.0) << p->name();
+  }
+}
+
+}  // namespace

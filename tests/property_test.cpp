@@ -1,0 +1,99 @@
+// Additional property sweeps: kernel PSD-ness over random point sets, and
+// serialization round-trips for the extended model configurations (GRU,
+// alternative activations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "bayesopt/kernel.hpp"
+#include "common/rng.hpp"
+#include "core/serialization.hpp"
+#include "tensor/linalg.hpp"
+
+namespace {
+
+using namespace ld;
+
+class KernelPsd
+    : public ::testing::TestWithParam<std::tuple<bayesopt::KernelType, int>> {};
+
+TEST_P(KernelPsd, GramMatrixIsPositiveSemiDefinite) {
+  const auto [type, seed] = GetParam();
+  auto kernel = bayesopt::make_kernel(type);
+  kernel->set_params({.signal_variance = 1.5, .lengthscale = 0.3});
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t n = 12, d = 3;
+  std::vector<std::vector<double>> points(n, std::vector<double>(d));
+  for (auto& p : points)
+    for (double& v : p) v = rng.uniform();
+
+  tensor::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) gram(i, j) = (*kernel)(points[i], points[j]);
+  for (std::size_t i = 0; i < n; ++i) gram(i, i) += 1e-9;  // numerical jitter
+  // PSD iff the (jittered) Cholesky succeeds.
+  EXPECT_NO_THROW((void)tensor::cholesky(gram)) << kernel->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelPsd,
+    ::testing::Combine(::testing::Values(bayesopt::KernelType::kRbf,
+                                         bayesopt::KernelType::kMatern32,
+                                         bayesopt::KernelType::kMatern52),
+                       ::testing::Range(1, 5)));
+
+std::vector<double> seasonal(std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] =
+        100.0 + 40.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 16.0);
+  return out;
+}
+
+struct ExtendedConfigCase {
+  nn::CellType cell;
+  nn::Activation activation;
+  nn::Loss loss;
+};
+
+class ExtendedSerialization : public ::testing::TestWithParam<ExtendedConfigCase> {};
+
+TEST_P(ExtendedSerialization, RoundTripsExactly) {
+  const ExtendedConfigCase param = GetParam();
+  const auto series = seasonal(240);
+  const std::span<const double> all(series);
+  core::ModelTrainingConfig training;
+  training.trainer.max_epochs = 5;
+  core::Hyperparameters hp{.history_length = 12,
+                           .cell_size = 8,
+                           .num_layers = 2,
+                           .batch_size = 32,
+                           .activation = param.activation,
+                           .loss = param.loss,
+                           .cell = param.cell,
+                           .learning_rate = 5e-3,
+                           .dropout = 0.1};
+  const core::TrainedModel model(all.subspan(0, 180), all.subspan(180), hp, training, 3);
+
+  std::stringstream stream;
+  core::save_model(model, stream);
+  const auto restored = core::load_model(stream);
+
+  EXPECT_EQ(restored->hyperparameters(), model.hyperparameters());
+  EXPECT_EQ(restored->predict_next(all.subspan(0, 200)),
+            model.predict_next(all.subspan(0, 200)))
+      << "restored " << nn::cell_type_name(param.cell) << "/"
+      << nn::activation_name(param.activation) << " model must be bit-exact";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ExtendedSerialization,
+    ::testing::Values(
+        ExtendedConfigCase{nn::CellType::kLstm, nn::Activation::kTanh, nn::Loss::kMse},
+        ExtendedConfigCase{nn::CellType::kGru, nn::Activation::kTanh, nn::Loss::kMse},
+        ExtendedConfigCase{nn::CellType::kGru, nn::Activation::kSoftsign, nn::Loss::kHuber},
+        ExtendedConfigCase{nn::CellType::kLstm, nn::Activation::kSigmoid, nn::Loss::kMae}));
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Quantile (pinball-loss) forecasting: gradient correctness and the
+// defining calibration property — a tau-quantile forecast should sit above
+// roughly a tau fraction of the actuals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "nn/loss.hpp"
+
+namespace {
+
+using namespace ld;
+
+TEST(Pinball, GradientMatchesFiniteDifference) {
+  const std::vector<double> targets{0.3, 0.6, 0.1};
+  std::vector<double> preds{0.5, 0.2, 0.4};
+  std::vector<double> grad(3), scratch(3);
+  (void)nn::compute_loss(nn::Loss::kPinball, preds, targets, grad, 0.1, 0.85);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const double eps = 1e-7;
+    preds[i] += eps;
+    const double lp = nn::compute_loss(nn::Loss::kPinball, preds, targets, scratch, 0.1, 0.85);
+    preds[i] -= 2.0 * eps;
+    const double lm = nn::compute_loss(nn::Loss::kPinball, preds, targets, scratch, 0.1, 0.85);
+    preds[i] += eps;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2.0 * eps), 1e-6);
+  }
+}
+
+TEST(Pinball, AsymmetryPenalizesUnderPrediction) {
+  std::vector<double> grad(1);
+  const std::vector<double> target{1.0};
+  const std::vector<double> under{0.5}, over{1.5};
+  const double under_loss =
+      nn::compute_loss(nn::Loss::kPinball, under, target, grad, 0.1, 0.9);
+  const double over_loss =
+      nn::compute_loss(nn::Loss::kPinball, over, target, grad, 0.1, 0.9);
+  EXPECT_GT(under_loss, over_loss * 5.0)
+      << "at tau=0.9, under-prediction must cost 9x over-prediction";
+}
+
+TEST(Pinball, InvalidTauThrows) {
+  std::vector<double> grad(1);
+  const std::vector<double> a{1.0};
+  EXPECT_THROW((void)nn::compute_loss(nn::Loss::kPinball, a, a, grad, 0.1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)nn::compute_loss(nn::Loss::kPinball, a, a, grad, 0.1, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Pinball, QuantileModelIsCalibratedOnNoisySeries) {
+  // Seasonal signal with noise: a P85 forecaster should sit above the actual
+  // in roughly 85% of the test intervals (vs ~50% for a mean model).
+  Rng rng(5);
+  std::vector<double> series(700);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] =
+        100.0 + 20.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 24.0) +
+        rng.normal(0.0, 10.0);
+  const std::span<const double> all(series);
+
+  core::ModelTrainingConfig training;
+  training.trainer.max_epochs = 40;
+  training.trainer.learning_rate = 1e-2;
+  training.trainer.loss = nn::Loss::kPinball;
+  training.trainer.pinball_tau = 0.85;
+  core::Hyperparameters hp{.history_length = 24, .cell_size = 12, .num_layers = 1,
+                           .batch_size = 32, .loss = nn::Loss::kPinball};
+  const core::TrainedModel model(all.subspan(0, 480), all.subspan(480, 100), hp, training, 3);
+
+  const auto preds = model.predict_series(series, 580);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] >= series[580 + i]) ++covered;
+  const double coverage = static_cast<double>(covered) / static_cast<double>(preds.size());
+  EXPECT_GT(coverage, 0.70);
+  EXPECT_LT(coverage, 0.98);
+}
+
+TEST(Pinball, HigherTauGivesHigherForecasts) {
+  Rng rng(7);
+  std::vector<double> series(500);
+  for (std::size_t i = 0; i < series.size(); ++i) series[i] = 100.0 + rng.normal(0.0, 15.0);
+  const std::span<const double> all(series);
+
+  auto train_at = [&](double tau) {
+    core::ModelTrainingConfig training;
+    training.trainer.max_epochs = 30;
+    training.trainer.learning_rate = 1e-2;
+    training.trainer.loss = nn::Loss::kPinball;
+    training.trainer.pinball_tau = tau;
+    core::Hyperparameters hp{.history_length = 8, .cell_size = 8, .num_layers = 1,
+                             .batch_size = 32, .loss = nn::Loss::kPinball};
+    const core::TrainedModel model(all.subspan(0, 400), all.subspan(400, 50), hp, training, 9);
+    const auto preds = model.predict_series(series, 450);
+    double mean = 0.0;
+    for (const double p : preds) mean += p;
+    return mean / static_cast<double>(preds.size());
+  };
+  EXPECT_GT(train_at(0.9), train_at(0.3));
+}
+
+}  // namespace

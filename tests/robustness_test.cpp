@@ -1,0 +1,148 @@
+// Failure injection and degenerate-input robustness across the stack:
+// constant traces, zero-heavy traces, extreme magnitudes, and adversarial
+// configurations must either work or fail with a clear exception — never
+// produce NaNs or crash.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/cloudinsight.hpp"
+#include "baselines/cloudscale.hpp"
+#include "baselines/wood.hpp"
+#include "core/loaddynamics.hpp"
+#include "nn/scaler.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace ld;
+
+core::LoadDynamicsConfig micro_config() {
+  core::LoadDynamicsConfig cfg;
+  cfg.space = core::HyperparameterSpace::reduced();
+  cfg.space.history_max = 8;
+  cfg.space.cell_max = 8;
+  cfg.space.layers_max = 1;
+  cfg.max_iterations = 3;
+  cfg.initial_random = 2;
+  cfg.training.trainer.max_epochs = 5;
+  return cfg;
+}
+
+TEST(Robustness, ConstantTraceThroughWholePipeline) {
+  const std::vector<double> constant(120, 42.0);
+  const std::span<const double> all(constant);
+
+  core::LoadDynamics framework(micro_config());
+  const core::FitResult fit = framework.fit(all.subspan(0, 80), all.subspan(80, 20));
+  const double p = fit.predictor().predict_next(all.subspan(0, 100));
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_NEAR(p, 42.0, 15.0);  // constant series: the scaler collapses, stay sane
+}
+
+TEST(Robustness, ZeroHeavyTracePredictorsStayFinite) {
+  // A workload that is idle most of the time (many zero JARs).
+  std::vector<double> series(200, 0.0);
+  for (std::size_t i = 0; i < series.size(); i += 7) series[i] = 10.0;
+
+  baselines::CloudScalePredictor cs;
+  baselines::WoodPredictor wood;
+  baselines::CloudInsightPredictor ci({.light_pool = true});
+  for (ts::Predictor* p : std::initializer_list<ts::Predictor*>{&cs, &wood, &ci}) {
+    p->fit(std::span<const double>(series).subspan(0, 150));
+    for (std::size_t t = 150; t < 170; ++t) {
+      const double v = p->predict_next(std::span<const double>(series).subspan(0, t));
+      EXPECT_TRUE(std::isfinite(v)) << p->name() << " at t=" << t;
+    }
+  }
+}
+
+TEST(Robustness, ExtremeMagnitudesDoNotOverflow) {
+  // Wikipedia-like magnitudes (1e7 per interval).
+  std::vector<double> series(150);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 1e7 + 2e6 * std::sin(static_cast<double>(i) / 5.0);
+  const std::span<const double> all(series);
+
+  core::LoadDynamics framework(micro_config());
+  const core::FitResult fit = framework.fit(all.subspan(0, 100), all.subspan(100, 30));
+  const double p = fit.predictor().predict_next(all.subspan(0, 130));
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(p, 1e6);
+  EXPECT_LT(p, 1e8);
+}
+
+TEST(Robustness, TinyMagnitudesSurvive) {
+  std::vector<double> series(150);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 0.002 + 0.001 * std::sin(static_cast<double>(i) / 4.0);
+  const std::span<const double> all(series);
+  core::LoadDynamics framework(micro_config());
+  const core::FitResult fit = framework.fit(all.subspan(0, 100), all.subspan(100, 30));
+  EXPECT_TRUE(std::isfinite(fit.predictor().predict_next(all.subspan(0, 130))));
+}
+
+TEST(Robustness, ScalerConstantInputMapsToZero) {
+  nn::MinMaxScaler scaler;
+  scaler.fit(std::vector<double>{5.0, 5.0, 5.0});
+  EXPECT_EQ(scaler.transform(5.0), 0.0);
+  EXPECT_EQ(scaler.inverse(scaler.transform(5.0)), 5.0);
+}
+
+TEST(Robustness, ScalerExtrapolatesOutOfRangeInvertibly) {
+  nn::MinMaxScaler scaler;
+  scaler.fit(std::vector<double>{10.0, 20.0});
+  // A test-time value far beyond the training range must round-trip.
+  EXPECT_NEAR(scaler.inverse(scaler.transform(500.0)), 500.0, 1e-9);
+  EXPECT_NEAR(scaler.inverse(scaler.transform(-300.0)), -300.0, 1e-9);
+}
+
+TEST(Robustness, HyperparametersLargerThanDataAreClamped) {
+  std::vector<double> series(40);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    series[i] = 10.0 + static_cast<double>(i % 5);
+  const std::span<const double> all(series);
+
+  core::LoadDynamicsConfig cfg = micro_config();
+  cfg.space.history_min = 1;
+  cfg.space.history_max = 512;   // far larger than 28 training points
+  cfg.space.batch_min = 16;
+  cfg.space.batch_max = 1024;
+  core::LoadDynamics framework(cfg);
+  EXPECT_NO_THROW({
+    const core::FitResult fit = framework.fit(all.subspan(0, 28), all.subspan(28, 8));
+    (void)fit.predictor().predict_next(all);
+  });
+}
+
+TEST(Robustness, WalkForwardWithHistoryShorterThanModels) {
+  // All baselines must degrade gracefully when asked to predict with almost
+  // no history (fallback paths).
+  const std::vector<double> tiny{5.0, 7.0, 6.0};
+  baselines::WoodPredictor wood;
+  baselines::CloudScalePredictor cs;
+  wood.fit(tiny);
+  cs.fit(tiny);
+  EXPECT_TRUE(std::isfinite(wood.predict_next(tiny)));
+  EXPECT_TRUE(std::isfinite(cs.predict_next(tiny)));
+}
+
+TEST(Robustness, TraceAggregationOfEmptyIntervalCount) {
+  workloads::Trace minutely;
+  minutely.name = "m";
+  minutely.interval_minutes = 1;
+  minutely.jars = {1.0, 2.0};
+  const workloads::Trace agg = workloads::aggregate(minutely, 5);
+  EXPECT_TRUE(agg.jars.empty());  // no full interval fits
+  EXPECT_THROW(workloads::validate_trace(agg), std::invalid_argument);
+}
+
+TEST(Robustness, SplitTooShortThrowsNotCrashes) {
+  workloads::Trace t;
+  t.name = "t";
+  t.interval_minutes = 5;
+  t.jars = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)workloads::split_trace(t), std::invalid_argument);
+}
+
+}  // namespace

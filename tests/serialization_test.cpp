@@ -1,0 +1,95 @@
+// Model persistence: lossless round-trip, format validation, corruption
+// handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <numbers>
+#include <sstream>
+
+#include "core/serialization.hpp"
+
+namespace {
+
+using namespace ld::core;
+
+std::vector<double> seasonal_series(std::size_t n, double period) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] =
+        100.0 + 40.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
+  return out;
+}
+
+std::shared_ptr<TrainedModel> make_model() {
+  const auto series = seasonal_series(300, 16.0);
+  const std::span<const double> all(series);
+  ModelTrainingConfig training;
+  training.trainer.max_epochs = 8;
+  const Hyperparameters hp{.history_length = 16, .cell_size = 8, .num_layers = 2,
+                           .batch_size = 32};
+  return std::make_shared<TrainedModel>(all.subspan(0, 220), all.subspan(220), hp, training,
+                                        17);
+}
+
+TEST(Serialization, RoundTripPreservesPredictionsExactly) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  const auto restored = load_model(stream);
+
+  EXPECT_EQ(restored->hyperparameters(), model->hyperparameters());
+  EXPECT_EQ(restored->validation_mape(), model->validation_mape());
+
+  const auto series = seasonal_series(280, 16.0);
+  for (std::size_t len : {40u, 100u, 280u}) {
+    const std::span<const double> hist(series.data(), len);
+    EXPECT_EQ(model->predict_next(hist), restored->predict_next(hist))
+        << "hex-float round trip must be bit-exact (history length " << len << ")";
+  }
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto model = make_model();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ld_model_test.ldm").string();
+  save_model_file(*model, path);
+  const auto restored = load_model_file(path);
+  const auto series = seasonal_series(100, 16.0);
+  EXPECT_EQ(model->predict_next(series), restored->predict_next(series));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, RejectsWrongMagic) {
+  std::stringstream stream("not-a-model 1\n");
+  EXPECT_THROW((void)load_model(stream), std::runtime_error);
+}
+
+TEST(Serialization, RejectsUnsupportedVersion) {
+  std::stringstream stream("loaddynamics-model 999\n");
+  EXPECT_THROW((void)load_model(stream), std::runtime_error);
+}
+
+TEST(Serialization, RejectsTruncatedWeights) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);  // chop the weight block
+  std::stringstream truncated(text);
+  EXPECT_THROW((void)load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialization, RejectsMissingFile) {
+  EXPECT_THROW((void)load_model_file("/nonexistent/model.ldm"), std::runtime_error);
+}
+
+TEST(Serialization, RestoreRejectsWeightSizeMismatch) {
+  const auto model = make_model();
+  ModelSnapshot snap = model->snapshot();
+  snap.weights.pop_back();
+  EXPECT_THROW((void)TrainedModel::restore(snap), std::invalid_argument);
+}
+
+}  // namespace

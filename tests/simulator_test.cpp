@@ -1,0 +1,189 @@
+// Event-driven simulator: policy behaviours, queueing mechanics, billing
+// and the invariants that make the DES trustworthy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cloudsim/simulator.hpp"
+#include "timeseries/smoothing.hpp"
+
+namespace {
+
+using namespace ld::cloudsim;
+
+DesConfig deterministic() {
+  DesConfig cfg;
+  cfg.job_service_cv = 0.0;
+  cfg.job_service_mean = 200.0;
+  cfg.vm_boot_seconds = 100.0;
+  cfg.interval_seconds = 3600.0;
+  return cfg;
+}
+
+TEST(DesPolicies, OracleProvisionsExactDemand) {
+  const std::vector<double> demand{5.0, 12.0, 3.0};
+  OraclePolicy oracle(demand);
+  const auto result = run_simulation(oracle, demand, deterministic());
+  ASSERT_EQ(result.intervals.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(result.intervals[i].target_vms, static_cast<std::size_t>(demand[i]));
+  // With exact provisioning and all-at-start arrivals, intervals after the
+  // first have zero wait (interval 0 pays the initial cold boot).
+  EXPECT_EQ(result.intervals[1].mean_wait, 0.0);
+  EXPECT_EQ(result.intervals[2].mean_wait, 0.0);
+  EXPECT_EQ(result.intervals[1].on_demand_boots, 0u);
+}
+
+TEST(DesPolicies, ReactiveFollowsDemandWithLag) {
+  ReactivePolicy reactive(1.0, 1, 1000);
+  const std::vector<double> demand{10.0, 10.0, 40.0, 40.0};
+  const auto result = run_simulation(reactive, demand, deterministic());
+  // Interval 2's target is based on interval 1's demand -> lags the surge.
+  EXPECT_EQ(result.intervals[2].target_vms, 10u);
+  EXPECT_EQ(result.intervals[3].target_vms, 40u);
+  EXPECT_GT(result.intervals[2].on_demand_boots, 0u)
+      << "the reactive policy must cold-start VMs during the surge interval";
+  EXPECT_GT(result.intervals[2].mean_wait, 0.0);
+}
+
+TEST(DesPolicies, PredictiveUsesForecaster) {
+  auto mean = std::make_shared<ld::ts::MeanPredictor>(3);
+  PredictivePolicy policy(mean, /*refit_every=*/0);
+  const std::vector<double> demand(6, 20.0);
+  const auto result = run_simulation(policy, demand, deterministic());
+  // Constant demand: after warm-up the mean forecaster nails the target.
+  for (std::size_t i = 2; i < result.intervals.size(); ++i)
+    EXPECT_EQ(result.intervals[i].target_vms, 20u);
+  EXPECT_EQ(result.intervals.back().mean_wait, 0.0);
+}
+
+TEST(DesPolicies, HeadroomOverprovisions) {
+  auto mean = std::make_shared<ld::ts::MeanPredictor>(3);
+  PredictivePolicy padded(mean, 0, /*headroom=*/0.25);
+  const std::vector<double> demand(4, 20.0);
+  const auto result = run_simulation(padded, demand, deterministic());
+  EXPECT_EQ(result.intervals.back().target_vms, 25u);  // ceil(20 * 1.25)
+}
+
+TEST(DesPolicies, FixedPolicyIsConstant) {
+  FixedPolicy fixed(7);
+  const std::vector<double> demand{3.0, 30.0, 3.0};
+  DesConfig cfg = deterministic();
+  cfg.allow_on_demand = false;  // hard capacity cap: surplus jobs must queue
+  const auto result = run_simulation(fixed, demand, cfg);
+  for (const auto& s : result.intervals) EXPECT_EQ(s.target_vms, 7u);
+  // 30 jobs on 7 capped VMs run in ~5 waves of 200 s each.
+  EXPECT_GT(result.intervals[1].mean_turnaround, 400.0);
+}
+
+TEST(DesPolicies, OnDemandBeatsHardCapOnTurnaround) {
+  const std::vector<double> demand{3.0, 30.0, 3.0};
+  DesConfig capped = deterministic();
+  capped.allow_on_demand = false;
+  FixedPolicy a(7), b(7);
+  const auto with_cap = run_simulation(a, demand, capped);
+  const auto elastic = run_simulation(b, demand, deterministic());
+  EXPECT_LT(elastic.intervals[1].mean_turnaround, with_cap.intervals[1].mean_turnaround);
+}
+
+TEST(DesEngine, UnderProvisionedIntervalQueuesJobs) {
+  FixedPolicy fixed(2);
+  const std::vector<double> demand{6.0};
+  const auto cfg = deterministic();
+  const auto result = run_simulation(fixed, demand, cfg);
+  // 6 jobs, 2 warm... interval 0 VMs cold-boot (100s). Jobs run in waves of
+  // 2 x 200s, or an on-demand VM boots (ready at 100s) — both paths compete.
+  EXPECT_EQ(result.total_jobs, 6u);
+  EXPECT_EQ(result.intervals[0].arrived_jobs, 6u);
+  EXPECT_GT(result.mean_wait, 0.0);
+  EXPECT_GE(result.p99_turnaround, result.mean_turnaround);
+}
+
+TEST(DesEngine, CostGrowsWithProvisioning) {
+  const std::vector<double> demand(6, 10.0);
+  FixedPolicy small(10), large(40);
+  const auto small_result = run_simulation(small, demand, deterministic());
+  const auto large_result = run_simulation(large, demand, deterministic());
+  EXPECT_GT(large_result.total_cost, small_result.total_cost * 2.0);
+  EXPECT_LT(large_result.mean_utilization, small_result.mean_utilization);
+}
+
+TEST(DesEngine, UtilizationBoundedAndPositive) {
+  ReactivePolicy reactive(1.1);
+  const std::vector<double> demand{8.0, 16.0, 12.0, 20.0};
+  const auto result = run_simulation(reactive, demand, deterministic());
+  for (const auto& s : result.intervals) {
+    EXPECT_GE(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.0);
+  }
+  EXPECT_GT(result.mean_utilization, 0.0);
+}
+
+TEST(DesEngine, ArrivalPatternsAffectQueueing) {
+  // Same demand, same fixed under-provisioning: spreading arrivals inside
+  // the interval reduces the peak queue vs the all-at-start burst.
+  const std::vector<double> demand(4, 30.0);
+  auto run_with = [&](ArrivalPattern pattern) {
+    DesConfig cfg = deterministic();
+    cfg.arrivals = pattern;
+    FixedPolicy fixed(10);
+    return run_simulation(fixed, demand, cfg);
+  };
+  const auto burst = run_with(ArrivalPattern::kAllAtStart);
+  const auto uniform = run_with(ArrivalPattern::kUniform);
+  EXPECT_GT(burst.mean_wait, uniform.mean_wait);
+}
+
+TEST(DesEngine, PoissonArrivalsReproducible) {
+  const std::vector<double> demand(3, 15.0);
+  DesConfig cfg = deterministic();
+  cfg.arrivals = ArrivalPattern::kPoisson;
+  cfg.seed = 5;
+  FixedPolicy fixed(15);
+  const auto a = run_simulation(fixed, demand, cfg);
+  const auto b = run_simulation(fixed, demand, cfg);
+  EXPECT_EQ(a.mean_turnaround, b.mean_turnaround);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(DesEngine, ScaleDownTerminatesIdleVms) {
+  const std::vector<double> demand{40.0, 2.0, 2.0, 2.0};
+  ReactivePolicy reactive(1.0, 1, 1000);
+  DesConfig keep = deterministic();
+  keep.scale_down_idle = false;
+  DesConfig shrink = deterministic();
+  shrink.scale_down_idle = true;
+  ReactivePolicy reactive2(1.0, 1, 1000);
+  const auto kept = run_simulation(reactive, demand, keep);
+  const auto shrunk = run_simulation(reactive2, demand, shrink);
+  EXPECT_LT(shrunk.total_cost, kept.total_cost)
+      << "terminating idle VMs must save money on a shrinking workload";
+}
+
+TEST(DesEngine, OracleBeatsReactiveOnVolatileDemand) {
+  // The whole point of prediction: on volatile demand the oracle should give
+  // lower wait than a lagging reactive rule at comparable or lower cost.
+  std::vector<double> demand;
+  for (int i = 0; i < 12; ++i) demand.push_back(i % 2 == 0 ? 5.0 : 45.0);
+  OraclePolicy oracle(demand);
+  ReactivePolicy reactive(1.0, 1, 1000);
+  const auto oracle_result = run_simulation(oracle, demand, deterministic());
+  const auto reactive_result = run_simulation(reactive, demand, deterministic());
+  EXPECT_LT(oracle_result.mean_wait, reactive_result.mean_wait);
+}
+
+TEST(DesEngine, InputValidation) {
+  FixedPolicy fixed(1);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)run_simulation(fixed, empty), std::invalid_argument);
+  DesConfig bad = deterministic();
+  bad.interval_seconds = 0.0;
+  const std::vector<double> demand{1.0};
+  EXPECT_THROW((void)run_simulation(fixed, demand, bad), std::invalid_argument);
+  EXPECT_THROW(PredictivePolicy(nullptr), std::invalid_argument);
+  EXPECT_THROW(ReactivePolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(OraclePolicy(std::vector<double>{}), std::invalid_argument);
+}
+
+}  // namespace

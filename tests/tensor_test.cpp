@@ -1,0 +1,218 @@
+// Linear algebra: GEMM variants against naive reference, Cholesky/LU/lstsq
+// correctness, property sweeps over random SPD matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/matrix.hpp"
+
+namespace {
+
+using ld::Rng;
+using namespace ld::tensor;
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix a = random_matrix(n, n, rng);
+  Matrix spd(n, n);
+  matmul_a_bt_into(a, a, spd);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;  // ensure positive definite
+  return spd;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+void expect_matrix_near(const Matrix& a, const Matrix& b, double tol) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) EXPECT_NEAR(a(i, j), b(i, j), tol);
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(1);
+  const Matrix m = random_matrix(3, 5, rng);
+  expect_matrix_near(m.transposed().transposed(), m, 0.0);
+}
+
+TEST(Matrix, ArithmeticShapeChecks) {
+  Matrix a(2, 3), b(3, 2);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)matmul(a, a), std::invalid_argument);
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, AllVariantsMatchNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 73 + k * 7 + n));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  const Matrix expected = naive_matmul(a, b);
+
+  expect_matrix_near(matmul(a, b), expected, 1e-12);
+
+  Matrix c1(m, n);
+  matmul_into(a, b, c1);
+  expect_matrix_near(c1, expected, 1e-12);
+
+  // A^T * B through matmul_at_b_into.
+  Matrix c2(m, n);
+  matmul_at_b_into(a.transposed(), b, c2);
+  expect_matrix_near(c2, expected, 1e-12);
+
+  // A * B^T through matmul_a_bt_into.
+  Matrix c3(m, n);
+  matmul_a_bt_into(a, b.transposed(), c3);
+  expect_matrix_near(c3, expected, 1e-12);
+
+  // Accumulation semantics.
+  Matrix c4 = expected;
+  matmul_into(a, b, c4, /*accumulate=*/true);
+  Matrix doubled = expected;
+  doubled *= 2.0;
+  expect_matrix_near(c4, doubled, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                                           std::tuple{5, 5, 5}, std::tuple{7, 1, 3},
+                                           std::tuple{16, 8, 4}, std::tuple{33, 17, 9}));
+
+TEST(Matrix, MatvecMatchesMatmul) {
+  Rng rng(9);
+  const Matrix a = random_matrix(4, 6, rng);
+  std::vector<double> x(6);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  Matrix xm(6, 1);
+  for (std::size_t i = 0; i < 6; ++i) xm(i, 0) = x[i];
+  const auto y = matvec(a, x);
+  const Matrix ym = matmul(a, xm);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-12);
+}
+
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, ReconstructsRandomSpd) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 9;
+  const Matrix a = random_spd(n, rng);
+  const Matrix l = cholesky(a);
+  Matrix recon(n, n);
+  matmul_a_bt_into(l, l, recon);
+  expect_matrix_near(recon, a, 1e-9);
+  // L is lower triangular with positive diagonal.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GT(l(i, i), 0.0);
+    for (std::size_t j = i + 1; j < n; ++j) EXPECT_EQ(l(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyProperty, ::testing::Range(1, 13));
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix m{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW((void)cholesky(m), std::domain_error);
+}
+
+class SolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveProperty, SpdAndLuRecoverSolution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 1);
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 7;
+  const Matrix a = random_spd(n, rng);
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.uniform(-2.0, 2.0);
+  const std::vector<double> b = matvec(a, x_true);
+
+  const auto x_spd = solve_spd(a, b);
+  const auto x_lu = solve_lu(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_spd[i], x_true[i], 1e-8);
+    EXPECT_NEAR(x_lu[i], x_true[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolveProperty, ::testing::Range(1, 11));
+
+TEST(SolveLu, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)solve_lu(a, {1.0, 2.0}), std::domain_error);
+}
+
+TEST(Lstsq, RecoversExactLinearModel) {
+  Rng rng(17);
+  const std::size_t n = 50;
+  Matrix design(n, 3);
+  std::vector<double> y(n);
+  const double beta[3] = {2.0, -1.5, 0.75};
+  for (std::size_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = rng.uniform(-1.0, 1.0);
+    design(i, 2) = rng.uniform(-1.0, 1.0);
+    y[i] = beta[0] + beta[1] * design(i, 1) + beta[2] * design(i, 2);
+  }
+  const auto est = lstsq(design, y);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(est[j], beta[j], 1e-5);
+}
+
+TEST(Lstsq, OverdeterminedMinimizesResidual) {
+  // y = 2x with noise; slope estimate must sit near 2.
+  Rng rng(23);
+  const std::size_t n = 200;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    design(i, 0) = 1.0;
+    design(i, 1) = x;
+    y[i] = 2.0 * x + rng.normal(0.0, 0.1);
+  }
+  const auto est = lstsq(design, y);
+  EXPECT_NEAR(est[1], 2.0, 0.05);
+}
+
+TEST(Linalg, LogdetMatchesDirectComputation) {
+  Rng rng(29);
+  const Matrix a = random_spd(4, rng);
+  const Matrix l = cholesky(a);
+  // det(A) via the product of L diagonal squared.
+  double det = 1.0;
+  for (std::size_t i = 0; i < 4; ++i) det *= l(i, i) * l(i, i);
+  EXPECT_NEAR(logdet_from_cholesky(l), std::log(det), 1e-9);
+}
+
+TEST(Linalg, VectorHelpers) {
+  const std::vector<double> a{1.0, 2.0, 3.0}, b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+  std::vector<double> y{1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_EQ(y, (std::vector<double>{3.0, 5.0, 7.0}));
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Trace utilities and the five synthetic generators: shape properties that
+// the evaluation narrative depends on must hold (seasonality, burstiness,
+// interval-aggregation consistency, determinism).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "common/csv.hpp"
+#include "timeseries/fft.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace ld::workloads;
+
+TEST(Trace, AggregateSumsMinutes) {
+  Trace minutely;
+  minutely.name = "t";
+  minutely.interval_minutes = 1;
+  for (int i = 1; i <= 10; ++i) minutely.jars.push_back(static_cast<double>(i));
+  const Trace agg = aggregate(minutely, 3);
+  EXPECT_EQ(agg.jars, (std::vector<double>{6.0, 15.0, 24.0}));  // partial tail dropped
+  EXPECT_EQ(agg.interval_minutes, 3u);
+}
+
+TEST(Trace, AggregatePreservesTotalMass) {
+  const Trace minutely = generate_minutely(TraceKind::kLcg, {.days = 2.0, .seed = 5});
+  const Trace agg = aggregate(minutely, 30);
+  const double total_min = std::accumulate(minutely.jars.begin(),
+                                           minutely.jars.begin() + agg.size() * 30, 0.0);
+  const double total_agg = std::accumulate(agg.jars.begin(), agg.jars.end(), 0.0);
+  EXPECT_NEAR(total_min, total_agg, 1e-6);
+}
+
+TEST(Trace, SplitFractionsMatchPaper) {
+  Trace t;
+  t.name = "t";
+  t.interval_minutes = 5;
+  t.jars.assign(100, 1.0);
+  const TraceSplit split = split_trace(t, 0.6, 0.2);
+  EXPECT_EQ(split.train.size(), 60u);
+  EXPECT_EQ(split.validation.size(), 20u);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.test_start(), 80u);
+  EXPECT_EQ(split.all().size(), 100u);
+  EXPECT_EQ(split.train_and_validation().size(), 80u);
+}
+
+TEST(Trace, SplitRejectsBadFractions) {
+  Trace t;
+  t.name = "t";
+  t.interval_minutes = 5;
+  t.jars.assign(100, 1.0);
+  EXPECT_THROW((void)split_trace(t, 0.0, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)split_trace(t, 0.8, 0.3), std::invalid_argument);
+}
+
+TEST(Trace, ValidationCatchesBadTraces) {
+  Trace empty;
+  empty.name = "e";
+  empty.interval_minutes = 1;
+  EXPECT_THROW(validate_trace(empty), std::invalid_argument);
+
+  Trace negative;
+  negative.name = "n";
+  negative.interval_minutes = 1;
+  negative.jars = {1.0, -2.0};
+  EXPECT_THROW(validate_trace(negative), std::invalid_argument);
+
+  Trace nan_trace;
+  nan_trace.name = "nan";
+  nan_trace.interval_minutes = 1;
+  nan_trace.jars = {1.0, std::nan("")};
+  EXPECT_THROW(validate_trace(nan_trace), std::invalid_argument);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "ld_trace_test.csv";
+  ld::csv::write_file(path, {"jar"}, {{10.0}, {20.0}, {30.0}});
+  const Trace t = load_csv_trace(path, "csv_trace", 5);
+  EXPECT_EQ(t.jars, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(t.interval_minutes, 5u);
+  std::remove(path.c_str());
+}
+
+class GeneratorDeterminism : public ::testing::TestWithParam<TraceKind> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameTrace) {
+  const GeneratorConfig cfg{.days = 1.5, .seed = 77};
+  const Trace a = generate_minutely(GetParam(), cfg);
+  const Trace b = generate_minutely(GetParam(), cfg);
+  EXPECT_EQ(a.jars, b.jars);
+  const Trace c = generate_minutely(GetParam(), {.days = 1.5, .seed = 78});
+  EXPECT_NE(a.jars, c.jars);
+}
+
+TEST_P(GeneratorDeterminism, ProducesValidNonTrivialTrace) {
+  const Trace t = generate(GetParam(), 30, {.days = 3.0, .seed = 5});
+  EXPECT_NO_THROW(validate_trace(t));
+  const TraceStats stats = compute_stats(t);
+  EXPECT_GT(stats.mean, 0.0);
+  EXPECT_GT(stats.cv, 0.0);  // no constant traces
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GeneratorDeterminism,
+                         ::testing::Values(TraceKind::kWikipedia, TraceKind::kGoogle,
+                                           TraceKind::kFacebook, TraceKind::kAzure,
+                                           TraceKind::kLcg));
+
+TEST(Generators, WikipediaHasStrongDailySeasonality) {
+  const Trace t = generate(TraceKind::kWikipedia, 30, {.days = 10.0, .seed = 3});
+  const TraceStats stats = compute_stats(t);
+  EXPECT_GT(stats.daily_acf, 0.7) << "Wikipedia must look strongly diurnal (Fig. 1b)";
+  const auto period = ld::ts::detect_period(t.jars);
+  ASSERT_TRUE(period.has_value());
+  EXPECT_NEAR(static_cast<double>(period->period), 48.0, 8.0);  // 1 day at 30-min bins
+}
+
+TEST(Generators, LcgHasNoStrongSeasonalityAndIsBursty) {
+  const Trace t = generate(TraceKind::kLcg, 30, {.days = 10.0, .seed = 3});
+  const TraceStats stats = compute_stats(t);
+  EXPECT_LT(stats.daily_acf, 0.5) << "LCG should not look like a clean daily cycle";
+  EXPECT_GT(stats.max / stats.mean, 2.0) << "LCG must show job-storm bursts (Fig. 8b)";
+}
+
+TEST(Generators, WikipediaJarsAreMillionsGoogleHundredsOfThousands) {
+  const Trace wiki = generate(TraceKind::kWikipedia, 30, {.days = 2.0, .seed = 1});
+  const Trace google = generate(TraceKind::kGoogle, 30, {.days = 2.0, .seed = 1});
+  EXPECT_GT(compute_stats(wiki).mean, 1e6);   // Fig. 1b: ~5M requests / 30 min
+  EXPECT_GT(compute_stats(google).mean, 1e5); // Fig. 1a: ~800k jobs / 30 min
+  EXPECT_LT(compute_stats(google).mean, 5e6);
+}
+
+TEST(Generators, FacebookCoversExactlyOneDay) {
+  const Trace t = generate_minutely(TraceKind::kFacebook, {.days = 30.0, .seed = 9});
+  EXPECT_EQ(t.jars.size(), 24u * 60u) << "Table I: the Facebook trace is one day long";
+}
+
+TEST(Generators, AzureNoisierAtFineIntervals) {
+  // The coefficient of variation of *interval-relative* noise must shrink as
+  // intervals grow — the paper's explanation for Azure-10m's 43% MAPE.
+  const Trace minutely = generate_minutely(TraceKind::kAzure, {.days = 14.0, .seed = 4});
+  auto lag1_noise = [&](std::size_t interval) {
+    const Trace t = aggregate(minutely, interval);
+    double rel = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 1; i < t.jars.size(); ++i) {
+      if (t.jars[i - 1] <= 0.0) continue;
+      rel += std::abs(t.jars[i] - t.jars[i - 1]) / t.jars[i - 1];
+      ++count;
+    }
+    return rel / static_cast<double>(count);
+  };
+  EXPECT_GT(lag1_noise(10), lag1_noise(60) * 1.3);
+}
+
+TEST(Generators, ScaleParameterScalesMean) {
+  const Trace full = generate(TraceKind::kAzure, 60, {.days = 5.0, .seed = 6, .scale = 1.0});
+  const Trace small =
+      generate(TraceKind::kAzure, 60, {.days = 5.0, .seed = 6, .scale = 0.01});
+  const double ratio = compute_stats(full).mean / compute_stats(small).mean;
+  EXPECT_NEAR(ratio, 100.0, 20.0);
+}
+
+TEST(Generators, PaperConfigurationsAreFourteen) {
+  const auto configs = paper_workload_configurations();
+  EXPECT_EQ(configs.size(), 14u);
+  // Azure is evaluated at 10/30/60, Facebook only at 5/10 (Table I).
+  std::size_t azure = 0, facebook = 0;
+  for (const auto& c : configs) {
+    if (c.kind == TraceKind::kAzure) {
+      ++azure;
+      EXPECT_NE(c.interval_minutes, 5u);
+    }
+    if (c.kind == TraceKind::kFacebook) {
+      ++facebook;
+      EXPECT_LE(c.interval_minutes, 10u);
+    }
+  }
+  EXPECT_EQ(azure, 3u);
+  EXPECT_EQ(facebook, 2u);
+}
+
+TEST(Generators, InvalidConfigThrows) {
+  EXPECT_THROW((void)generate_minutely(TraceKind::kGoogle, {.days = 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)generate_minutely(TraceKind::kGoogle, {.days = 1.0, .seed = 1, .scale = 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,9 @@
+// Thin entry point for the `loaddynamics` CLI; all logic lives in
+// src/app/cli_app.cpp so the test suite can exercise it in-process.
+#include <iostream>
+
+#include "app/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  return ld::app::run_cli(argc, argv, std::cout, std::cerr);
+}
