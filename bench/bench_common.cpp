@@ -4,6 +4,7 @@
 
 #include "common/csv.hpp"
 #include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ld::bench {
 
@@ -117,6 +118,10 @@ void print_table_row(const std::string& label, const std::vector<double>& values
   for (const double v : values)
     std::printf("%*.*f", static_cast<int>(width), precision, v);
   std::printf("\n");
+}
+
+void parallel_over_workloads(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(0, count, fn);
 }
 
 void maybe_write_csv(const ExperimentScale& scale, const std::string& filename,

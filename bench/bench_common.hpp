@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,5 +78,11 @@ void print_table_row(const std::string& label, const std::vector<double>& values
 void maybe_write_csv(const ExperimentScale& scale, const std::string& filename,
                      const std::vector<std::string>& header,
                      const std::vector<std::vector<double>>& rows);
+
+/// Run `fn(i)` for every workload index on the global thread pool (inline on
+/// single-core / LD_NUM_THREADS=1 machines). Each index must write only its
+/// own result slot and derive all randomness from its own seeds, so sweep
+/// output is identical at any thread count; print tables after this returns.
+void parallel_over_workloads(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 }  // namespace ld::bench

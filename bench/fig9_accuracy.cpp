@@ -18,6 +18,18 @@
 #include "common/stopwatch.hpp"
 #include "core/loaddynamics.hpp"
 
+namespace {
+
+struct WorkloadRow {
+  std::string label;
+  std::size_t interval_minutes = 0;
+  // MAPEs in column order: LoadDynamics, CloudInsight, CloudScale, Wood, brute.
+  std::vector<double> mapes;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ld;
   const cli::Args args(argc, argv);
@@ -25,21 +37,23 @@ int main(int argc, char** argv) {
   const bool run_brute_force = !args.get_bool("no-brute-force", false);
   const auto brute_points =
       static_cast<std::size_t>(args.get_int("brute-points", scale.full ? 3 : 2));
+  const auto batch =
+      static_cast<std::size_t>(args.get_int("batch", 1));  // BO trainings per round
 
   std::printf("=== Fig. 9: MAPE (%%) across the 14 workload configurations ===\n");
-  bench::print_table_header(
-      {"LoadDynamics", "CloudInsight", "CloudScale", "Wood", "LSTMBrute"});
 
-  std::vector<double> totals(5, 0.0);
-  std::size_t counted = 0;
-  std::vector<std::vector<double>> csv_rows;
-
-  for (const auto& config : workloads::paper_workload_configurations()) {
+  // Every workload is independent (own trace, own seeds), so the whole sweep
+  // fans out over the thread pool; rows are printed in table order afterward.
+  const auto configs = workloads::paper_workload_configurations();
+  std::vector<WorkloadRow> rows(configs.size());
+  bench::parallel_over_workloads(configs.size(), [&](std::size_t idx) {
+    const auto& config = configs[idx];
     Stopwatch watch;
     const auto w = bench::PreparedWorkload::make(config.kind, config.interval_minutes, scale);
 
     // LoadDynamics: offline fit on train+validation, frozen on test.
-    const core::LoadDynamicsConfig ld_cfg = scale.loaddynamics_config(config.kind);
+    core::LoadDynamicsConfig ld_cfg = scale.loaddynamics_config(config.kind);
+    ld_cfg.batch_size = batch;
     const core::LoadDynamics framework(ld_cfg);
     const core::FitResult fit = framework.fit(w.split.train, w.split.validation);
     const double ld_mape = bench::model_test_mape(fit.predictor(), w);
@@ -60,17 +74,21 @@ int main(int argc, char** argv) {
       brute_mape = bench::model_test_mape(brute.predictor(), w);
     }
 
-    bench::print_table_row(w.label, {ld_mape, ci_mape, cs_mape, wood_mape, brute_mape});
-    std::fflush(stdout);
-    totals[0] += ld_mape;
-    totals[1] += ci_mape;
-    totals[2] += cs_mape;
-    totals[3] += wood_mape;
-    totals[4] += brute_mape;
-    ++counted;
-    csv_rows.push_back({static_cast<double>(config.interval_minutes), ld_mape, ci_mape,
-                        cs_mape, wood_mape, brute_mape, watch.seconds()});
+    rows[idx] = {w.label, config.interval_minutes,
+                 {ld_mape, ci_mape, cs_mape, wood_mape, brute_mape}, watch.seconds()};
+  });
+
+  bench::print_table_header(
+      {"LoadDynamics", "CloudInsight", "CloudScale", "Wood", "LSTMBrute"});
+  std::vector<double> totals(5, 0.0);
+  std::vector<std::vector<double>> csv_rows;
+  for (const WorkloadRow& row : rows) {
+    bench::print_table_row(row.label, row.mapes);
+    for (std::size_t c = 0; c < totals.size(); ++c) totals[c] += row.mapes[c];
+    csv_rows.push_back({static_cast<double>(row.interval_minutes), row.mapes[0], row.mapes[1],
+                        row.mapes[2], row.mapes[3], row.mapes[4], row.seconds});
   }
+  const std::size_t counted = rows.size();
 
   std::vector<double> averages;
   for (const double t : totals) averages.push_back(t / static_cast<double>(counted));

@@ -2,12 +2,16 @@
 // steps, GP fitting, EI maximization and the baseline predictors' fits.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include "baselines/cloudinsight.hpp"
 #include "bayesopt/acquisition.hpp"
 #include "bayesopt/gaussian_process.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/loaddynamics.hpp"
 #include "nn/dataset.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
@@ -95,6 +99,57 @@ void BM_EiBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2048);
 }
 BENCHMARK(BM_EiBatch);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  // Aᵀ·B path — the gradient-accumulation GEMM used by every backward pass,
+  // served by the register-blocked kernel.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  tensor::Matrix a(n, n), b(n, n), c(n, n);
+  for (double& v : a.flat()) v = rng.uniform();
+  for (double& v : b.flat()) v = rng.uniform();
+  for (auto _ : state) {
+    tensor::matmul_at_b_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_ParallelFit(benchmark::State& state) {
+  // Full LoadDynamics fit with batched Bayesian optimization; Arg = thread
+  // count. The model database is bit-identical across Args — only wall
+  // clock changes. Restores the default pool size when done.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> series(480);
+  series[0] = 100.0;
+  for (std::size_t i = 1; i < series.size(); ++i)
+    series[i] = 50.0 + 0.5 * series[i - 1] + 10.0 * std::sin(0.2 * static_cast<double>(i)) +
+                rng.normal(0.0, 3.0);
+  const std::span<const double> train(series.data(), 360);
+  const std::span<const double> validation(series.data() + 360, 120);
+
+  core::LoadDynamicsConfig cfg;
+  cfg.space = core::HyperparameterSpace::reduced();
+  cfg.space.history_max = 16;
+  cfg.space.cell_max = 8;
+  cfg.space.layers_max = 1;
+  cfg.max_iterations = 6;
+  cfg.initial_random = 3;
+  cfg.training.trainer.max_epochs = 8;
+  cfg.seed = 2020;
+  cfg.batch_size = 4;
+
+  ThreadPool::set_global_size(threads);
+  const core::LoadDynamics framework(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(framework.fit(train, validation));
+  }
+  ThreadPool::set_global_size(ThreadPool::default_threads());
+  state.SetLabel("batch_size=4, 3+6 evaluations");
+}
+BENCHMARK(BM_ParallelFit)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_CloudInsightStep(benchmark::State& state) {
   Rng rng(6);

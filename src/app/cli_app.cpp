@@ -13,6 +13,7 @@
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
 #include "core/adaptive.hpp"
 #include "core/loaddynamics.hpp"
 #include "core/serialization.hpp"
@@ -32,9 +33,10 @@ commands:
              [--interval 30] [--days 12] [--seed 2020] [--scale 1.0]
   train      --csv trace.csv --model model.ldm
              [--interval 30] [--iterations 12] [--epochs 30] [--extended]
-             [--full-space] [--seed 2020]
+             [--full-space] [--seed 2020] [--batch 1] [--threads N]
   predict    --model model.ldm --csv trace.csv [--horizon 12] [--out fc.csv]
   evaluate   --csv trace.csv [--interval 30] [--iterations 12] [--seed 2020]
+             [--batch 1] [--threads N]
   simulate   --model model.ldm --csv trace.csv
              [--policy predictive|reactive|oracle] [--boot 100] [--service 300]
   help       this message
@@ -66,6 +68,11 @@ core::LoadDynamicsConfig build_config(const cli::Args& args) {
   cfg.training.trainer.learning_rate = args.get_double("lr", 1e-2);
   cfg.training.trainer.min_updates = 400;
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  // Concurrent candidate trainings per BO round; results are bit-identical
+  // for any --threads value (or LD_NUM_THREADS), only wall clock changes.
+  cfg.batch_size = static_cast<std::size_t>(args.get_int("batch", 1));
+  if (args.get_int("threads", 0) > 0)
+    ThreadPool::set_global_size(static_cast<std::size_t>(args.get_int("threads", 0)));
   return cfg;
 }
 

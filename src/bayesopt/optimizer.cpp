@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "bayesopt/acquisition.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ld::bayesopt {
 
@@ -14,20 +16,39 @@ constexpr double kPenalty = 1e6;  // stands in for +inf / NaN objectives
 
 double sanitize(double v) { return std::isfinite(v) ? v : kPenalty; }
 
-Observation evaluate_at(const SearchSpace& space, const Objective& objective,
-                        std::span<const double> unit) {
-  Observation obs;
-  obs.unit = space.canonicalize(unit);
-  obs.values = space.to_values(obs.unit);
-  obs.objective = sanitize(objective(obs.values));
-  return obs;
-}
-
 std::size_t argmin(const std::vector<Observation>& history) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < history.size(); ++i)
     if (history[i].objective < history[best].objective) best = i;
   return best;
+}
+
+/// Evaluate the (already canonicalized) unit points, appending them to
+/// `history` in input order. Indices are assigned contiguously from the
+/// current history size; completion order never affects the result.
+void evaluate_into(const SearchSpace& space, const IndexedObjective& objective,
+                   std::vector<std::vector<double>> units,
+                   std::vector<Observation>& history, bool parallel) {
+  const std::size_t first = history.size();
+  std::vector<Observation> batch(units.size());
+  const auto evaluate_one = [&](std::size_t i) {
+    Observation& obs = batch[i];
+    obs.unit = std::move(units[i]);
+    obs.values = space.to_values(obs.unit);
+    obs.objective = sanitize(objective(obs.values, first + i));
+  };
+  if (parallel && units.size() > 1) {
+    ThreadPool::global().parallel_for(0, units.size(), evaluate_one);
+  } else {
+    for (std::size_t i = 0; i < units.size(); ++i) evaluate_one(i);
+  }
+  for (Observation& obs : batch) history.push_back(std::move(obs));
+}
+
+IndexedObjective ignore_index(const Objective& objective) {
+  return [&objective](const std::vector<double>& values, std::size_t) {
+    return objective(values);
+  };
 }
 }  // namespace
 
@@ -50,6 +71,7 @@ BayesianOptimizer::BayesianOptimizer(SearchSpace space, OptimizerConfig config,
     throw std::invalid_argument("BayesianOptimizer: zero iterations");
   config_.initial_random = std::max<std::size_t>(
       1, std::min(config_.initial_random, config_.max_iterations));
+  config_.batch_size = std::max<std::size_t>(1, config_.batch_size);
 }
 
 std::vector<double> BayesianOptimizer::propose_next(const std::vector<Observation>& history) {
@@ -89,35 +111,81 @@ std::vector<double> BayesianOptimizer::propose_next(const std::vector<Observatio
   return best_candidate;
 }
 
-OptimizationResult BayesianOptimizer::optimize(const Objective& objective) {
+std::vector<std::vector<double>> BayesianOptimizer::propose_batch(
+    const std::vector<Observation>& history, std::size_t count) {
+  std::vector<std::vector<double>> batch;
+  batch.reserve(count);
+  if (count == 1) {  // plain sequential EI — no liar bookkeeping needed
+    batch.push_back(propose_next(history));
+    return batch;
+  }
+  // Constant liar: pretend each proposed point already returned the incumbent
+  // best, refit, and maximize EI again. The lies only ever live in `lied`.
+  std::vector<Observation> lied = history;
+  const double lie = history[argmin(history)].objective;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> cand = propose_next(lied);
+    Observation fake;
+    fake.unit = cand;
+    fake.values = space_.to_values(cand);
+    fake.objective = lie;
+    lied.push_back(std::move(fake));
+    batch.push_back(std::move(cand));
+  }
+  return batch;
+}
+
+OptimizationResult BayesianOptimizer::run(const IndexedObjective& objective, bool parallel) {
   OptimizationResult result;
   result.history.reserve(config_.max_iterations);
 
+  // Initial design: drawn up front so the RNG stream matches the sequential
+  // path exactly (sampling never depends on objective values), evaluated as
+  // one batch.
+  std::vector<std::vector<double>> design;
+  design.reserve(config_.initial_random);
   for (std::size_t i = 0; i < config_.initial_random; ++i)
-    result.history.push_back(evaluate_at(space_, objective, space_.sample_unit(rng_)));
+    design.push_back(space_.canonicalize(space_.sample_unit(rng_)));
+  evaluate_into(space_, objective, std::move(design), result.history, parallel);
 
   while (result.history.size() < config_.max_iterations) {
-    const std::vector<double> next = propose_next(result.history);
-    result.history.push_back(evaluate_at(space_, objective, next));
+    const std::size_t want =
+        std::min(config_.batch_size, config_.max_iterations - result.history.size());
+    evaluate_into(space_, objective, propose_batch(result.history, want), result.history,
+                  parallel);
   }
   result.best_index = argmin(result.history);
   return result;
 }
 
-OptimizationResult random_search(const SearchSpace& space, const Objective& objective,
-                                 std::size_t max_iterations, std::uint64_t seed) {
+OptimizationResult BayesianOptimizer::optimize(const Objective& objective) {
+  return run(ignore_index(objective), /*parallel=*/false);
+}
+
+OptimizationResult BayesianOptimizer::optimize(const IndexedObjective& objective) {
+  return run(objective, /*parallel=*/true);
+}
+
+namespace {
+OptimizationResult random_search_impl(const SearchSpace& space,
+                                      const IndexedObjective& objective,
+                                      std::size_t max_iterations, std::uint64_t seed,
+                                      bool parallel) {
   if (max_iterations == 0) throw std::invalid_argument("random_search: zero iterations");
   Rng rng(seed);
+  std::vector<std::vector<double>> design;
+  design.reserve(max_iterations);
+  for (std::size_t i = 0; i < max_iterations; ++i)
+    design.push_back(space.canonicalize(space.sample_unit(rng)));
   OptimizationResult result;
   result.history.reserve(max_iterations);
-  for (std::size_t i = 0; i < max_iterations; ++i)
-    result.history.push_back(evaluate_at(space, objective, space.sample_unit(rng)));
+  evaluate_into(space, objective, std::move(design), result.history, parallel);
   result.best_index = argmin(result.history);
   return result;
 }
 
-OptimizationResult grid_search(const SearchSpace& space, const Objective& objective,
-                               std::size_t max_iterations) {
+OptimizationResult grid_search_impl(const SearchSpace& space, const IndexedObjective& objective,
+                                    std::size_t max_iterations, bool parallel) {
   if (max_iterations == 0) throw std::invalid_argument("grid_search: zero iterations");
   const std::size_t d = space.size();
   // Points per axis: largest k with k^d <= budget (at least 2).
@@ -126,14 +194,14 @@ OptimizationResult grid_search(const SearchSpace& space, const Objective& object
          static_cast<double>(max_iterations))
     ++k;
 
-  OptimizationResult result;
+  std::vector<std::vector<double>> lattice;
   std::vector<std::size_t> idx(d, 0);
   std::vector<double> unit(d);
   for (;;) {
     for (std::size_t i = 0; i < d; ++i)
       unit[i] = k == 1 ? 0.5 : static_cast<double>(idx[i]) / static_cast<double>(k - 1);
-    result.history.push_back(evaluate_at(space, objective, unit));
-    if (result.history.size() >= max_iterations) break;
+    lattice.push_back(space.canonicalize(unit));
+    if (lattice.size() >= max_iterations) break;
     // Odometer increment.
     std::size_t pos = 0;
     while (pos < d && ++idx[pos] == k) {
@@ -142,8 +210,34 @@ OptimizationResult grid_search(const SearchSpace& space, const Objective& object
     }
     if (pos == d) break;
   }
+
+  OptimizationResult result;
+  result.history.reserve(lattice.size());
+  evaluate_into(space, objective, std::move(lattice), result.history, parallel);
   result.best_index = argmin(result.history);
   return result;
+}
+}  // namespace
+
+OptimizationResult random_search(const SearchSpace& space, const Objective& objective,
+                                 std::size_t max_iterations, std::uint64_t seed) {
+  return random_search_impl(space, ignore_index(objective), max_iterations, seed,
+                            /*parallel=*/false);
+}
+
+OptimizationResult random_search(const SearchSpace& space, const IndexedObjective& objective,
+                                 std::size_t max_iterations, std::uint64_t seed) {
+  return random_search_impl(space, objective, max_iterations, seed, /*parallel=*/true);
+}
+
+OptimizationResult grid_search(const SearchSpace& space, const Objective& objective,
+                               std::size_t max_iterations) {
+  return grid_search_impl(space, ignore_index(objective), max_iterations, /*parallel=*/false);
+}
+
+OptimizationResult grid_search(const SearchSpace& space, const IndexedObjective& objective,
+                               std::size_t max_iterations) {
+  return grid_search_impl(space, objective, max_iterations, /*parallel=*/true);
 }
 
 }  // namespace ld::bayesopt

@@ -1,0 +1,153 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace ld {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // inline mode: no workers, no queue traffic
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_worker() noexcept { return t_in_worker; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // packaged_task captures exceptions; raw chunks guard themselves
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (workers_.empty() || in_worker() || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Contiguous chunks, a few per worker so uneven tasks balance out. Each
+  // chunk records at most one exception; the lowest-numbered chunk's
+  // exception is rethrown so failure reporting does not depend on timing.
+  const std::size_t chunks = std::min(count, concurrency() * 4);
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t begin = 0, count = 0, chunks = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::vector<std::exception_ptr> errors;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<State>();
+  state->begin = begin;
+  state->count = count;
+  state->chunks = chunks;
+  state->fn = &fn;
+  state->errors.assign(chunks, nullptr);
+
+  const auto run_chunk = [](State& s, std::size_t chunk) {
+    const std::size_t lo = s.begin + chunk * s.count / s.chunks;
+    const std::size_t hi = s.begin + (chunk + 1) * s.count / s.chunks;
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*s.fn)(i);
+    } catch (...) {
+      s.errors[chunk] = std::current_exception();
+    }
+    if (s.done.fetch_add(1, std::memory_order_acq_rel) + 1 == s.chunks) {
+      const std::scoped_lock lock(s.done_mutex);
+      s.done_cv.notify_all();
+    }
+  };
+
+  // One queue entry per worker; each entry drains chunks via the shared
+  // counter, and the caller drains alongside them.
+  const std::size_t helpers = std::min(workers_.size(), chunks);
+  for (std::size_t w = 0; w < helpers; ++w) {
+    enqueue([state, run_chunk] {
+      for (;;) {
+        const std::size_t chunk = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= state->chunks) return;
+        run_chunk(*state, chunk);
+      }
+    });
+  }
+  for (;;) {
+    const std::size_t chunk = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= state->chunks) break;
+    run_chunk(*state, chunk);
+  }
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->chunks;
+    });
+  }
+  for (const std::exception_ptr& error : state->errors)
+    if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("LD_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return std::min<long>(parsed, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;          // NOLINT: intentional process lifetime
+std::mutex g_pool_mutex;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  const std::scoped_lock lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_pool;
+}
+
+void ThreadPool::set_global_size(std::size_t threads) {
+  const std::scoped_lock lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace ld

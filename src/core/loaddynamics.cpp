@@ -1,14 +1,84 @@
 #include "core/loaddynamics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ld::core {
+
+namespace {
+/// Shared accumulator for concurrently evaluated configurations. Records are
+/// written into pre-assigned index slots and the best model is selected by
+/// (MAPE, index) — the lowest index among equal MAPEs — so the outcome
+/// matches the sequential loop regardless of completion order.
+class SearchRecorder {
+ public:
+  explicit SearchRecorder(std::size_t capacity) { records_.resize(capacity); }
+
+  void record(std::size_t index, const Hyperparameters& hp, double mape,
+              std::shared_ptr<TrainedModel> model) {
+    records_[index] = {hp, std::isfinite(mape) ? mape : 1e6};
+    evaluated_.fetch_add(1, std::memory_order_relaxed);
+    if (model && std::isfinite(mape)) {
+      const std::scoped_lock lock(mutex_);
+      if (mape < best_mape_ || (mape == best_mape_ && index < best_index_)) {
+        best_mape_ = mape;
+        best_index_ = index;
+        best_model_ = std::move(model);
+      }
+    }
+  }
+
+  /// Train one configuration; the training seed comes from the evaluation
+  /// index so results do not depend on scheduling.
+  double evaluate(std::span<const double> train, std::span<const double> validation,
+                  const Hyperparameters& hp, const ModelTrainingConfig& training,
+                  std::uint64_t base_seed, std::size_t index) {
+    double mape;
+    std::shared_ptr<TrainedModel> model;
+    try {
+      model = std::make_shared<TrainedModel>(train, validation, hp, training,
+                                             base_seed + index);
+      mape = model->validation_mape();
+    } catch (const std::exception& e) {
+      log::warn("LoadDynamics: configuration ", hp.to_string(), " failed: ", e.what());
+      mape = std::numeric_limits<double>::quiet_NaN();  // optimizer penalizes
+    }
+    record(index, hp, mape, std::move(model));
+    log::debug("LoadDynamics iter ", index, " ", hp.to_string(), " -> MAPE ",
+               records_[index].validation_mape, "%");
+    return mape;
+  }
+
+  /// Move the accumulated state into `result` (trims unused slots).
+  void finish(FitResult& result, const char* what) {
+    if (!best_model_) throw std::runtime_error(std::string(what) + ": every configuration failed");
+    records_.resize(evaluated_.load(std::memory_order_relaxed));
+    result.database = std::move(records_);
+    result.model = std::move(best_model_);
+    result.best_index = 0;
+    for (std::size_t i = 1; i < result.database.size(); ++i)
+      if (result.database[i].validation_mape <
+          result.database[result.best_index].validation_mape)
+        result.best_index = i;
+  }
+
+ private:
+  std::vector<ModelRecord> records_;
+  std::atomic<std::size_t> evaluated_{0};
+  std::mutex mutex_;
+  std::shared_ptr<TrainedModel> best_model_;
+  double best_mape_ = std::numeric_limits<double>::infinity();
+  std::size_t best_index_ = std::numeric_limits<std::size_t>::max();
+};
+}  // namespace
 
 std::vector<double> FitResult::incumbent_trace() const {
   std::vector<double> trace;
@@ -42,33 +112,16 @@ FitResult LoadDynamics::fit(std::span<const double> train,
   const bayesopt::SearchSpace search_space = space.to_search_space();
 
   FitResult result;
-  result.database.reserve(config_.max_iterations);
-  std::shared_ptr<TrainedModel> best_model;
-  double best_mape = std::numeric_limits<double>::infinity();
+  SearchRecorder recorder(config_.max_iterations);
 
   // The objective trains a model (step 1), cross-validates it (step 2) and
   // records it in the database; the optimizer proposes the next set (step 3).
-  std::size_t iteration = 0;
-  const bayesopt::Objective objective = [&](const std::vector<double>& values) -> double {
-    const Hyperparameters hp = space.from_values(values);
-    double mape;
-    try {
-      auto model = std::make_shared<TrainedModel>(train, validation, hp, config_.training,
-                                                  config_.seed + iteration);
-      mape = model->validation_mape();
-      if (mape < best_mape) {
-        best_mape = mape;
-        best_model = std::move(model);
-      }
-    } catch (const std::exception& e) {
-      log::warn("LoadDynamics: configuration ", hp.to_string(), " failed: ", e.what());
-      mape = std::numeric_limits<double>::quiet_NaN();  // optimizer penalizes
-    }
-    result.database.push_back({hp, std::isfinite(mape) ? mape : 1e6});
-    log::debug("LoadDynamics iter ", iteration, " ", hp.to_string(), " -> MAPE ",
-               result.database.back().validation_mape, "%");
-    ++iteration;
-    return mape;
+  // `index` is the optimizer's evaluation number — it seeds the training, so
+  // concurrent evaluation (batch_size > 1) stays bit-identical to serial.
+  const bayesopt::IndexedObjective objective = [&](const std::vector<double>& values,
+                                                   std::size_t index) -> double {
+    return recorder.evaluate(train, validation, space.from_values(values), config_.training,
+                             config_.seed, index);
   };
 
   switch (config_.strategy) {
@@ -76,6 +129,7 @@ FitResult LoadDynamics::fit(std::span<const double> train,
       bayesopt::OptimizerConfig oc;
       oc.max_iterations = config_.max_iterations;
       oc.initial_random = config_.initial_random;
+      oc.batch_size = config_.batch_size;
       bayesopt::BayesianOptimizer optimizer(search_space, oc, config_.seed);
       (void)optimizer.optimize(objective);
       break;
@@ -89,14 +143,8 @@ FitResult LoadDynamics::fit(std::span<const double> train,
       break;
   }
 
-  if (!best_model) throw std::runtime_error("LoadDynamics::fit: every configuration failed");
-
   // Step 4: select the lowest-error model from the database.
-  result.best_index = 0;
-  for (std::size_t i = 1; i < result.database.size(); ++i)
-    if (result.database[i].validation_mape < result.database[result.best_index].validation_mape)
-      result.best_index = i;
-  result.model = std::move(best_model);
+  recorder.finish(result, "LoadDynamics::fit");
   result.search_seconds = watch.seconds();
   return result;
 }
@@ -135,34 +183,24 @@ FitResult brute_force_search(std::span<const double> train, std::span<const doub
   const auto layers = lattice(space.layers_min, space.layers_max, false);
   const auto batch = lattice(space.batch_min, space.batch_max, true);
 
-  FitResult result;
-  std::shared_ptr<TrainedModel> best_model;
-  double best_mape = std::numeric_limits<double>::infinity();
-  std::size_t iteration = 0;
+  // Enumerate the whole lattice first, then train every point concurrently;
+  // each training is seeded by its lattice index, so the database matches the
+  // nested sequential loops exactly.
+  std::vector<Hyperparameters> grid;
+  grid.reserve(hist.size() * cell.size() * layers.size() * batch.size());
   for (const std::size_t n : hist)
     for (const std::size_t c : cell)
       for (const std::size_t l : layers)
-        for (const std::size_t b : batch) {
-          const Hyperparameters hp{.history_length = n, .cell_size = c, .num_layers = l,
-                                   .batch_size = b};
-          try {
-            auto model = std::make_shared<TrainedModel>(train, validation, hp, config.training,
-                                                        config.seed + iteration);
-            const double mape = model->validation_mape();
-            result.database.push_back({hp, mape});
-            if (mape < best_mape) {
-              best_mape = mape;
-              best_model = std::move(model);
-              result.best_index = result.database.size() - 1;
-            }
-          } catch (const std::exception& e) {
-            log::warn("brute force: ", hp.to_string(), " failed: ", e.what());
-            result.database.push_back({hp, 1e6});
-          }
-          ++iteration;
-        }
-  if (!best_model) throw std::runtime_error("brute_force_search: every configuration failed");
-  result.model = std::move(best_model);
+        for (const std::size_t b : batch)
+          grid.push_back({.history_length = n, .cell_size = c, .num_layers = l,
+                          .batch_size = b});
+
+  FitResult result;
+  SearchRecorder recorder(grid.size());
+  ThreadPool::global().parallel_for(0, grid.size(), [&](std::size_t i) {
+    (void)recorder.evaluate(train, validation, grid[i], config.training, config.seed, i);
+  });
+  recorder.finish(result, "brute_force_search");
   result.search_seconds = watch.seconds();
   return result;
 }

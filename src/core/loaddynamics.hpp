@@ -26,6 +26,13 @@ struct LoadDynamicsConfig {
   SearchStrategy strategy = SearchStrategy::kBayesian;
   ModelTrainingConfig training;
   std::uint64_t seed = 2020;
+  /// Candidate trainings evaluated concurrently per BO round (constant-liar
+  /// q-EI when > 1). Every training derives its seed from its evaluation
+  /// index, so the model database is bit-identical for any thread count —
+  /// see DESIGN.md "Threading model & determinism". Random/grid/brute-force
+  /// strategies always parallelize across the full design regardless of this
+  /// value.
+  std::size_t batch_size = 1;
 };
 
 /// One row of the model database: hyperparameters tried + validation error.

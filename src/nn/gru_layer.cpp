@@ -41,7 +41,10 @@ std::vector<tensor::Matrix> GruLayer::forward(const std::vector<tensor::Matrix>&
   cached_batch_ = batch;
   cached_steps_ = steps;
 
-  tensor::Matrix h_prev(batch, hidden_size_);
+  // Previous hidden state is read from the cache (zeros at t = 0) rather
+  // than copied into scratch every step.
+  const tensor::Matrix zeros(batch, hidden_size_);
+  const tensor::Matrix* h_prev = &zeros;
   tensor::Matrix zr_pre(batch, h3);  // pre-activations from x and h
 
   for (std::size_t t = 0; t < steps; ++t) {
@@ -49,7 +52,7 @@ std::vector<tensor::Matrix> GruLayer::forward(const std::vector<tensor::Matrix>&
       throw std::invalid_argument("GruLayer::forward: inconsistent input shape");
     // Pre-activations for all three blocks from x; z and r also from h.
     tensor::matmul_a_bt_into(inputs[t], w_, zr_pre, /*accumulate=*/false);
-    tensor::matmul_a_bt_into(h_prev, u_, zr_pre, /*accumulate=*/true);
+    tensor::matmul_a_bt_into(*h_prev, u_, zr_pre, /*accumulate=*/true);
     // Note: the accumulated g-block currently holds U_g h (not U_g (r⊙h));
     // we recompute the g pre-activation below once r is known.
 
@@ -61,7 +64,7 @@ std::vector<tensor::Matrix> GruLayer::forward(const std::vector<tensor::Matrix>&
     for (std::size_t rI = 0; rI < batch; ++rI) {
       const double* pre = zr_pre.data() + rI * h3;
       double* g = gates.data() + rI * h3;
-      const double* hp = h_prev.data() + rI * hidden_size_;
+      const double* hp = h_prev->data() + rI * hidden_size_;
       double* rhr = rh.data() + rI * hidden_size_;
       for (std::size_t j = 0; j < hidden_size_; ++j) {
         g[j] = sigmoid(pre[j] + b_[j]);                                  // z
@@ -92,7 +95,7 @@ std::vector<tensor::Matrix> GruLayer::forward(const std::vector<tensor::Matrix>&
     }
     for (std::size_t rI = 0; rI < batch; ++rI) {
       double* g = gates.data() + rI * h3;
-      const double* hp = h_prev.data() + rI * hidden_size_;
+      const double* hp = h_prev->data() + rI * hidden_size_;
       const double* gp = g_pre.data() + rI * hidden_size_;
       double* hr = h.data() + rI * hidden_size_;
       for (std::size_t j = 0; j < hidden_size_; ++j) {
@@ -102,7 +105,7 @@ std::vector<tensor::Matrix> GruLayer::forward(const std::vector<tensor::Matrix>&
         hr[j] = (1.0 - zv) * hp[j] + zv * gv;
       }
     }
-    h_prev = h;
+    h_prev = &h;
   }
   return cache_h_;
 }

@@ -44,8 +44,11 @@ std::vector<tensor::Matrix> LstmLayer::forward(const std::vector<tensor::Matrix>
   cached_batch_ = batch;
   cached_steps_ = steps;
 
-  tensor::Matrix h_prev(batch, hidden_size_);  // zeros
-  tensor::Matrix c_prev(batch, hidden_size_);
+  // The previous step's state is read straight out of the caches (t = 0 reads
+  // a shared zero matrix) instead of copying h/c into scratch every step.
+  const tensor::Matrix zeros(batch, hidden_size_);
+  const tensor::Matrix* h_prev = &zeros;
+  const tensor::Matrix* c_prev = &zeros;
 
   for (std::size_t t = 0; t < steps; ++t) {
     if (inputs[t].rows() != batch || inputs[t].cols() != input_size_)
@@ -53,12 +56,12 @@ std::vector<tensor::Matrix> LstmLayer::forward(const std::vector<tensor::Matrix>
     tensor::Matrix& gates = cache_gates_[t];
     // Pre-activations: gates = x_t W^T + h_{t-1} U^T + b.
     tensor::matmul_a_bt_into(inputs[t], w_, gates, /*accumulate=*/false);
-    tensor::matmul_a_bt_into(h_prev, u_, gates, /*accumulate=*/true);
+    tensor::matmul_a_bt_into(*h_prev, u_, gates, /*accumulate=*/true);
     tensor::Matrix& c = cache_c_[t];
     tensor::Matrix& h = cache_h_[t];
     for (std::size_t r = 0; r < batch; ++r) {
       double* g = gates.data() + r * h4;
-      const double* cp = c_prev.data() + r * hidden_size_;
+      const double* cp = c_prev->data() + r * hidden_size_;
       double* cr = c.data() + r * hidden_size_;
       double* hr = h.data() + r * hidden_size_;
       for (std::size_t j = 0; j < hidden_size_; ++j) {
@@ -76,8 +79,8 @@ std::vector<tensor::Matrix> LstmLayer::forward(const std::vector<tensor::Matrix>
         hr[j] = ov * activate(activation_, cv);
       }
     }
-    h_prev = h;
-    c_prev = c;
+    h_prev = &h;
+    c_prev = &c;
   }
   return cache_h_;
 }

@@ -8,6 +8,26 @@
 
 namespace ld::nn {
 
+namespace {
+// Shared batching loop of evaluate_mse / predict_all: run the network over
+// `data` in contiguous batches and hand each batch's predictions + targets
+// to `consume(pred, y, count)`.
+template <typename Fn>
+void for_each_prediction_batch(LstmNetwork& network, const SlidingWindowDataset& data,
+                               std::size_t batch_size, Fn&& consume) {
+  tensor::Matrix x;
+  std::vector<double> y;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, data.size() - start);
+    idx.resize(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    data.gather(idx, x, y);
+    consume(network.forward(x), y, count);
+  }
+}
+}  // namespace
+
 TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
                   const SlidingWindowDataset* validation, const TrainerConfig& config,
                   std::uint64_t shuffle_seed) {
@@ -91,39 +111,27 @@ TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
 
 double evaluate_mse(LstmNetwork& network, const SlidingWindowDataset& data,
                     std::size_t batch_size) {
-  tensor::Matrix x;
-  std::vector<double> y;
-  std::vector<std::size_t> idx;
   double total = 0.0;
-  for (std::size_t start = 0; start < data.size(); start += batch_size) {
-    const std::size_t count = std::min(batch_size, data.size() - start);
-    idx.resize(count);
-    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
-    data.gather(idx, x, y);
-    const std::vector<double> pred = network.forward(x);
-    for (std::size_t i = 0; i < count; ++i) {
-      const double err = pred[i] - y[i];
-      total += err * err;
-    }
-  }
+  for_each_prediction_batch(
+      network, data, batch_size,
+      [&](const std::vector<double>& pred, const std::vector<double>& y, std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+          const double err = pred[i] - y[i];
+          total += err * err;
+        }
+      });
   return total / static_cast<double>(data.size());
 }
 
 std::vector<double> predict_all(LstmNetwork& network, const SlidingWindowDataset& data,
                                 std::size_t batch_size) {
-  tensor::Matrix x;
-  std::vector<double> y;
-  std::vector<std::size_t> idx;
   std::vector<double> out;
   out.reserve(data.size());
-  for (std::size_t start = 0; start < data.size(); start += batch_size) {
-    const std::size_t count = std::min(batch_size, data.size() - start);
-    idx.resize(count);
-    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
-    data.gather(idx, x, y);
-    const std::vector<double> pred = network.forward(x);
-    out.insert(out.end(), pred.begin(), pred.end());
-  }
+  for_each_prediction_batch(
+      network, data, batch_size,
+      [&](const std::vector<double>& pred, const std::vector<double>&, std::size_t) {
+        out.insert(out.end(), pred.begin(), pred.end());
+      });
   return out;
 }
 
