@@ -1,0 +1,160 @@
+// Replay load generator for the serving layer: streams synthetic traces
+// through a PredictionService from concurrent client threads — observers
+// ingesting actuals (which can trigger drift retrains in the background) and
+// predictors hammering forecasts — then reports per-workload and aggregate
+// throughput plus p50/p95/p99 prediction latency.
+//
+//   serve_replay [--threads 4] [--requests 2000] [--horizon 4] [--replicas 2]
+//                [--workloads 2|3] [--epochs 12] [--no-retrain] [--seed 2020]
+//
+// Acceptance shape: >= 2 concurrent workloads with background retraining
+// enabled (a mid-stream RETRAIN is forced per workload so a retrain always
+// overlaps the measured predictions, even when drift alone wouldn't fire).
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/metrics.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "serving/service.hpp"
+
+namespace {
+
+using namespace ld;
+
+struct WorkloadSetup {
+  std::string name;
+  workloads::TraceKind kind;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli::Args args(argc, argv);
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 4));
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 2000));
+  const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 4));
+  const auto n_workloads = std::min<std::size_t>(3, std::max<std::size_t>(
+      2, static_cast<std::size_t>(args.get_int("workloads", 2))));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
+
+  const std::vector<WorkloadSetup> setups{
+      {"wiki", workloads::TraceKind::kWikipedia},
+      {"google", workloads::TraceKind::kGoogle},
+      {"azure", workloads::TraceKind::kAzure}};
+
+  // Serving config: small warm retrains so a background retrain completes
+  // within the bench window and actually overlaps the predictions.
+  serving::ServiceConfig cfg;
+  cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
+  cfg.background_retrain = !args.get_bool("no-retrain");
+  cfg.adaptive.base.space = core::HyperparameterSpace::reduced();
+  cfg.adaptive.base.seed = seed;
+  cfg.adaptive.base.training.trainer.max_epochs = 4;
+  cfg.adaptive.refresh_candidates = 1;
+  cfg.adaptive.retrain_history_cap = 160;
+  serving::PredictionService service(cfg);
+
+  // Quick-train one small model per workload and split its trace into warmup
+  // history (ingested up front) and a replay tail (streamed live).
+  std::printf("preparing %zu workloads (quick single-config training)...\n", n_workloads);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> replays;
+  for (std::size_t i = 0; i < n_workloads; ++i) {
+    const workloads::Trace trace =
+        workloads::generate(setups[i].kind, 30, {.days = 10.0, .seed = seed + i});
+    const workloads::TraceSplit split = workloads::split_trace(trace);
+
+    core::LoadDynamicsConfig ld_cfg;
+    ld_cfg.training.trainer.max_epochs = epochs;
+    ld_cfg.training.trainer.min_updates = 200;
+    ld_cfg.seed = seed + i;
+    const core::Hyperparameters hp{.history_length = 16, .cell_size = 12, .num_layers = 1,
+                                   .batch_size = 32};
+    const auto model =
+        core::LoadDynamics(ld_cfg).train_one(split.train, split.validation, hp);
+    service.publish(setups[i].name, *model);
+    service.observe_many(setups[i].name, split.train_and_validation());
+    names.push_back(setups[i].name);
+    replays.push_back(split.test);
+    std::printf("  %-8s validation MAPE %.2f%%, %zu warmup + %zu replay intervals\n",
+                setups[i].name.c_str(), model->validation_mape(),
+                split.train_and_validation().size(), split.test.size());
+  }
+
+  // One observer thread per workload streams the replay tail and forces one
+  // mid-stream retrain; `threads` predictor threads round-robin forecasts.
+  std::atomic<bool> done{false};
+  std::vector<std::thread> observers;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    observers.emplace_back([&, i] {
+      const std::vector<double>& tail = replays[i];
+      for (std::size_t t = 0; t < tail.size(); ++t) {
+        service.observe(names[i], tail[t]);
+        if (t == tail.size() / 2) (void)service.request_retrain(names[i]);
+        if (done.load(std::memory_order_relaxed)) break;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<metrics::LatencyHistogram> histograms(
+      threads, metrics::LatencyHistogram(1e-7, 10.0));
+  std::vector<std::vector<metrics::LatencyHistogram>> per_workload(
+      threads, std::vector<metrics::LatencyHistogram>(
+                   names.size(), metrics::LatencyHistogram(1e-7, 10.0)));
+  std::atomic<std::size_t> errors{0};
+
+  Stopwatch clock;
+  std::vector<std::thread> predictors;
+  const std::size_t per_thread = (requests + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    predictors.emplace_back([&, t] {
+      for (std::size_t r = 0; r < per_thread; ++r) {
+        const std::size_t wi = (t + r) % names.size();
+        Stopwatch lat;
+        try {
+          const auto forecast = service.predict(names[wi], horizon);
+          const double seconds = lat.seconds();
+          histograms[t].record(seconds);
+          per_workload[t][wi].record(seconds);
+          (void)forecast;
+        } catch (const std::exception&) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : predictors) th.join();
+  const double elapsed = clock.seconds();
+  done.store(true);
+  for (auto& th : observers) th.join();
+  service.wait_idle();
+
+  metrics::LatencyHistogram all(1e-7, 10.0);
+  for (const auto& h : histograms) all.merge(h);
+
+  std::printf("\n%zu predictor threads, horizon %zu, %zu requests in %.2fs -> %.0f req/s"
+              " (%zu errors)\n",
+              threads, horizon, all.count(), elapsed,
+              static_cast<double>(all.count()) / elapsed, errors.load());
+  std::printf("%-10s %10s %10s %10s %10s %10s %9s\n", "workload", "requests", "p50(us)",
+              "p95(us)", "p99(us)", "max(us)", "retrains");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    metrics::LatencyHistogram h(1e-7, 10.0);
+    for (std::size_t t = 0; t < threads; ++t) h.merge(per_workload[t][i]);
+    const auto stats = service.stats(names[i]);
+    std::printf("%-10s %10zu %10.1f %10.1f %10.1f %10.1f %9zu\n", names[i].c_str(),
+                h.count(), h.percentile(50) * 1e6, h.percentile(95) * 1e6,
+                h.percentile(99) * 1e6, h.max() * 1e6, stats.retrains);
+  }
+  std::printf("%-10s %10zu %10.1f %10.1f %10.1f %10.1f\n", "all", all.count(),
+              all.percentile(50) * 1e6, all.percentile(95) * 1e6, all.percentile(99) * 1e6,
+              all.max() * 1e6);
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "app/serve_app.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "core/loaddynamics.hpp"
+#include "serving/protocol.hpp"
+#include "serving/service.hpp"
+#include "workloads/trace.hpp"
+
+namespace ld::app {
+
+namespace {
+
+constexpr const char* kUsage = R"(ld_serve — multi-workload prediction service
+
+usage: ld_serve [<workload>=<model.ldm|trace.csv> ...] [flags]
+
+positional: each NAME=PATH registers a workload; .ldm loads a tuned model,
+.csv quick-trains one at startup and pre-ingests the trace history.
+
+flags:
+  --replay FILE        read protocol commands from FILE instead of stdin
+  --checkpoint-dir D   persist models on publish; warm-start from D
+  --replicas N         inference replicas per snapshot (default 2)
+  --history N          per-workload history cap (default 4096)
+  --threads N          resize the shared thread pool
+  --no-retrain         disable drift-triggered background retraining
+  --interval M         CSV trace interval minutes (default 30)
+  --epochs E           quick-train epoch budget (default 20)
+  --seed S             quick-train seed (default 2020)
+
+protocol: LOAD OBSERVE INGEST PREDICT BATCH RETRAIN WAIT SAVE STATS
+          WORKLOADS QUIT   (see docs/API.md)
+)";
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(),
+                                                suffix) == 0;
+}
+
+/// Single-configuration quick fit for .csv workloads: small fixed
+/// hyperparameters, full trace as history — good enough to serve from in
+/// seconds; `loaddynamics train` + LOAD is the tuned path.
+void quick_train(serving::PredictionService& service, const std::string& name,
+                 const std::string& csv_path, const cli::Args& args, std::ostream& err) {
+  const auto interval = static_cast<std::size_t>(args.get_int("interval", 30));
+  const workloads::Trace trace = workloads::load_csv_trace(csv_path, name, interval);
+  const workloads::TraceSplit split = workloads::split_trace(trace, 0.75, 0.2);
+
+  core::LoadDynamicsConfig cfg;
+  cfg.training.trainer.max_epochs = static_cast<std::size_t>(args.get_int("epochs", 20));
+  cfg.training.trainer.min_updates = 200;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  const core::Hyperparameters hp{.history_length = 16, .cell_size = 12, .num_layers = 1,
+                                 .batch_size = 32};
+  const core::LoadDynamics framework(cfg);
+  const auto model = framework.train_one(split.train, split.validation, hp);
+
+  service.publish(name, *model);
+  service.observe_many(name, trace.jars);
+  err << "ld_serve: quick-trained '" << name << "' on " << trace.size() << " intervals ("
+      << "validation MAPE " << model->validation_mape() << "%)\n";
+}
+
+}  // namespace
+
+int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  const cli::Args args(argc, argv);
+  if (args.has("help")) {
+    out << kUsage;
+    return 0;
+  }
+  try {
+    if (args.get_int("threads", 0) > 0)
+      ThreadPool::set_global_size(static_cast<std::size_t>(args.get_int("threads", 0)));
+
+    serving::ServiceConfig cfg;
+    cfg.max_history = static_cast<std::size_t>(args.get_int("history", 4096));
+    cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
+    cfg.checkpoint_dir = args.get("checkpoint-dir", "");
+    cfg.background_retrain = !args.get_bool("no-retrain");
+    // Serving-scale warm retrains: a few cheap candidates on recent history.
+    cfg.adaptive.base.space = core::HyperparameterSpace::reduced();
+    cfg.adaptive.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+    cfg.adaptive.base.training.trainer.max_epochs =
+        static_cast<std::size_t>(args.get_int("epochs", 20));
+    cfg.adaptive.refresh_candidates = 2;
+
+    serving::PredictionService service(cfg);
+
+    // A restarted server resumes every workload checkpointed by the previous
+    // run, without having to re-list them on the command line.
+    if (!cfg.checkpoint_dir.empty()) {
+      for (const auto& entry : std::filesystem::directory_iterator(cfg.checkpoint_dir)) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".ldm") continue;
+        const std::string name = entry.path().stem().string();
+        if (service.add_workload(name))
+          err << "ld_serve: resumed '" << name << "' from " << entry.path().string()
+              << "\n";
+      }
+    }
+
+    for (const std::string& spec : args.positional()) {
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size())
+        throw std::invalid_argument("bad workload spec '" + spec +
+                                    "' (expected NAME=model.ldm or NAME=trace.csv)");
+      const std::string name = spec.substr(0, eq);
+      const std::string path = spec.substr(eq + 1);
+      if (ends_with(path, ".csv")) {
+        quick_train(service, name, path, args, err);
+      } else {
+        service.load_workload(name, path);
+        err << "ld_serve: loaded '" << name << "' from " << path << "\n";
+      }
+    }
+
+    serving::LineProtocol protocol(service);
+    std::size_t commands = 0;
+    const std::string replay = args.get("replay", "");
+    if (!replay.empty()) {
+      std::ifstream file(replay);
+      if (!file) throw std::runtime_error("cannot open replay file '" + replay + "'");
+      commands = protocol.run(file, out);
+    } else {
+      commands = protocol.run(in, out);
+    }
+    service.wait_idle();
+
+    err << "ld_serve: served " << commands << " commands across "
+        << service.workload_names().size() << " workloads\n";
+    for (const std::string& name : service.workload_names()) {
+      const serving::WorkloadStats s = service.stats(name);
+      err << "ld_serve:   " << name << " v" << s.version << " observed=" << s.observations
+          << " predictions=" << s.predictions << " retrains=" << s.retrains << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace ld::app

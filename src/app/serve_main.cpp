@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "app/serve_app.hpp"
+
+int main(int argc, char** argv) {
+  return ld::app::run_serve(argc, argv, std::cin, std::cout, std::cerr);
+}

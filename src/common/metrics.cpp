@@ -1,5 +1,6 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -57,6 +58,74 @@ double mse(std::span<const double> actual, std::span<const double> predicted) {
 
 double rmse(std::span<const double> actual, std::span<const double> predicted) {
   return std::sqrt(mse(actual, predicted));
+}
+
+namespace {
+constexpr double kBucketGrowth = 1.04;  ///< ~4% relative resolution
+}
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value)
+    : min_value_(min_value), max_value_(max_value), log_growth_(std::log(kBucketGrowth)) {
+  if (!(min_value > 0.0) || !(max_value > min_value))
+    throw std::invalid_argument("LatencyHistogram: need 0 < min_value < max_value");
+  const auto decades = std::log(max_value_ / min_value_) / log_growth_;
+  buckets_.assign(static_cast<std::size_t>(std::ceil(decades)) + 2, 0);
+}
+
+std::size_t LatencyHistogram::bucket_index(double value) const {
+  if (value <= min_value_) return 0;
+  const auto idx = 1 + static_cast<std::size_t>(std::log(value / min_value_) / log_growth_);
+  return std::min(idx, buckets_.size() - 1);
+}
+
+double LatencyHistogram::bucket_upper(std::size_t index) const {
+  return min_value_ * std::pow(kBucketGrowth, static_cast<double>(index));
+}
+
+void LatencyHistogram::record(double value) {
+  if (!std::isfinite(value) || value < 0.0)
+    throw std::invalid_argument("LatencyHistogram: non-finite or negative value");
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0 || value < min_seen_) min_seen_ = value;
+  if (count_ == 0 || value > max_seen_) max_seen_ = value;
+  ++count_;
+  total_ += value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.min_value_ != min_value_ || other.max_value_ != max_value_)
+    throw std::invalid_argument("LatencyHistogram::merge: mismatched bounds");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_seen_ < min_seen_) min_seen_ = other.min_seen_;
+  if (count_ == 0 || other.max_seen_ > max_seen_) max_seen_ = other.max_seen_;
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::min() const { return count_ == 0 ? 0.0 : min_seen_; }
+double LatencyHistogram::max() const { return count_ == 0 ? 0.0 : max_seen_; }
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // The last bucket is open-ended (values above max_value), so its upper
+      // edge is meaningless — report the exact max instead.
+      if (i + 1 == buckets_.size()) return max_seen_;
+      return std::clamp(bucket_upper(i), min_seen_, max_seen_);
+    }
+  }
+  return max_seen_;
 }
 
 double r2(std::span<const double> actual, std::span<const double> predicted) {

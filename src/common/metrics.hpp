@@ -4,7 +4,9 @@
 // metrics support the extended analysis and the test suite.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 namespace ld::metrics {
 
@@ -28,5 +30,43 @@ namespace ld::metrics {
 /// Coefficient of determination R^2 (1 - SS_res / SS_tot); returns 0 when
 /// the actual series is constant.
 [[nodiscard]] double r2(std::span<const double> actual, std::span<const double> predicted);
+
+/// Streaming histogram with geometric buckets (~4% wide) for positive values
+/// — latencies in seconds, queue depths, sizes. Memory is a few KB no matter
+/// how many samples are recorded, and percentile() carries a bounded ~4%
+/// relative error (clamped to the exact observed min/max). Values at or
+/// below `min_value` land in the first bucket; values above `max_value` in
+/// the last. Not thread-safe: keep one per thread and merge().
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double min_value = 1e-7, double max_value = 1e3);
+
+  void record(double value);
+  /// Fold another histogram in; both must share (min_value, max_value).
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;  ///< smallest recorded value (exact)
+  [[nodiscard]] double max() const;  ///< largest recorded value (exact)
+
+  /// Value at percentile `p` in [0, 100]: the upper edge of the bucket
+  /// holding the ceil(p/100 * count)-th smallest sample. 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const;
+  [[nodiscard]] double bucket_upper(std::size_t index) const;
+
+  double min_value_;
+  double max_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double total_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
 
 }  // namespace ld::metrics

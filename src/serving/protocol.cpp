@@ -1,0 +1,146 @@
+#include "serving/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ld::serving {
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+std::string next_token(std::istringstream& is, const char* what) {
+  std::string token;
+  if (!(is >> token)) throw std::invalid_argument(std::string("missing ") + what);
+  return token;
+}
+
+double parse_value(const std::string& token, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad ") + what + " '" + token + "'");
+  }
+}
+
+std::size_t parse_count(const std::string& token, const char* what) {
+  const double v = parse_value(token, what);
+  if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v)))
+    throw std::invalid_argument(std::string("bad ") + what + " '" + token + "'");
+  return static_cast<std::size_t>(v);
+}
+
+void write_forecast(std::ostream& out, const std::string& workload,
+                    const std::vector<double>& forecast) {
+  // max_digits10 keeps round-trips through the text protocol lossless, so a
+  // restarted server is verifiably bit-identical from the client side too.
+  const auto precision = out.precision(std::numeric_limits<double>::max_digits10);
+  out << "PRED " << workload;
+  for (const double v : forecast) out << ' ' << v;
+  out << '\n';
+  out.precision(precision);
+}
+
+}  // namespace
+
+bool LineProtocol::handle(const std::string& line, std::ostream& out) {
+  std::istringstream is(line);
+  std::string verb;
+  if (!(is >> verb) || verb.front() == '#') return true;
+  verb = upper(verb);
+  try {
+    if (verb == "QUIT") {
+      out << "OK bye\n";
+      return false;
+    }
+    if (verb == "LOAD") {
+      const std::string name = next_token(is, "workload");
+      const std::string path = next_token(is, "model path");
+      service_.load_workload(name, path);
+      out << "OK " << name << " v" << service_.stats(name).version << '\n';
+    } else if (verb == "OBSERVE") {
+      const std::string name = next_token(is, "workload");
+      service_.observe(name, parse_value(next_token(is, "value"), "value"));
+      out << "OK\n";
+    } else if (verb == "INGEST") {
+      const std::string name = next_token(is, "workload");
+      std::vector<double> values;
+      std::string token;
+      while (is >> token) values.push_back(parse_value(token, "value"));
+      if (values.empty()) throw std::invalid_argument("missing values");
+      service_.observe_many(name, values);
+      out << "OK " << values.size() << '\n';
+    } else if (verb == "PREDICT") {
+      const std::string name = next_token(is, "workload");
+      const std::size_t horizon = parse_count(next_token(is, "horizon"), "horizon");
+      write_forecast(out, name, service_.predict(name, horizon));
+    } else if (verb == "BATCH") {
+      const std::size_t horizon = parse_count(next_token(is, "horizon"), "horizon");
+      std::vector<PredictRequest> requests;
+      std::string name;
+      while (is >> name) requests.push_back({name, horizon});
+      if (requests.empty()) throw std::invalid_argument("missing workloads");
+      const std::vector<PredictResponse> responses = service_.predict_batch(requests);
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        if (responses[i].error.empty())
+          write_forecast(out, requests[i].workload, responses[i].forecast);
+        else
+          out << "ERR " << requests[i].workload << ": " << responses[i].error << '\n';
+      }
+    } else if (verb == "RETRAIN") {
+      const std::string name = next_token(is, "workload");
+      out << (service_.request_retrain(name) ? "OK queued\n" : "OK already-pending\n");
+    } else if (verb == "WAIT") {
+      service_.wait_idle();
+      out << "OK idle\n";
+    } else if (verb == "SAVE") {
+      const std::string name = next_token(is, "workload");
+      const std::string path = next_token(is, "path");
+      service_.save_workload(name, path);
+      out << "OK saved " << path << '\n';
+    } else if (verb == "STATS") {
+      const std::string name = next_token(is, "workload");
+      const WorkloadStats s = service_.stats(name);
+      out << "STATS " << name << " version=" << s.version << " observed=" << s.observations
+          << " predictions=" << s.predictions << " retrains=" << s.retrains
+          << " history=" << s.history_size << " baseline_mape=" << s.baseline_mape
+          << " retrain_pending=" << (s.retrain_pending ? 1 : 0) << '\n';
+    } else if (verb == "WORKLOADS") {
+      out << "WORKLOADS";
+      for (const std::string& name : service_.workload_names()) out << ' ' << name;
+      out << '\n';
+    } else {
+      out << "ERR unknown command '" << verb << "'\n";
+    }
+  } catch (const std::exception& e) {
+    out << "ERR " << e.what() << '\n';
+  }
+  return true;
+}
+
+std::size_t LineProtocol::run(std::istream& in, std::ostream& out) {
+  std::size_t commands = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream probe(line);
+    std::string verb;
+    if (!(probe >> verb) || verb.front() == '#') continue;
+    ++commands;
+    if (!handle(line, out)) break;
+  }
+  return commands;
+}
+
+}  // namespace ld::serving

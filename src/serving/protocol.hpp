@@ -1,0 +1,48 @@
+// Newline-delimited text protocol for the ld_serve binary — deliberately
+// transport-agnostic (stdin/stdout, a replay file, or a stringstream in the
+// tests) so the serving layer is fully exercisable without sockets.
+//
+// Commands (case-insensitive verb, whitespace-separated tokens; blank lines
+// and lines starting with '#' are ignored):
+//
+//   LOAD <workload> <model.ldm>        publish a model from disk
+//   OBSERVE <workload> <value>         ingest one actual observation
+//   INGEST <workload> <v1> <v2> ...    bulk-ingest observations
+//   PREDICT <workload> <horizon>       forecast the next <horizon> intervals
+//   BATCH <horizon> <w1> <w2> ...      micro-batched forecast across workloads
+//   RETRAIN <workload>                 queue a background warm retrain
+//   WAIT                               block until the retrain queue drains
+//   SAVE <workload> <path>             persist the current model
+//   STATS <workload>                   one-line serving counters
+//   WORKLOADS                          list registered workloads
+//   QUIT                               end the session
+//
+// Responses, one line per command: "OK ...", "PRED <workload> <v1> ...",
+// "STATS <workload> k=v ...", "WORKLOADS ...", or "ERR <message>". Errors
+// never terminate the session.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serving/service.hpp"
+
+namespace ld::serving {
+
+class LineProtocol {
+ public:
+  explicit LineProtocol(PredictionService& service) : service_(service) {}
+
+  /// Execute one command line, writing the response (if any) to `out`.
+  /// Returns false when the session should end (QUIT).
+  bool handle(const std::string& line, std::ostream& out);
+
+  /// Read commands from `in` until EOF or QUIT. Returns the number of
+  /// commands executed (blank/comment lines excluded).
+  std::size_t run(std::istream& in, std::ostream& out);
+
+ private:
+  PredictionService& service_;
+};
+
+}  // namespace ld::serving

@@ -1,0 +1,74 @@
+#include "serving/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ld::serving {
+
+PublishedModel::PublishedModel(const core::TrainedModel& model, std::uint64_t version,
+                               std::size_t replicas)
+    : snapshot_(std::make_shared<const core::ModelSnapshot>(model.snapshot())),
+      version_(version) {
+  replicas = std::max<std::size_t>(1, replicas);
+  replicas_.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    auto replica = std::make_unique<Replica>();
+    replica->model = core::TrainedModel::restore(*snapshot_);
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+template <typename F>
+auto PublishedModel::with_replica(F&& fn) const {
+  const std::size_t n = replicas_.size();
+  const std::size_t start = next_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    Replica& replica = *replicas_[(start + k) % n];
+    std::unique_lock lock(replica.mu, std::try_to_lock);
+    if (lock.owns_lock()) return fn(*replica.model);
+  }
+  // Every replica busy: wait for the round-robin pick.
+  Replica& replica = *replicas_[start];
+  std::scoped_lock lock(replica.mu);
+  return fn(*replica.model);
+}
+
+double PublishedModel::predict_next(std::span<const double> history) const {
+  return with_replica([&](const core::TrainedModel& m) { return m.predict_next(history); });
+}
+
+std::vector<double> PublishedModel::predict_horizon(std::span<const double> history,
+                                                    std::size_t steps) const {
+  return with_replica(
+      [&](const core::TrainedModel& m) { return m.predict_horizon(history, steps); });
+}
+
+ModelRegistry::ModelRegistry() { map_.store(std::make_shared<const Map>()); }
+
+std::shared_ptr<const PublishedModel> ModelRegistry::current(const std::string& name) const {
+  const std::shared_ptr<const Map> map = map_.load(std::memory_order_acquire);
+  const auto it = map->find(name);
+  return it == map->end() ? nullptr : it->second;
+}
+
+void ModelRegistry::publish(const std::string& name,
+                            std::shared_ptr<const PublishedModel> model) {
+  if (!model) throw std::invalid_argument("ModelRegistry::publish: null model");
+  std::scoped_lock lock(write_mu_);
+  auto next = std::make_shared<Map>(*map_.load(std::memory_order_acquire));
+  (*next)[name] = std::move(model);
+  map_.store(std::shared_ptr<const Map>(std::move(next)), std::memory_order_release);
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const std::shared_ptr<const Map> map = map_.load(std::memory_order_acquire);
+  std::vector<std::string> out;
+  out.reserve(map->size());
+  for (const auto& [name, _] : *map) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const { return map_.load(std::memory_order_acquire)->size(); }
+
+}  // namespace ld::serving

@@ -1,0 +1,92 @@
+// Lock-free model registry: the read side of the serving layer.
+//
+// A PublishedModel is an immutable, fully self-contained model version —
+// a ModelSnapshot plus a small pool of independently restored inference
+// replicas (LstmNetwork::forward mutates its activation caches, so each
+// concurrent prediction needs its own network instance; every replica is
+// restored from the same snapshot and therefore bit-identical).
+//
+// The ModelRegistry maps workload names to their current PublishedModel with
+// RCU-style copy-on-write semantics: readers load an atomic shared_ptr to an
+// immutable map and never take a lock; writers (model publishes — rare) copy
+// the map under a writer mutex and atomically swap the new version in.
+// In-flight predictions keep the snapshot they started with alive through
+// shared ownership, so a concurrent publish can never invalidate them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace ld::serving {
+
+/// One immutable published model version.
+class PublishedModel {
+ public:
+  /// Snapshot `model` and restore `replicas` independent inference copies
+  /// (>= 1). The source model is not retained.
+  PublishedModel(const core::TrainedModel& model, std::uint64_t version,
+                 std::size_t replicas);
+
+  PublishedModel(const PublishedModel&) = delete;
+  PublishedModel& operator=(const PublishedModel&) = delete;
+
+  /// Forecast through an idle replica (round-robin + try_lock, falling back
+  /// to a blocking lock when every replica is busy). Safe to call from any
+  /// number of threads; no lock held here is ever held by a retrain.
+  [[nodiscard]] double predict_next(std::span<const double> history) const;
+  [[nodiscard]] std::vector<double> predict_horizon(std::span<const double> history,
+                                                    std::size_t steps) const;
+
+  [[nodiscard]] const core::Hyperparameters& hyperparameters() const noexcept {
+    return snapshot_->hyperparameters;
+  }
+  [[nodiscard]] double validation_mape() const noexcept { return snapshot_->validation_mape; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] std::size_t replica_count() const noexcept { return replicas_.size(); }
+  [[nodiscard]] const core::ModelSnapshot& snapshot() const noexcept { return *snapshot_; }
+
+ private:
+  struct Replica {
+    std::shared_ptr<core::TrainedModel> model;
+    std::mutex mu;  ///< guards the replica's mutable network caches
+  };
+  template <typename F>
+  auto with_replica(F&& fn) const;
+
+  std::shared_ptr<const core::ModelSnapshot> snapshot_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::uint64_t version_ = 0;
+  mutable std::atomic<std::size_t> next_{0};  ///< round-robin replica cursor
+};
+
+/// Copy-on-write name -> PublishedModel map. Reads are wait-free with respect
+/// to writers: `current()` never blocks on a publish, and a publish never
+/// blocks on readers.
+class ModelRegistry {
+ public:
+  ModelRegistry();
+
+  /// The workload's current model, or nullptr when none is published yet.
+  [[nodiscard]] std::shared_ptr<const PublishedModel> current(const std::string& name) const;
+
+  /// Atomically swap in a new model version for `name` (insert or replace).
+  void publish(const std::string& name, std::shared_ptr<const PublishedModel> model);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using Map = std::map<std::string, std::shared_ptr<const PublishedModel>>;
+  std::atomic<std::shared_ptr<const Map>> map_;
+  std::mutex write_mu_;  ///< serializes writers only; readers never touch it
+};
+
+}  // namespace ld::serving

@@ -1,0 +1,312 @@
+#include "serving/service.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "core/serialization.hpp"
+
+namespace ld::serving {
+
+namespace {
+
+void validate_name(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("serving: empty workload name");
+  for (const char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-' && c != '.')
+      throw std::invalid_argument("serving: invalid workload name '" + name +
+                                  "' (use letters, digits, '_', '-', '.')");
+  if (name.front() == '.')
+    throw std::invalid_argument("serving: workload name must not start with '.'");
+}
+
+}  // namespace
+
+PredictionService::PredictionService(ServiceConfig config) : config_(std::move(config)) {
+  if (config_.max_history < 16)
+    throw std::invalid_argument("serving: max_history must be >= 16");
+  if (!config_.checkpoint_dir.empty())
+    std::filesystem::create_directories(config_.checkpoint_dir);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+PredictionService::~PredictionService() {
+  {
+    std::scoped_lock lock(queue_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+PredictionService::Workload& PredictionService::ensure_workload(const std::string& name) {
+  {
+    std::scoped_lock lock(workloads_mu_);
+    const auto it = workloads_.find(name);
+    if (it != workloads_.end()) return *it->second;
+  }
+  validate_name(name);
+  std::scoped_lock lock(workloads_mu_);
+  auto& slot = workloads_[name];
+  if (!slot) slot = std::make_unique<Workload>(config_.adaptive.drift_config());
+  return *slot;
+}
+
+PredictionService::Workload& PredictionService::workload(const std::string& name) const {
+  std::scoped_lock lock(workloads_mu_);
+  const auto it = workloads_.find(name);
+  if (it == workloads_.end())
+    throw std::runtime_error("serving: unknown workload '" + name + "'");
+  return *it->second;
+}
+
+std::string PredictionService::checkpoint_path(const std::string& name) const {
+  return (std::filesystem::path(config_.checkpoint_dir) / (name + ".ldm")).string();
+}
+
+bool PredictionService::add_workload(const std::string& name) {
+  ensure_workload(name);
+  if (registry_.current(name)) return true;
+  if (!config_.checkpoint_dir.empty()) {
+    const std::string path = checkpoint_path(name);
+    if (std::filesystem::exists(path)) {
+      const auto model = core::load_model_file(path);
+      // Restored from our own checkpoint — don't immediately rewrite it.
+      publish_model(name, *model, /*count_retrain=*/false, /*write_checkpoint=*/false);
+      log::info("serving: warm-started '", name, "' from ", path);
+      return true;
+    }
+  }
+  return false;
+}
+
+void PredictionService::load_workload(const std::string& name, const std::string& path) {
+  ensure_workload(name);
+  const auto model = core::load_model_file(path);
+  publish_model(name, *model, /*count_retrain=*/false, /*write_checkpoint=*/true);
+}
+
+void PredictionService::publish(const std::string& name, const core::TrainedModel& model) {
+  ensure_workload(name);
+  publish_model(name, model, /*count_retrain=*/false, /*write_checkpoint=*/true);
+}
+
+void PredictionService::publish_model(const std::string& name,
+                                      const core::TrainedModel& model, bool count_retrain,
+                                      bool write_checkpoint) {
+  Workload& w = workload(name);
+  std::scoped_lock publish_lock(publish_mu_);
+
+  std::uint64_t version = 0;
+  {
+    std::scoped_lock lock(w.mu);
+    version = ++w.version;
+  }
+  auto published = std::make_shared<const PublishedModel>(model, version, config_.replicas);
+  registry_.publish(name, published);
+
+  if (write_checkpoint && !config_.checkpoint_dir.empty()) {
+    try {
+      core::save_model_file(model, checkpoint_path(name));
+    } catch (const std::exception& e) {
+      log::warn("serving: checkpoint of '", name, "' failed: ", e.what());
+    }
+  }
+
+  std::scoped_lock lock(w.mu);
+  w.baseline_mape = model.validation_mape();
+  w.last_fit_step = w.observations;
+  w.monitor.reset();
+  if (count_retrain) ++w.retrains;
+}
+
+void PredictionService::observe(const std::string& name, double value) {
+  observe_many(name, std::span<const double>(&value, 1));
+}
+
+void PredictionService::observe_many(const std::string& name,
+                                     std::span<const double> values) {
+  if (values.empty()) return;
+  Workload& w = ensure_workload(name);
+  bool queue_retrain = false;
+  {
+    std::scoped_lock lock(w.mu);
+    w.history.insert(w.history.end(), values.begin(), values.end());
+    w.observations += values.size();
+    // Trim in chunks so steady-state ingestion stays amortized O(1).
+    if (w.history.size() > config_.max_history + config_.max_history / 4)
+      w.history.erase(w.history.begin(),
+                      w.history.end() - static_cast<std::ptrdiff_t>(config_.max_history));
+    if (config_.background_retrain && w.version > 0 && !w.retrain_pending) {
+      const std::size_t first_step = w.observations - w.history.size();
+      const core::DriftDecision drift =
+          w.monitor.evaluate(w.history, w.baseline_mape, w.last_fit_step, first_step);
+      if (drift.should_retrain) {
+        w.retrain_pending = true;
+        queue_retrain = true;
+        log::info("serving: drift on '", name, "' (recent MAPE ", drift.recent_mape,
+                  "% vs baseline ", w.baseline_mape, "%",
+                  drift.changepoint ? ", changepoint" : "", "), retrain queued");
+      }
+    }
+  }
+  if (queue_retrain) enqueue_retrain(name);
+}
+
+std::vector<double> PredictionService::predict(const std::string& name,
+                                               std::size_t horizon) {
+  if (horizon == 0) throw std::invalid_argument("serving: horizon must be >= 1");
+  const std::shared_ptr<const PublishedModel> model = registry_.current(name);
+  if (!model) throw std::runtime_error("serving: no model published for '" + name + "'");
+  Workload& w = workload(name);
+
+  std::vector<double> history;
+  std::size_t now = 0;
+  {
+    std::scoped_lock lock(w.mu);
+    history = w.history;
+    now = w.observations;
+  }
+  if (history.empty())
+    throw std::runtime_error("serving: no observations for '" + name + "' yet");
+
+  std::vector<double> forecast = model->predict_horizon(history, horizon);
+
+  {
+    std::scoped_lock lock(w.mu);
+    ++w.predictions;
+    // The first element is the one-step forecast of the next actual; the
+    // drift monitor scores it once that actual is observed.
+    w.monitor.record(now, forecast.front());
+  }
+  return forecast;
+}
+
+std::vector<PredictResponse> PredictionService::predict_batch(
+    std::span<const PredictRequest> requests) {
+  std::vector<PredictResponse> out(requests.size());
+  ThreadPool::global().parallel_for(0, requests.size(), [&](std::size_t i) {
+    try {
+      out[i].forecast = predict(requests[i].workload, requests[i].horizon);
+    } catch (const std::exception& e) {
+      out[i].error = e.what();
+    }
+  });
+  return out;
+}
+
+bool PredictionService::request_retrain(const std::string& name) {
+  if (!registry_.current(name)) return false;
+  Workload& w = workload(name);
+  {
+    std::scoped_lock lock(w.mu);
+    if (w.retrain_pending) return false;
+    w.retrain_pending = true;
+  }
+  enqueue_retrain(name);
+  return true;
+}
+
+void PredictionService::enqueue_retrain(const std::string& name) {
+  {
+    std::scoped_lock lock(queue_mu_);
+    queue_.push_back(name);
+  }
+  work_cv_.notify_one();
+}
+
+void PredictionService::wait_idle() {
+  std::unique_lock lock(queue_mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+}
+
+void PredictionService::worker_loop() {
+  for (;;) {
+    std::string name;
+    {
+      std::unique_lock lock(queue_mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // pending retrains are abandoned on shutdown
+      name = std::move(queue_.front());
+      queue_.pop_front();
+      worker_busy_ = true;
+    }
+    try {
+      run_retrain(name);
+    } catch (const std::exception& e) {
+      log::warn("serving: retrain of '", name, "' failed: ", e.what());
+    }
+    {
+      std::scoped_lock lock(queue_mu_);
+      worker_busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void PredictionService::run_retrain(const std::string& name) {
+  Workload& w = workload(name);
+  std::vector<double> history;
+  std::size_t retrain_index = 0;
+  {
+    std::scoped_lock lock(w.mu);
+    history = w.history;
+    retrain_index = w.retrains;
+  }
+  const std::shared_ptr<const PublishedModel> incumbent = registry_.current(name);
+
+  std::shared_ptr<core::TrainedModel> model;
+  if (incumbent) {
+    try {
+      // The expensive part: runs with no service lock held, so predictions
+      // and ingestion proceed untouched on the incumbent snapshot.
+      model = core::warm_retrain(history, incumbent->hyperparameters(), config_.adaptive,
+                                 retrain_index);
+    } catch (const std::exception& e) {
+      log::warn("serving: warm retrain of '", name, "' skipped: ", e.what());
+    }
+  }
+  if (model) publish_model(name, *model, /*count_retrain=*/true, /*write_checkpoint=*/true);
+  std::uint64_t version = 0;
+  {
+    std::scoped_lock lock(w.mu);
+    w.retrain_pending = false;
+    version = w.version;
+  }
+  if (model)
+    log::info("serving: '", name, "' retrained (v", version, ", validation MAPE ",
+              model->validation_mape(), "%)");
+}
+
+WorkloadStats PredictionService::stats(const std::string& name) const {
+  Workload& w = workload(name);
+  std::scoped_lock lock(w.mu);
+  return {.version = w.version,
+          .observations = w.observations,
+          .predictions = w.predictions,
+          .retrains = w.retrains,
+          .history_size = w.history.size(),
+          .baseline_mape = w.baseline_mape,
+          .retrain_pending = w.retrain_pending};
+}
+
+std::vector<std::string> PredictionService::workload_names() const {
+  std::scoped_lock lock(workloads_mu_);
+  std::vector<std::string> out;
+  out.reserve(workloads_.size());
+  for (const auto& [name, _] : workloads_) out.push_back(name);
+  return out;
+}
+
+void PredictionService::save_workload(const std::string& name,
+                                      const std::string& path) const {
+  const std::shared_ptr<const PublishedModel> model = registry_.current(name);
+  if (!model) throw std::runtime_error("serving: no model published for '" + name + "'");
+  // Round-trip through restore(): snapshots are lossless (hex-float format).
+  core::save_model_file(*core::TrainedModel::restore(model->snapshot()), path);
+}
+
+}  // namespace ld::serving

@@ -1,0 +1,166 @@
+// PredictionService: a long-lived, multi-tenant serving front end for
+// LoadDynamics models — the deployment mode of the paper's Section IV case
+// study (predictor feeding a live auto-scaler).
+//
+// Concurrency model (see DESIGN.md §8):
+//  - predict() reads the workload's current model via the lock-free
+//    ModelRegistry and copies the (capped) history under a per-workload
+//    mutex held for microseconds. It never blocks on retraining.
+//  - observe() appends under the same brief mutex and feeds the workload's
+//    DriftMonitor; a drift decision enqueues a background retrain.
+//  - The single background worker copies the history, runs
+//    core::warm_retrain entirely lock-free, then atomically swaps the new
+//    PublishedModel into the registry and persists it as a checkpoint.
+//    In-flight predictions finish on the old snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "serving/registry.hpp"
+
+namespace ld::serving {
+
+struct ServiceConfig {
+  /// Per-workload history cap (ring semantics: oldest samples are dropped).
+  std::size_t max_history = 4096;
+  /// Inference replicas per published snapshot; same-workload predictions
+  /// beyond this run sequentially on a replica (cross-workload predictions
+  /// are always independent).
+  std::size_t replicas = 2;
+  /// Directory for model checkpoints; written on every publish, read by
+  /// add_workload() for warm starts. Empty = no persistence.
+  std::string checkpoint_dir;
+  /// Drift-monitor and warm-retrain knobs (core::AdaptiveConfig::base seeds
+  /// and bounds the retrain candidate trainings).
+  core::AdaptiveConfig adaptive;
+  /// Automatically queue a background retrain when a workload drifts. Manual
+  /// request_retrain() works regardless.
+  bool background_retrain = true;
+};
+
+struct WorkloadStats {
+  std::uint64_t version = 0;  ///< published model version (0 = none yet)
+  std::size_t observations = 0;
+  std::size_t predictions = 0;
+  std::size_t retrains = 0;
+  std::size_t history_size = 0;
+  double baseline_mape = 0.0;
+  bool retrain_pending = false;
+};
+
+struct PredictRequest {
+  std::string workload;
+  std::size_t horizon = 1;
+};
+
+struct PredictResponse {
+  std::vector<double> forecast;  ///< empty on error
+  std::string error;             ///< empty on success
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceConfig config = {});
+  ~PredictionService();
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Register a workload (idempotent). When a checkpoint for `name` exists
+  /// under checkpoint_dir, its model is restored — returns true when a model
+  /// is live for the workload after the call.
+  bool add_workload(const std::string& name);
+
+  /// Register + publish a model loaded from a .ldm file (warm start from a
+  /// model tuned offline by `loaddynamics train`).
+  void load_workload(const std::string& name, const std::string& path);
+
+  /// Publish `model` as the workload's current version: replicas are
+  /// restored, the registry pointer is atomically swapped, and a checkpoint
+  /// is written. In-flight predictions keep the previous snapshot.
+  void publish(const std::string& name, const core::TrainedModel& model);
+
+  /// Ingest one actual observation (creates the workload on first use).
+  /// Feeds the drift monitor; may enqueue a background retrain.
+  void observe(const std::string& name, double value);
+  void observe_many(const std::string& name, std::span<const double> values);
+
+  /// Forecast the next `horizon` intervals from the current snapshot.
+  /// Throws std::runtime_error when no model is published for `name`.
+  [[nodiscard]] std::vector<double> predict(const std::string& name, std::size_t horizon);
+
+  /// Micro-batch: fan the requests out over the shared ThreadPool, one slot
+  /// per request. Per-request failures are reported in-slot, never thrown.
+  [[nodiscard]] std::vector<PredictResponse> predict_batch(
+      std::span<const PredictRequest> requests);
+
+  /// Queue a background warm retrain. Returns false when the workload has no
+  /// published model yet or a retrain is already pending.
+  bool request_retrain(const std::string& name);
+
+  /// Block until the retrain queue is drained and the worker is idle.
+  void wait_idle();
+
+  /// Persist the workload's current model to `path` (independent of the
+  /// automatic checkpoints).
+  void save_workload(const std::string& name, const std::string& path) const;
+
+  [[nodiscard]] WorkloadStats stats(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> workload_names() const;
+  [[nodiscard]] std::shared_ptr<const PublishedModel> current_model(
+      const std::string& name) const {
+    return registry_.current(name);
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Workload {
+    explicit Workload(const core::DriftConfig& drift) : monitor(drift) {}
+    std::mutex mu;  ///< guards everything below; held only for brief sections
+    std::vector<double> history;     ///< capped tail of the observed series
+    std::size_t observations = 0;    ///< total observed (absolute step count)
+    std::size_t predictions = 0;
+    std::size_t retrains = 0;
+    std::uint64_t version = 0;
+    double baseline_mape = 0.0;
+    std::size_t last_fit_step = 0;   ///< absolute step of the last publish
+    core::DriftMonitor monitor;
+    bool retrain_pending = false;
+  };
+
+  Workload& ensure_workload(const std::string& name);
+  [[nodiscard]] Workload& workload(const std::string& name) const;
+  void publish_model(const std::string& name, const core::TrainedModel& model,
+                     bool count_retrain, bool write_checkpoint);
+  [[nodiscard]] std::string checkpoint_path(const std::string& name) const;
+  void enqueue_retrain(const std::string& name);
+  void worker_loop();
+  void run_retrain(const std::string& name);
+
+  ServiceConfig config_;
+  ModelRegistry registry_;
+
+  mutable std::mutex workloads_mu_;  ///< guards the map only, not the states
+  std::map<std::string, std::unique_ptr<Workload>> workloads_;
+
+  std::mutex publish_mu_;  ///< serializes publishes (never on the predict path)
+
+  std::mutex queue_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::string> queue_;
+  bool worker_busy_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace ld::serving

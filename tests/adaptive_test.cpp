@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include "common/metrics.hpp"
@@ -40,6 +41,52 @@ std::vector<double> regime_series(std::size_t n, std::size_t break_at) {
              0.3 * level * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 12.0);
   }
   return out;
+}
+
+/// Flat level + deterministic noise jumping 3x at `break_at`. Unlike the
+/// seasonal regime_series, the pre-break segment is homogeneous, so the
+/// binary-segmentation changepoint detector fires only at the real break.
+std::vector<double> noisy_step_series(std::size_t n, std::size_t break_at) {
+  std::vector<double> out(n);
+  std::uint64_t state = 12345;
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double noise =
+        static_cast<double>(state >> 11) / static_cast<double>(1ULL << 53) - 0.5;
+    const double level = i < break_at ? 100.0 : 300.0;
+    out[i] = level * (1.0 + 0.1 * noise);
+  }
+  return out;
+}
+
+TEST(Adaptive, ChangepointTriggerRetrainsEvenWhenErrorMonitorIsDisabled) {
+  const std::size_t break_at = 330;
+  const auto series = noisy_step_series(460, break_at);
+
+  AdaptiveConfig cfg = quick_adaptive();
+  // Disable the error-drift trigger entirely so only the changepoint
+  // detector can queue a retrain.
+  cfg.degradation_factor = 1e9;
+  cfg.absolute_mape_floor = 1e9;
+  cfg.cooldown = 32;
+  cfg.changepoint_trigger = true;
+  cfg.changepoint_window = 128;
+
+  AdaptiveLoadDynamics with_trigger(cfg);
+  with_trigger.fit(std::span<const double>(series).subspan(0, 300));
+  for (std::size_t t = 300; t < 420; ++t)
+    (void)with_trigger.predict_next(std::span<const double>(series).subspan(0, t));
+  EXPECT_GE(with_trigger.retrain_count(), 1u)
+      << "mean shift must fire the changepoint trigger";
+
+  // Control: same stream, trigger off -> the disabled error monitor alone
+  // must never retrain.
+  cfg.changepoint_trigger = false;
+  AdaptiveLoadDynamics without_trigger(cfg);
+  without_trigger.fit(std::span<const double>(series).subspan(0, 300));
+  for (std::size_t t = 300; t < 420; ++t)
+    (void)without_trigger.predict_next(std::span<const double>(series).subspan(0, t));
+  EXPECT_EQ(without_trigger.retrain_count(), 0u);
 }
 
 TEST(Adaptive, PredictsWithoutDriftAndNeverRetrains) {

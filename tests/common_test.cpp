@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <stdexcept>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -139,6 +141,73 @@ TEST(Metrics, SmapeBounded) {
   const double s = ld::metrics::smape(actual, pred);
   EXPECT_GE(s, 0.0);
   EXPECT_LE(s, 200.0);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketRelativeError) {
+  ld::metrics::LatencyHistogram h(1e-6, 10.0);
+  // 1ms..1000ms, uniform: p50 ~ 0.5s, p95 ~ 0.95s, p99 ~ 0.99s.
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    const double expected = p / 100.0;
+    EXPECT_NEAR(h.percentile(p), expected, 0.05 * expected)
+        << "geometric buckets promise ~4% relative error at p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1.0) << "p100 is the exact max";
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.percentile(0.1)) << "p0 clamps to first sample";
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  ld::metrics::LatencyHistogram a(1e-6, 10.0), b(1e-6, 10.0), combined(1e-6, 10.0);
+  for (int i = 1; i <= 500; ++i) {
+    const double low = static_cast<double>(i) * 1e-5;
+    const double high = static_cast<double>(i) * 1e-2;
+    a.record(low);
+    b.record(high);
+    combined.record(low);
+    combined.record(high);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.total(), combined.total(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double p : {10.0, 50.0, 95.0, 99.0})
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p));
+}
+
+TEST(LatencyHistogram, EmptyAndInvalidInputs) {
+  ld::metrics::LatencyHistogram h(1e-6, 10.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+
+  EXPECT_THROW(h.record(-1.0), std::invalid_argument);
+  EXPECT_THROW(h.record(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+  EXPECT_THROW(h.record(std::numeric_limits<double>::infinity()), std::invalid_argument);
+  h.record(0.0);  // zero latency is legal and lands in the first bucket
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(99.0), 0.0);
+
+  ld::metrics::LatencyHistogram other(1e-3, 10.0);
+  EXPECT_THROW(h.merge(other), std::invalid_argument);
+  EXPECT_THROW(ld::metrics::LatencyHistogram(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ld::metrics::LatencyHistogram(1.0, 0.5), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, OutOfRangeValuesClampToEdgeBuckets) {
+  ld::metrics::LatencyHistogram h(1e-3, 1.0);
+  h.record(1e-6);  // below min bucket
+  h.record(5.0);   // above max bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0) << "min/max stay exact even when buckets saturate";
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 5.0);
 }
 
 TEST(Csv, ParseWithHeaderAndQuotes) {

@@ -61,6 +61,40 @@ TEST(Serialization, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Serialization, GruCellRoundTripPreservesPredictionsExactly) {
+  const auto series = seasonal_series(300, 16.0);
+  const std::span<const double> all(series);
+  ModelTrainingConfig training;
+  training.trainer.max_epochs = 8;
+  Hyperparameters hp{.history_length = 16, .cell_size = 8, .num_layers = 1,
+                     .batch_size = 32};
+  hp.cell = ld::nn::CellType::kGru;
+  const TrainedModel model(all.subspan(0, 220), all.subspan(220), hp, training, 17);
+
+  std::stringstream stream;
+  save_model(model, stream);
+  const auto restored = load_model(stream);
+  EXPECT_EQ(restored->hyperparameters().cell, ld::nn::CellType::kGru);
+  EXPECT_EQ(restored->hyperparameters(), model.hyperparameters());
+  for (std::size_t len : {40u, 120u, 280u}) {
+    const std::span<const double> hist(series.data(), len);
+    EXPECT_EQ(model.predict_next(hist), restored->predict_next(hist))
+        << "GRU round trip must be bit-exact (history length " << len << ")";
+  }
+}
+
+TEST(Serialization, RejectsCorruptedHeaderKeyword) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  std::string text = stream.str();
+  const auto pos = text.find("scaler ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "scalar");  // flip one header keyword
+  std::stringstream corrupted(text);
+  EXPECT_THROW((void)load_model(corrupted), std::runtime_error);
+}
+
 TEST(Serialization, RejectsWrongMagic) {
   std::stringstream stream("not-a-model 1\n");
   EXPECT_THROW((void)load_model(stream), std::runtime_error);
