@@ -15,6 +15,8 @@
 #include "nn/dataset.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/matrix.hpp"
 
@@ -150,6 +152,59 @@ void BM_ParallelFit(benchmark::State& state) {
   state.SetLabel("batch_size=4, 3+6 evaluations");
 }
 BENCHMARK(BM_ParallelFit)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounter(benchmark::State& state) {
+  obs::Counter& counter = obs::MetricsRegistry::global().counter("bench_obs_counter");
+  for (auto _ : state) counter.inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounter);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& hist =
+      obs::MetricsRegistry::global().histogram("bench_obs_histogram", {}, 1e-7, 1e3);
+  double v = 1e-6;
+  for (auto _ : state) {
+    hist.observe(v);
+    v = v < 1.0 ? v * 1.0001 : 1e-6;  // sweep buckets, stay in range
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  // The acceptance-criterion case: tracing off, spans must be ~free.
+  obs::Tracer::instance().stop();
+  for (auto _ : state) {
+    LD_TRACE_SPAN("bench.span");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::Tracer::instance().set_capacity(1 << 16);
+  obs::Tracer::instance().start();
+  std::size_t since_clear = 0;
+  for (auto _ : state) {
+    {
+      LD_TRACE_SPAN("bench.span");
+      benchmark::DoNotOptimize(since_clear);
+    }
+    // Keep the ring from filling (drops would make late iterations cheaper).
+    if (++since_clear >= (1 << 15)) {
+      state.PauseTiming();
+      obs::Tracer::instance().clear();
+      since_clear = 0;
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracer::instance().stop();
+  obs::Tracer::instance().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
 
 void BM_CloudInsightStep(benchmark::State& state) {
   Rng rng(6);

@@ -6,10 +6,19 @@
 //
 //   serve_replay [--threads 4] [--requests 2000] [--horizon 4] [--replicas 2]
 //                [--workloads 2|3] [--epochs 12] [--no-retrain] [--seed 2020]
+//                [--trace out.json]
+//
+// Latency is recorded through the obs::MetricsRegistry
+// (ld_replay_predict_latency_seconds{workload=,phase=}) and split into
+// "quiescent" vs "retrain_overlapped" phases: a request counts as overlapped
+// when a retrain was pending on its workload at any point during the call,
+// so the tail the background trainer inflicts is visible separately instead
+// of polluting the steady-state percentiles.
 //
 // Acceptance shape: >= 2 concurrent workloads with background retraining
 // enabled (a mid-stream RETRAIN is forced per workload so a retrain always
 // overlaps the measured predictions, even when drift alone wouldn't fire).
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <string>
@@ -20,6 +29,8 @@
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serving/service.hpp"
 
 namespace {
@@ -42,6 +53,7 @@ int main(int argc, char** argv) {
       2, static_cast<std::size_t>(args.get_int("workloads", 2))));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
   const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
+  const ld::obs::TraceSession trace_session(args.get("trace", ""));
 
   const std::vector<WorkloadSetup> setups{
       {"wiki", workloads::TraceKind::kWikipedia},
@@ -103,11 +115,16 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::vector<metrics::LatencyHistogram> histograms(
-      threads, metrics::LatencyHistogram(1e-7, 10.0));
-  std::vector<std::vector<metrics::LatencyHistogram>> per_workload(
-      threads, std::vector<metrics::LatencyHistogram>(
-                   names.size(), metrics::LatencyHistogram(1e-7, 10.0)));
+  // Latency series live in the process registry (thread-sharded histograms),
+  // split by whether a retrain overlapped the request. Resolve every series
+  // up front so the hot loop never touches the registry mutex.
+  constexpr const char* kPhases[2] = {"quiescent", "retrain_overlapped"};
+  std::vector<std::array<obs::Histogram*, 2>> latency(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t p = 0; p < 2; ++p)
+      latency[i][p] = &obs::MetricsRegistry::global().histogram(
+          "ld_replay_predict_latency_seconds",
+          {{"workload", names[i]}, {"phase", kPhases[p]}}, 1e-7, 10.0);
   std::atomic<std::size_t> errors{0};
 
   Stopwatch clock;
@@ -117,12 +134,16 @@ int main(int argc, char** argv) {
     predictors.emplace_back([&, t] {
       for (std::size_t r = 0; r < per_thread; ++r) {
         const std::size_t wi = (t + r) % names.size();
+        // A pending retrain before or after the call means the background
+        // trainer was live at some point during it.
+        const bool pending_before = service.stats(names[wi]).retrain_pending;
         Stopwatch lat;
         try {
           const auto forecast = service.predict(names[wi], horizon);
           const double seconds = lat.seconds();
-          histograms[t].record(seconds);
-          per_workload[t][wi].record(seconds);
+          const bool overlapped =
+              pending_before || service.stats(names[wi]).retrain_pending;
+          latency[wi][overlapped ? 1 : 0]->observe(seconds);
           (void)forecast;
         } catch (const std::exception&) {
           errors.fetch_add(1, std::memory_order_relaxed);
@@ -137,24 +158,32 @@ int main(int argc, char** argv) {
   service.wait_idle();
 
   metrics::LatencyHistogram all(1e-7, 10.0);
-  for (const auto& h : histograms) all.merge(h);
+  for (const auto& per_phase : latency)
+    for (const obs::Histogram* h : per_phase) all.merge(h->snapshot());
 
   std::printf("\n%zu predictor threads, horizon %zu, %zu requests in %.2fs -> %.0f req/s"
               " (%zu errors)\n",
               threads, horizon, all.count(), elapsed,
               static_cast<double>(all.count()) / elapsed, errors.load());
-  std::printf("%-10s %10s %10s %10s %10s %10s %9s\n", "workload", "requests", "p50(us)",
-              "p95(us)", "p99(us)", "max(us)", "retrains");
+  std::printf("%-10s %-18s %10s %10s %10s %10s %10s %9s\n", "workload", "phase",
+              "requests", "p50(us)", "p95(us)", "p99(us)", "max(us)", "retrains");
   for (std::size_t i = 0; i < names.size(); ++i) {
-    metrics::LatencyHistogram h(1e-7, 10.0);
-    for (std::size_t t = 0; t < threads; ++t) h.merge(per_workload[t][i]);
     const auto stats = service.stats(names[i]);
-    std::printf("%-10s %10zu %10.1f %10.1f %10.1f %10.1f %9zu\n", names[i].c_str(),
-                h.count(), h.percentile(50) * 1e6, h.percentile(95) * 1e6,
-                h.percentile(99) * 1e6, h.max() * 1e6, stats.retrains);
+    for (std::size_t p = 0; p < 2; ++p) {
+      const metrics::LatencyHistogram h = latency[i][p]->snapshot();
+      if (h.count() == 0) {
+        std::printf("%-10s %-18s %10zu %10s %10s %10s %10s %9zu\n", names[i].c_str(),
+                    kPhases[p], h.count(), "-", "-", "-", "-", stats.retrains);
+        continue;
+      }
+      std::printf("%-10s %-18s %10zu %10.1f %10.1f %10.1f %10.1f %9zu\n",
+                  names[i].c_str(), kPhases[p], h.count(), h.percentile(50) * 1e6,
+                  h.percentile(95) * 1e6, h.percentile(99) * 1e6, h.max() * 1e6,
+                  stats.retrains);
+    }
   }
-  std::printf("%-10s %10zu %10.1f %10.1f %10.1f %10.1f\n", "all", all.count(),
-              all.percentile(50) * 1e6, all.percentile(95) * 1e6, all.percentile(99) * 1e6,
-              all.max() * 1e6);
+  std::printf("%-10s %-18s %10zu %10.1f %10.1f %10.1f %10.1f\n", "all", "both",
+              all.count(), all.percentile(50) * 1e6, all.percentile(95) * 1e6,
+              all.percentile(99) * 1e6, all.max() * 1e6);
   return 0;
 }

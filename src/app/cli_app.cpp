@@ -12,8 +12,10 @@
 #include "cloudsim/simulator.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "core/adaptive.hpp"
 #include "core/loaddynamics.hpp"
 #include "core/serialization.hpp"
@@ -226,7 +228,11 @@ int run_cli(int argc, const char* const* argv, std::ostream& out, std::ostream& 
     return 0;
   }
   const cli::Args args(argc - 1, argv + 1);
+  log::init_from_env();
   try {
+    // Env-only activation (LD_TRACE=out.json): every subcommand can produce
+    // a Perfetto-loadable trace without growing its own flag.
+    const obs::TraceSession trace_session;
     if (command == "generate") return cmd_generate(args, out);
     if (command == "train") return cmd_train(args, out);
     if (command == "predict") return cmd_predict(args, out);

@@ -1,16 +1,24 @@
 #include "app/serve_app.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "core/loaddynamics.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serving/protocol.hpp"
 #include "serving/service.hpp"
 #include "workloads/trace.hpp"
@@ -36,9 +44,18 @@ flags:
   --interval M         CSV trace interval minutes (default 30)
   --epochs E           quick-train epoch budget (default 20)
   --seed S             quick-train seed (default 2020)
+  --tune N             quick-train BO budget: N candidate fits over a small
+                       space (default 3; 0 = fixed hyperparameters, no search)
+  --trace FILE         write a Chrome trace-event JSON (open in Perfetto);
+                       LD_TRACE=FILE does the same for any binary
+  --metrics-out FILE   periodically dump the Prometheus scrape to FILE
+  --metrics-interval S metrics dump period in seconds (default 5)
 
 protocol: LOAD OBSERVE INGEST PREDICT BATCH RETRAIN WAIT SAVE STATS
-          WORKLOADS QUIT   (see docs/API.md)
+          WORKLOADS METRICS QUIT   (see docs/API.md)
+
+env: LD_LOG_LEVEL=debug|info|warn|error|off, LD_TRACE=FILE,
+     LD_TRACE_BUFFER=N (trace events per thread), LD_NUM_THREADS=N
 )";
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -46,11 +63,14 @@ bool ends_with(const std::string& s, const std::string& suffix) {
                                                 suffix) == 0;
 }
 
-/// Single-configuration quick fit for .csv workloads: small fixed
-/// hyperparameters, full trace as history — good enough to serve from in
-/// seconds; `loaddynamics train` + LOAD is the tuned path.
+/// Quick fit for .csv workloads, full trace as history — good enough to
+/// serve from in seconds; `loaddynamics train` + LOAD is the tuned path.
+/// With --tune N (default 3) a tiny Bayesian-optimization search picks the
+/// hyperparameters from a clamped space; --tune 0 falls back to one fixed
+/// configuration.
 void quick_train(serving::PredictionService& service, const std::string& name,
                  const std::string& csv_path, const cli::Args& args, std::ostream& err) {
+  LD_TRACE_SPAN("serve.quick_train");
   const auto interval = static_cast<std::size_t>(args.get_int("interval", 30));
   const workloads::Trace trace = workloads::load_csv_trace(csv_path, name, interval);
   const workloads::TraceSplit split = workloads::split_trace(trace, 0.75, 0.2);
@@ -59,16 +79,75 @@ void quick_train(serving::PredictionService& service, const std::string& name,
   cfg.training.trainer.max_epochs = static_cast<std::size_t>(args.get_int("epochs", 20));
   cfg.training.trainer.min_updates = 200;
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
-  const core::Hyperparameters hp{.history_length = 16, .cell_size = 12, .num_layers = 1,
-                                 .batch_size = 32};
-  const core::LoadDynamics framework(cfg);
-  const auto model = framework.train_one(split.train, split.validation, hp);
+
+  const auto tune = static_cast<std::size_t>(args.get_int("tune", 3));
+  std::shared_ptr<core::TrainedModel> model;
+  if (tune > 0) {
+    // Startup-scale search: clamp the reduced space further so every
+    // candidate trains in seconds even on the CI runners.
+    cfg.space = core::HyperparameterSpace::reduced();
+    cfg.space.history_max = std::min<std::size_t>(cfg.space.history_max, 16);
+    cfg.space.cell_max = std::min<std::size_t>(cfg.space.cell_max, 8);
+    cfg.space.layers_max = 1;
+    cfg.max_iterations = tune;
+    cfg.initial_random = std::min<std::size_t>(2, tune);
+    const core::LoadDynamics framework(cfg);
+    model = framework.fit(split.train, split.validation).model;
+  } else {
+    const core::Hyperparameters hp{.history_length = 16, .cell_size = 12, .num_layers = 1,
+                                   .batch_size = 32};
+    const core::LoadDynamics framework(cfg);
+    model = framework.train_one(split.train, split.validation, hp);
+  }
 
   service.publish(name, *model);
   service.observe_many(name, trace.jars);
   err << "ld_serve: quick-trained '" << name << "' on " << trace.size() << " intervals ("
       << "validation MAPE " << model->validation_mape() << "%)\n";
 }
+
+/// Periodically rewrites the Prometheus scrape to a file (plus one final
+/// scrape at shutdown) — pull-style monitoring for a process with no HTTP
+/// listener: point a node-exporter textfile collector or a tail at it.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, double interval_seconds) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    interval_ = std::chrono::duration<double>(std::max(interval_seconds, 0.1));
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~MetricsDumper() {
+    if (!thread_.joinable()) return;
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    dump();  // final scrape so short runs still leave a complete file
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mu_);
+    while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) dump();
+  }
+  void dump() {
+    std::ofstream file(path_, std::ios::trunc);
+    if (!file) {
+      log::warn("ld_serve: cannot write metrics to '", path_, "'");
+      return;
+    }
+    file << obs::MetricsRegistry::global().prometheus_text();
+  }
+
+  std::string path_;
+  std::chrono::duration<double> interval_{5.0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -79,7 +158,14 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
     out << kUsage;
     return 0;
   }
+  log::init_from_env();
   try {
+    // Scope-bound: the trace file and final metrics scrape are written when
+    // the try block unwinds, after the protocol session has fully drained.
+    const obs::TraceSession trace_session(args.get("trace", ""));
+    const MetricsDumper metrics_dumper(args.get("metrics-out", ""),
+                                       args.get_double("metrics-interval", 5.0));
+
     if (args.get_int("threads", 0) > 0)
       ThreadPool::set_global_size(static_cast<std::size_t>(args.get_int("threads", 0)));
 

@@ -7,7 +7,10 @@
 #include <utility>
 
 #include "bayesopt/acquisition.hpp"
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ld::bayesopt {
 
@@ -15,6 +18,21 @@ namespace {
 constexpr double kPenalty = 1e6;  // stands in for +inf / NaN objectives
 
 double sanitize(double v) { return std::isfinite(v) ? v : kPenalty; }
+
+struct BoInstruments {
+  obs::Counter& evaluations =
+      obs::MetricsRegistry::global().counter("ld_bo_evaluations_total");
+  obs::Histogram& gp_fit = obs::MetricsRegistry::global().histogram(
+      "ld_bo_gp_fit_seconds", {}, 1e-7, 1e3);
+  obs::Histogram& ei_search = obs::MetricsRegistry::global().histogram(
+      "ld_bo_ei_search_seconds", {}, 1e-7, 1e3);
+  obs::Histogram& objective_seconds = obs::MetricsRegistry::global().histogram(
+      "ld_bo_objective_seconds", {}, 1e-6, 1e4);
+};
+BoInstruments& bo_instruments() {
+  static BoInstruments instruments;
+  return instruments;
+}
 
 std::size_t argmin(const std::vector<Observation>& history) {
   std::size_t best = 0;
@@ -32,10 +50,14 @@ void evaluate_into(const SearchSpace& space, const IndexedObjective& objective,
   const std::size_t first = history.size();
   std::vector<Observation> batch(units.size());
   const auto evaluate_one = [&](std::size_t i) {
+    LD_TRACE_SPAN("bo.objective");
+    const Stopwatch clock;
     Observation& obs = batch[i];
     obs.unit = std::move(units[i]);
     obs.values = space.to_values(obs.unit);
     obs.objective = sanitize(objective(obs.values, first + i));
+    bo_instruments().objective_seconds.observe(clock.seconds());
+    bo_instruments().evaluations.inc();
   };
   if (parallel && units.size() > 1) {
     ThreadPool::global().parallel_for(0, units.size(), evaluate_one);
@@ -83,12 +105,19 @@ std::vector<double> BayesianOptimizer::propose_next(const std::vector<Observatio
     y[i] = history[i].objective;
   }
   GaussianProcess gp(config_.gp);
-  gp.fit(x, y);
+  {
+    LD_TRACE_SPAN("bo.gp_fit");
+    const Stopwatch clock;
+    gp.fit(x, y);
+    bo_instruments().gp_fit.observe(clock.seconds());
+  }
 
   const double best = history[argmin(history)].objective;
 
   // Maximize EI over random candidates; dedupe against canonical points we
   // already evaluated (integer rounding creates collisions).
+  LD_TRACE_SPAN("bo.ei_search");
+  const Stopwatch ei_clock;
   std::vector<double> best_candidate;
   double best_ei = -1.0;
   for (std::size_t s = 0; s < config_.acquisition_samples; ++s) {
@@ -104,6 +133,7 @@ std::vector<double> BayesianOptimizer::propose_next(const std::vector<Observatio
       }
     }
   }
+  bo_instruments().ei_search.observe(ei_clock.seconds());
   if (best_candidate.empty() || best_ei <= 0.0) {
     // Acquisition is flat (or everything collided): fall back to exploration.
     return space_.canonicalize(space_.sample_unit(rng_));
@@ -142,13 +172,17 @@ OptimizationResult BayesianOptimizer::run(const IndexedObjective& objective, boo
   // Initial design: drawn up front so the RNG stream matches the sequential
   // path exactly (sampling never depends on objective values), evaluated as
   // one batch.
-  std::vector<std::vector<double>> design;
-  design.reserve(config_.initial_random);
-  for (std::size_t i = 0; i < config_.initial_random; ++i)
-    design.push_back(space_.canonicalize(space_.sample_unit(rng_)));
-  evaluate_into(space_, objective, std::move(design), result.history, parallel);
+  {
+    LD_TRACE_SPAN("bo.initial_design");
+    std::vector<std::vector<double>> design;
+    design.reserve(config_.initial_random);
+    for (std::size_t i = 0; i < config_.initial_random; ++i)
+      design.push_back(space_.canonicalize(space_.sample_unit(rng_)));
+    evaluate_into(space_, objective, std::move(design), result.history, parallel);
+  }
 
   while (result.history.size() < config_.max_iterations) {
+    LD_TRACE_SPAN("bo.iteration");
     const std::size_t want =
         std::min(config_.batch_size, config_.max_iterations - result.history.size());
     evaluate_into(space_, objective, propose_batch(result.history, want), result.history,

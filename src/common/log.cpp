@@ -1,7 +1,11 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace ld::log {
@@ -18,14 +22,46 @@ const char* name(Level level) {
     default: return "?";
   }
 }
+
+// Monotonic process epoch: fixed the first time anything logs.
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
 }  // namespace
 
 void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
+Level parse_level(const std::string& text, Level fallback) {
+  std::string lower(text.size(), '\0');
+  std::transform(text.begin(), text.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug" || lower == "0") return Level::kDebug;
+  if (lower == "info" || lower == "1") return Level::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") return Level::kWarn;
+  if (lower == "error" || lower == "3") return Level::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return Level::kOff;
+  return fallback;
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("LD_LOG_LEVEL")) set_level(parse_level(env, level()));
+}
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void emit(Level lvl, const std::string& message) {
+  const double ts = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  process_epoch())
+                        .count();
+  const int tid = thread_ordinal();
   const std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", name(lvl), message.c_str());
+  std::fprintf(stderr, "[%s %11.6f t%02d] %s\n", name(lvl), ts, tid, message.c_str());
 }
 
 }  // namespace ld::log

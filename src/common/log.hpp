@@ -12,6 +12,20 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_level(Level level);
 [[nodiscard]] Level level();
 
+/// Parse "debug|info|warn|error|off" (case-insensitive) or a numeric level
+/// 0-4; returns `fallback` on anything else.
+[[nodiscard]] Level parse_level(const std::string& text, Level fallback = Level::kInfo);
+
+/// Apply the LD_LOG_LEVEL environment variable, if set — called from the
+/// `ld` CLI and `ld_serve` bootstrap so log level is configurable without
+/// flags. No-op when the variable is unset or unparsable.
+void init_from_env();
+
+/// Small sequential id of the calling thread (0 = first thread to log),
+/// stable for the thread's lifetime. Shared by the log prefix and tests.
+[[nodiscard]] int thread_ordinal();
+
+/// Writes "[LEVEL <monotonic seconds> t<thread>] message" to stderr.
 void emit(Level level, const std::string& message);
 
 namespace detail {

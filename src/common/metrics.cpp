@@ -113,6 +113,9 @@ double LatencyHistogram::max() const { return count_ == 0 ? 0.0 : max_seen_; }
 double LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
+  // p0 is the exact minimum, not the first occupied bucket's upper edge
+  // (which can overshoot the smallest sample by a full bucket width).
+  if (p == 0.0) return min_seen_;
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
   std::uint64_t cumulative = 0;

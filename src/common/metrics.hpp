@@ -52,7 +52,8 @@ class LatencyHistogram {
   [[nodiscard]] double max() const;  ///< largest recorded value (exact)
 
   /// Value at percentile `p` in [0, 100]: the upper edge of the bucket
-  /// holding the ceil(p/100 * count)-th smallest sample. 0 when empty.
+  /// holding the ceil(p/100 * count)-th smallest sample. p=0 returns the
+  /// exact observed minimum (and p=100 the exact maximum). 0 when empty.
   [[nodiscard]] double percentile(double p) const;
 
  private:

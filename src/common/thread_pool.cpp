@@ -2,18 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <string>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace ld {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+// Resolved once; the registry (and thus every instrument) is leaked, so the
+// references stay valid for any worker still draining tasks at exit.
+struct PoolInstruments {
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("ld_threadpool_queue_depth");
+  obs::Gauge& workers = obs::MetricsRegistry::global().gauge("ld_threadpool_workers");
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter("ld_threadpool_tasks_total");
+  obs::Histogram& task_latency = obs::MetricsRegistry::global().histogram(
+      "ld_threadpool_task_latency_seconds", {}, 1e-7, 1e3);
+};
+PoolInstruments& pool_instruments() {
+  static PoolInstruments instruments;
+  return instruments;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  // Register the pool gauges eagerly so a scrape always sees them, even
+  // before any task runs.
+  pool_instruments().workers.set(static_cast<double>(threads <= 1 ? 0 : threads));
   if (threads <= 1) return;  // inline mode: no workers, no queue traffic
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
@@ -32,10 +54,15 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::in_worker() noexcept { return t_in_worker; }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     const std::scoped_lock lock(mutex_);
     tasks_.push_back(std::move(task));
+    depth = tasks_.size();
   }
+  pool_instruments().queue_depth.set(static_cast<double>(depth));
+  pool_instruments().tasks.inc();
+  LD_TRACE_COUNTER("pool.queue_depth", depth);
   cv_.notify_one();
 }
 
@@ -43,14 +70,25 @@ void ThreadPool::worker_loop() {
   t_in_worker = true;
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      depth = tasks_.size();
     }
-    task();  // packaged_task captures exceptions; raw chunks guard themselves
+    pool_instruments().queue_depth.set(static_cast<double>(depth));
+    LD_TRACE_COUNTER("pool.queue_depth", depth);
+    const auto started = std::chrono::steady_clock::now();
+    {
+      LD_TRACE_SPAN("pool.task");
+      task();  // packaged_task captures exceptions; raw chunks guard themselves
+    }
+    pool_instruments().task_latency.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+            .count());
   }
 }
 

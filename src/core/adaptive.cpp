@@ -6,6 +6,8 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "timeseries/changepoint.hpp"
 
 namespace ld::core {
@@ -56,6 +58,7 @@ std::shared_ptr<TrainedModel> warm_retrain(std::span<const double> history_full,
                                            const Hyperparameters& incumbent,
                                            const AdaptiveConfig& config,
                                            std::size_t retrain_index) {
+  LD_TRACE_SPAN("retrain.warm");
   // Warm retrains deliberately forget the distant past: after a drastic
   // pattern change, old-regime samples would dominate the loss and the new
   // pattern would never be learned.
@@ -91,6 +94,7 @@ std::shared_ptr<TrainedModel> warm_retrain(std::span<const double> history_full,
 
   std::shared_ptr<TrainedModel> best;
   for (Hyperparameters hp : candidates) {
+    LD_TRACE_SPAN("retrain.candidate");
     hp.batch_size = std::min(hp.batch_size, batch_cap);
     try {
       auto model = std::make_shared<TrainedModel>(train, validation, hp, training,
@@ -152,6 +156,8 @@ double AdaptiveLoadDynamics::predict_next(std::span<const double> history) const
   const DriftDecision drift = monitor_.evaluate(history, baseline_mape_, last_fit_step_);
   if (drift.changepoint) log::info("adaptive: changepoint detected in recent window");
   if (drift.should_retrain) {
+    obs::MetricsRegistry::global().counter("ld_adaptive_drift_total").inc();
+    LD_TRACE_INSTANT("adaptive.drift");
     log::info("adaptive: drift detected (recent MAPE ", drift.recent_mape, "% vs baseline ",
               baseline_mape_, "%), retraining");
     refit(history, /*full_search=*/false);

@@ -1,6 +1,9 @@
 #include "nn/network.hpp"
 
 #include <stdexcept>
+#include <type_traits>
+
+#include "obs/trace.hpp"
 
 namespace ld::nn {
 
@@ -63,6 +66,7 @@ std::vector<double> LstmNetwork::forward(const tensor::Matrix& x) {
 }
 
 tensor::Matrix LstmNetwork::forward_sequence(const std::vector<tensor::Matrix>& sequence) {
+  LD_TRACE_SPAN("nn.forward");
   if (sequence.empty()) throw std::invalid_argument("LstmNetwork: empty sequence");
   const std::size_t batch = sequence.front().rows();
   const std::size_t steps = sequence.size();
@@ -78,7 +82,14 @@ tensor::Matrix LstmNetwork::forward_sequence(const std::vector<tensor::Matrix>& 
       training_ && config_.dropout > 0.0 && layers_.size() > 1;
   dropout_masks_.clear();
   for (std::size_t li = 0; li < layers_.size(); ++li) {
-    seq = std::visit([&](auto& layer) { return layer.forward(seq); }, layers_[li]);
+    seq = std::visit(
+        [&](auto& layer) {
+          using L = std::decay_t<decltype(layer)>;
+          LD_TRACE_SPAN(std::is_same_v<L, LstmLayer> ? "nn.lstm.forward"
+                                                     : "nn.gru.forward");
+          return layer.forward(seq);
+        },
+        layers_[li]);
     if (use_dropout && li + 1 < layers_.size()) {
       // Variational inverted dropout: one (B x H) mask per layer boundary,
       // shared across all timesteps of the sequence.
@@ -102,6 +113,7 @@ void LstmNetwork::backward(std::span<const double> dy) {
 }
 
 void LstmNetwork::backward_matrix(const tensor::Matrix& dy) {
+  LD_TRACE_SPAN("nn.backward");
   if (dy.rows() != last_batch_ || dy.cols() != config_.output_size)
     throw std::invalid_argument("LstmNetwork::backward_matrix: shape mismatch");
   tensor::Matrix dlast = head_.backward(dy);
@@ -119,8 +131,14 @@ void LstmNetwork::backward_matrix(const tensor::Matrix& dy) {
       for (tensor::Matrix& g : dh)
         for (std::size_t i = 0; i < g.size(); ++i) g.flat()[i] *= mask.flat()[i];
     }
-    std::vector<tensor::Matrix> dx =
-        std::visit([&](auto& layer) { return layer.backward(dh); }, layers_[li - 1]);
+    std::vector<tensor::Matrix> dx = std::visit(
+        [&](auto& layer) {
+          using L = std::decay_t<decltype(layer)>;
+          LD_TRACE_SPAN(std::is_same_v<L, LstmLayer> ? "nn.lstm.backward"
+                                                     : "nn.gru.backward");
+          return layer.backward(dh);
+        },
+        layers_[li - 1]);
     if (li > 1) dh = std::move(dx);
   }
 }

@@ -5,10 +5,24 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ld::nn {
 
 namespace {
+struct TrainInstruments {
+  obs::Counter& fits = obs::MetricsRegistry::global().counter("ld_train_fits_total");
+  obs::Counter& epochs = obs::MetricsRegistry::global().counter("ld_train_epochs_total");
+  obs::Histogram& epoch_seconds = obs::MetricsRegistry::global().histogram(
+      "ld_train_epoch_seconds", {}, 1e-6, 1e3);
+};
+TrainInstruments& train_instruments() {
+  static TrainInstruments instruments;
+  return instruments;
+}
+
 // Shared batching loop of evaluate_mse / predict_all: run the network over
 // `data` in contiguous batches and hand each batch's predictions + targets
 // to `consume(pred, y, count)`.
@@ -33,6 +47,8 @@ TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
                   std::uint64_t shuffle_seed) {
   if (config.batch_size == 0 || config.max_epochs == 0)
     throw std::invalid_argument("Trainer: batch_size and max_epochs must be > 0");
+  LD_TRACE_SPAN("train.fit");
+  train_instruments().fits.inc();
 
   Adam adam({.learning_rate = config.learning_rate});
   {
@@ -59,6 +75,9 @@ TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
   }
 
   for (std::size_t epoch = 0; epoch < epoch_budget; ++epoch) {
+    LD_TRACE_SPAN("train.epoch");
+    const Stopwatch epoch_clock;
+    bool early_stop = false;
     const std::vector<std::size_t> order = rng.permutation(train.size());
     double epoch_loss = 0.0;
     std::size_t seen = 0;
@@ -86,6 +105,7 @@ TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
     ++result.epochs_run;
 
     if (validation != nullptr) {
+      LD_TRACE_SPAN("train.validate");
       const double val = evaluate_mse(network, *validation);
       result.validation_losses.push_back(val);
       const double threshold =
@@ -95,9 +115,12 @@ TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
         result.best_epoch = epoch;
         best_weights = network.save_weights();
       } else if (epoch - result.best_epoch >= config.patience) {
-        break;  // early stop
+        early_stop = true;
       }
     }
+    train_instruments().epoch_seconds.observe(epoch_clock.seconds());
+    train_instruments().epochs.inc();
+    if (early_stop) break;
   }
 
   if (validation != nullptr && !best_weights.empty()) {

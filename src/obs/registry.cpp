@@ -1,0 +1,232 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ld::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_histogram_id{1};
+
+// Each thread caches histogram-id → shard. Ids are never reused, so a stale
+// entry for a destroyed histogram is dead weight, never a dangling access.
+thread_local std::unordered_map<std::uint64_t, void*> t_shards;
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+Labels canonicalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// {workload="wiki",stage="fit"} — with `extra` (e.g. quantile) appended.
+std::string render_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    if (out.size() > 1) out += ',';
+    out += k + "=\"" + escape_label(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (out.size() > 1) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+
+}  // namespace
+
+Histogram::Histogram(double min_value, double max_value)
+    : id_(g_next_histogram_id.fetch_add(1, std::memory_order_relaxed)),
+      min_value_(min_value),
+      max_value_(max_value) {
+  // Validate bounds eagerly so a bad registration fails at the call site.
+  (void)metrics::LatencyHistogram(min_value_, max_value_);
+}
+
+Histogram::Shard& Histogram::local_shard() {
+  const auto it = t_shards.find(id_);
+  if (it != t_shards.end()) return *static_cast<Shard*>(it->second);
+  auto shard = std::make_unique<Shard>(min_value_, max_value_);
+  Shard* raw = shard.get();
+  {
+    const std::scoped_lock lock(shards_mu_);
+    shards_.push_back(std::move(shard));
+  }
+  t_shards.emplace(id_, raw);
+  return *raw;
+}
+
+void Histogram::observe(double value) {
+  Shard& shard = local_shard();
+  const std::scoped_lock lock(shard.mu);
+  shard.hist.record(value);
+}
+
+metrics::LatencyHistogram Histogram::snapshot() const {
+  metrics::LatencyHistogram merged(min_value_, max_value_);
+  const std::scoped_lock lock(shards_mu_);
+  for (const auto& shard : shards_) {
+    const std::scoped_lock shard_lock(shard->mu);
+    merged.merge(shard->hist);
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::count() const { return snapshot().count(); }
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // intentionally leaked
+  return *registry;
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(const std::string& name,
+                                                         const Labels& labels, Kind kind,
+                                                         double min_value,
+                                                         double max_value) {
+  if (name.empty()) throw std::invalid_argument("obs: empty metric name");
+  const Labels canon = canonicalize(labels);
+  const Key key{name, render_labels(canon)};
+  const std::scoped_lock lock(mu_);
+  const auto it = series_.find(key);
+  if (it != series_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument("obs: series '" + name + key.second +
+                                  "' already registered as a different kind");
+    return it->second;
+  }
+  Series& s = series_[key];
+  s.kind = kind;
+  s.labels = canon;
+  switch (kind) {
+    case Kind::kCounter: s.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      s.histogram = std::make_unique<Histogram>(min_value, max_value);
+      break;
+  }
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kCounter, 0, 0).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kGauge, 0, 0).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels,
+                                      double min_value, double max_value) {
+  return *find_or_create(name, labels, Kind::kHistogram, min_value, max_value).histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  const std::scoped_lock lock(mu_);
+  return series_.size();
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  const std::scoped_lock lock(mu_);
+  std::ostringstream out;
+  std::string last_name;
+  for (const auto& [key, s] : series_) {
+    const std::string& name = key.first;
+    if (name != last_name) {  // series_ is name-sorted, so one TYPE line per name
+      const char* type = s.kind == Kind::kCounter  ? "counter"
+                         : s.kind == Kind::kGauge ? "gauge"
+                                                  : "summary";
+      out << "# TYPE " << name << ' ' << type << '\n';
+      last_name = name;
+    }
+    const std::string labels = render_labels(s.labels);
+    switch (s.kind) {
+      case Kind::kCounter:
+        out << name << labels << ' ' << s.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << name << labels << ' ' << fmt_double(s.gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const metrics::LatencyHistogram h = s.histogram->snapshot();
+        for (const double q : kQuantiles) {
+          const std::string ql = "quantile=\"" + fmt_double(q) + "\"";
+          out << name << render_labels(s.labels, ql) << ' '
+              << fmt_double(h.percentile(100.0 * q)) << '\n';
+        }
+        out << name << "_sum" << labels << ' ' << fmt_double(h.total()) << '\n';
+        out << name << "_count" << labels << ' ' << h.count() << '\n';
+        out << name << "_min" << labels << ' ' << fmt_double(h.min()) << '\n';
+        out << name << "_max" << labels << ' ' << fmt_double(h.max()) << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::json() const {
+  const std::scoped_lock lock(mu_);
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, s] : series_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << key.first << "\",\"labels\":{";
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+      if (i > 0) out << ',';
+      out << '"' << s.labels[i].first << "\":\"" << escape_label(s.labels[i].second)
+          << '"';
+    }
+    out << "},";
+    switch (s.kind) {
+      case Kind::kCounter:
+        out << "\"type\":\"counter\",\"value\":" << s.counter->value();
+        break;
+      case Kind::kGauge:
+        out << "\"type\":\"gauge\",\"value\":" << fmt_double(s.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const metrics::LatencyHistogram h = s.histogram->snapshot();
+        out << "\"type\":\"histogram\",\"count\":" << h.count()
+            << ",\"sum\":" << fmt_double(h.total()) << ",\"min\":" << fmt_double(h.min())
+            << ",\"max\":" << fmt_double(h.max()) << ",\"mean\":" << fmt_double(h.mean());
+        for (const double q : kQuantiles)
+          out << ",\"p" << fmt_double(100.0 * q)
+              << "\":" << fmt_double(h.percentile(100.0 * q));
+        break;
+      }
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace ld::obs

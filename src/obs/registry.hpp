@@ -1,0 +1,138 @@
+// Process-wide metrics registry: named Counter / Gauge / Histogram
+// instruments with optional labels (workload=, stage=, ...), scraped as
+// Prometheus text format or single-line JSON.
+//
+// Design (see DESIGN.md §9):
+//  - Counters and gauges are single relaxed atomics — safe to bump from any
+//    thread, including pool workers and the retrain worker.
+//  - Histograms generalize metrics::LatencyHistogram with per-thread shards:
+//    each recording thread owns a private shard (uncontended mutex, taken
+//    only against the scraper), and snapshot() merges all shards. Recording
+//    never contends with other recorders.
+//  - Instrument lookup (counter()/gauge()/histogram()) takes the registry
+//    mutex; hot paths should resolve instruments once and cache the
+//    reference — instruments live as long as the registry.
+//
+// Naming convention: ld_<subsystem>_<what>_<unit>, e.g.
+// ld_serving_predict_latency_seconds{workload="wiki"}.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace ld::obs {
+
+/// Label set for one time series. Order-insensitive: the registry
+/// canonicalizes by key before keying the series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, pool sizes).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-sharded latency/size distribution. observe() touches only the
+/// calling thread's shard; snapshot() merges every shard into one
+/// metrics::LatencyHistogram.
+class Histogram {
+ public:
+  Histogram(double min_value, double max_value);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value);
+  [[nodiscard]] metrics::LatencyHistogram snapshot() const;
+  [[nodiscard]] std::uint64_t count() const;  ///< total across shards
+  [[nodiscard]] double min_value() const noexcept { return min_value_; }
+  [[nodiscard]] double max_value() const noexcept { return max_value_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;  ///< owner thread vs. scraper only — effectively uncontended
+    metrics::LatencyHistogram hist;
+    Shard(double lo, double hi) : hist(lo, hi) {}
+  };
+
+  Shard& local_shard();
+
+  const std::uint64_t id_;  ///< process-unique, never reused (thread cache key)
+  const double min_value_;
+  const double max_value_;
+  mutable std::mutex shards_mu_;  ///< guards the shard list, not the shards
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry (intentionally leaked: instruments stay valid
+  /// through static destruction, so pool workers can record at exit).
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime. Throws std::invalid_argument when the same series name+labels
+  /// was already registered as a different instrument kind.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// Histogram bounds are fixed by the first registration of the series.
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       double min_value = 1e-7, double max_value = 1e3);
+
+  /// Prometheus text exposition: counters/gauges verbatim, histograms as
+  /// summaries (quantile="0.5|0.9|0.95|0.99" plus _sum/_count/_min/_max).
+  [[nodiscard]] std::string prometheus_text() const;
+  /// Compact single-line JSON (protocol-friendly): {"metrics":[...]}.
+  [[nodiscard]] std::string json() const;
+
+  [[nodiscard]] std::size_t series_count() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    Labels labels;  ///< canonicalized (sorted by key)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, std::string>;  ///< (name, rendered labels)
+
+  Series& find_or_create(const std::string& name, const Labels& labels, Kind kind,
+                         double min_value, double max_value);
+
+  mutable std::mutex mu_;
+  std::map<Key, Series> series_;  ///< sorted by name → stable scrape grouping
+};
+
+}  // namespace ld::obs

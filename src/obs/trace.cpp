@@ -1,0 +1,202 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace ld::obs {
+
+namespace {
+// Thread-local cache of this thread's buffer. The Tracer owns the buffers
+// (and is leaked), so the raw pointer outlives every recording thread.
+thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
+}  // namespace
+
+std::atomic<bool> Tracer::g_enabled{false};
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // intentionally leaked
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Tracer::start() {
+  const std::scoped_lock lock(mu_);
+  for (const auto& buffer : buffers_) {
+    buffer->count.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+  epoch_ns_ = now_ns();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mu_);
+  for (const auto& buffer : buffers_) {
+    buffer->count.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::set_capacity(std::size_t events_per_thread) {
+  const std::scoped_lock lock(mu_);
+  capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  if (t_buffer != nullptr) return *t_buffer;
+  const std::scoped_lock lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>(
+      capacity_, static_cast<std::uint32_t>(buffers_.size() + 1));
+  t_buffer = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return *t_buffer;
+}
+
+void Tracer::append(const TraceEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::size_t idx = buffer.count.load(std::memory_order_relaxed);
+  if (idx >= buffer.events.size()) {  // full: drop, never block or overwrite
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events[idx] = event;
+  buffer.count.store(idx + 1, std::memory_order_release);
+}
+
+void Tracer::record_complete(const char* name, std::uint64_t start_ns,
+                             std::uint64_t dur_ns) {
+  append({name, start_ns, dur_ns, 0.0, 'X'});
+}
+
+void Tracer::record_counter(const char* name, double value) {
+  append({name, now_ns(), 0, value, 'C'});
+}
+
+void Tracer::record_instant(const char* name) {
+  append({name, now_ns(), 0, 0.0, 'i'});
+}
+
+std::size_t Tracer::event_count() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_)
+    total += buffer->count.load(std::memory_order_acquire);
+  return total;
+}
+
+std::size_t Tracer::dropped_count() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_)
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t Tracer::thread_count() const {
+  const std::scoped_lock lock(mu_);
+  return buffers_.size();
+}
+
+namespace {
+void write_escaped(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '\\' || *s == '"') out << '\\';
+    out << *s;
+  }
+}
+
+void write_us(std::ostream& out, std::uint64_t ns) {
+  // Microseconds with ns resolution, printed without float rounding.
+  out << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+      << static_cast<char>('0' + (ns % 100) / 10) << static_cast<char>('0' + ns % 10);
+}
+}  // namespace
+
+void Tracer::write_json(std::ostream& out) const {
+  const std::scoped_lock lock(mu_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    const std::size_t n = buffer->count.load(std::memory_order_acquire);
+    if (n == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << buffer->tid
+        << ",\"args\":{\"name\":\"thread-" << buffer->tid << "\"}}";
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buffer->events[i];
+      const std::uint64_t rel =
+          e.start_ns >= epoch_ns_ ? e.start_ns - epoch_ns_ : 0;
+      out << ",{\"name\":\"";
+      write_escaped(out, e.name);
+      out << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << buffer->tid
+          << ",\"ts\":";
+      write_us(out, rel);
+      if (e.phase == 'X') {
+        out << ",\"dur\":";
+        write_us(out, e.dur_ns);
+      } else if (e.phase == 'C') {
+        out << ",\"args\":{\"value\":" << e.value << '}';
+      } else if (e.phase == 'i') {
+        out << ",\"s\":\"t\"";
+      }
+      out << '}';
+    }
+  }
+  out << "]}";
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    log::warn("trace: cannot open '", path, "' for writing");
+    return false;
+  }
+  write_json(file);
+  file << '\n';
+  if (!file) {
+    log::warn("trace: short write to '", path, "'");
+    return false;
+  }
+  return true;
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    if (const char* env = std::getenv("LD_TRACE")) path_ = env;
+  }
+  if (path_.empty()) return;
+  if (const char* cap = std::getenv("LD_TRACE_BUFFER")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(cap, &end, 10);
+    if (end != cap && parsed > 0)
+      Tracer::instance().set_capacity(static_cast<std::size_t>(parsed));
+  }
+  Tracer::instance().start();
+  active_ = true;
+  log::info("trace: recording to ", path_);
+}
+
+TraceSession::~TraceSession() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::instance();
+  tracer.stop();
+  if (tracer.write_file(path_)) {
+    log::info("trace: wrote ", tracer.event_count(), " events (",
+              tracer.dropped_count(), " dropped) to ", path_);
+  }
+}
+
+}  // namespace ld::obs

@@ -1,0 +1,156 @@
+// Scoped tracing with Chrome trace-event export (loads in Perfetto /
+// chrome://tracing).
+//
+//   LD_TRACE_SPAN("train.epoch");          // RAII span, nests naturally
+//   LD_TRACE_COUNTER("pool.queue_depth", depth);
+//   LD_TRACE_INSTANT("serve.drift");
+//
+// Events land in per-thread ring buffers: the owning thread appends with a
+// plain store and publishes via a release increment of the count; the dumper
+// reads with acquire. No locks on the record path; when a buffer fills, new
+// events are dropped (and counted) rather than blocking or overwriting what
+// a concurrent dump may be reading.
+//
+// Disabled cost: a span is one relaxed atomic load — no allocation, no
+// clock read, no buffer registration. The whole layer is off by default and
+// enabled via Tracer::start(), `ld_serve --trace out.json`, or the LD_TRACE
+// environment variable (value = output path; see TraceSession).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ld::obs {
+
+struct TraceEvent {
+  const char* name;        ///< static-lifetime string (macro passes literals)
+  std::uint64_t start_ns;  ///< steady-clock ns (absolute; rebased on dump)
+  std::uint64_t dur_ns;    ///< 0 for counter/instant events
+  double value;            ///< counter payload
+  char phase;              ///< 'X' complete, 'C' counter, 'i' instant
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer (intentionally leaked, like MetricsRegistry).
+  [[nodiscard]] static Tracer& instance();
+
+  [[nodiscard]] static bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Clear all buffers, rebase the trace epoch and enable recording.
+  void start();
+  /// Disable recording. Spans opened before stop() still record on close.
+  void stop();
+  /// Drop all recorded events (buffers stay registered). Call quiescent.
+  void clear();
+
+  /// Ring capacity (events per thread) for buffers created afterwards.
+  void set_capacity(std::size_t events_per_thread);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t dropped_count() const;
+  [[nodiscard]] std::size_t thread_count() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}.
+  void write_json(std::ostream& out) const;
+  /// write_json to `path`; returns false (and logs) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  // Record paths — called by the macros; usable directly for dynamic timing.
+  void record_complete(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+  void record_counter(const char* name, double value);
+  void record_instant(const char* name);
+
+  /// One per recording thread; implementation detail, public only so the
+  /// thread-local cache in trace.cpp can name the type.
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint32_t id)
+        : events(capacity), tid(id) {}
+    std::vector<TraceEvent> events;
+    std::atomic<std::size_t> count{0};    ///< published events (release/acquire)
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid;
+  };
+
+ private:
+  Tracer() = default;
+  ThreadBuffer& local_buffer();
+  void append(const TraceEvent& event);
+
+  static std::atomic<bool> g_enabled;
+
+  mutable std::mutex mu_;  ///< guards buffer registration + start/stop/dump
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::size_t capacity_ = 1 << 18;  ///< ~10 MB/thread of 40-byte events
+  std::uint64_t epoch_ns_ = 0;
+};
+
+/// RAII span: stamps the start on construction (when tracing is enabled) and
+/// records a complete ('X') event on destruction. Use via LD_TRACE_SPAN.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept
+      : name_(Tracer::enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? Tracer::now_ns() : 0) {}
+  ~ScopedSpan() {
+    if (name_ != nullptr)
+      Tracer::instance().record_complete(name_, start_ns_, Tracer::now_ns() - start_ns_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+/// RAII trace activation for app entry points: starts tracing when `path` is
+/// non-empty or the LD_TRACE environment variable is set (its value is the
+/// output path; LD_TRACE_BUFFER overrides events-per-thread capacity), and
+/// stops + writes the JSON dump on destruction.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path = {});
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  bool active_ = false;
+};
+
+}  // namespace ld::obs
+
+#define LD_OBS_CONCAT_IMPL(a, b) a##b
+#define LD_OBS_CONCAT(a, b) LD_OBS_CONCAT_IMPL(a, b)
+
+// Variadic so unparenthesized commas (template arguments in a ternary name
+// pick) pass through as one expression.
+#define LD_TRACE_SPAN(...) \
+  const ::ld::obs::ScopedSpan LD_OBS_CONCAT(ld_obs_span_, __COUNTER__)(__VA_ARGS__)
+
+#define LD_TRACE_COUNTER(name, value)                            \
+  do {                                                           \
+    if (::ld::obs::Tracer::enabled())                            \
+      ::ld::obs::Tracer::instance().record_counter(              \
+          (name), static_cast<double>(value));                   \
+  } while (0)
+
+#define LD_TRACE_INSTANT(name)                                   \
+  do {                                                           \
+    if (::ld::obs::Tracer::enabled())                            \
+      ::ld::obs::Tracer::instance().record_instant(name);        \
+  } while (0)

@@ -5,12 +5,53 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/stopwatch.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ld::serving {
 
 namespace {
+
+/// Per-verb span name (a static literal — TraceEvent keeps the pointer) and
+/// latency series. Unknown verbs share the "other" series so a misbehaving
+/// client cannot inflate label cardinality.
+struct CommandInfo {
+  const char* span;
+  obs::Histogram* latency;
+};
+
+const CommandInfo& command_info(const std::string& verb) {
+  static const std::map<std::string, CommandInfo> table = [] {
+    std::map<std::string, CommandInfo> t;
+    const auto add = [&t](const char* verb, const char* cmd, const char* span) {
+      t.emplace(verb,
+                CommandInfo{span, &obs::MetricsRegistry::global().histogram(
+                                      "ld_serving_command_latency_seconds",
+                                      {{"command", cmd}}, 1e-7, 1e3)});
+    };
+    add("LOAD", "load", "serve.cmd.load");
+    add("OBSERVE", "observe", "serve.cmd.observe");
+    add("INGEST", "ingest", "serve.cmd.ingest");
+    add("PREDICT", "predict", "serve.cmd.predict");
+    add("BATCH", "batch", "serve.cmd.batch");
+    add("RETRAIN", "retrain", "serve.cmd.retrain");
+    add("WAIT", "wait", "serve.cmd.wait");
+    add("SAVE", "save", "serve.cmd.save");
+    add("STATS", "stats", "serve.cmd.stats");
+    add("WORKLOADS", "workloads", "serve.cmd.workloads");
+    add("METRICS", "metrics", "serve.cmd.metrics");
+    add("QUIT", "quit", "serve.cmd.quit");
+    add("", "other", "serve.cmd.other");
+    return t;
+  }();
+  const auto it = table.find(verb);
+  return it == table.end() ? table.at("") : it->second;
+}
 
 std::string upper(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -60,6 +101,16 @@ bool LineProtocol::handle(const std::string& line, std::ostream& out) {
   std::string verb;
   if (!(is >> verb) || verb.front() == '#') return true;
   verb = upper(verb);
+  const CommandInfo& cmd = command_info(verb);
+  const obs::ScopedSpan span(cmd.span);
+  const Stopwatch clock;
+  const bool keep_going = dispatch(verb, is, out);
+  cmd.latency->observe(clock.seconds());
+  return keep_going;
+}
+
+bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
+                            std::ostream& out) {
   try {
     if (verb == "QUIT") {
       out << "OK bye\n";
@@ -121,6 +172,15 @@ bool LineProtocol::handle(const std::string& line, std::ostream& out) {
       out << "WORKLOADS";
       for (const std::string& name : service_.workload_names()) out << ' ' << name;
       out << '\n';
+    } else if (verb == "METRICS") {
+      std::string mode;
+      if (is >> mode && upper(mode) == "JSON") {
+        // json() is newline-free by construction, so the response stays one
+        // protocol line.
+        out << "METRICS " << obs::MetricsRegistry::global().json() << '\n';
+      } else {
+        out << obs::MetricsRegistry::global().prometheus_text() << "OK metrics\n";
+      }
     } else {
       out << "ERR unknown command '" << verb << "'\n";
     }

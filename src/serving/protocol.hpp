@@ -15,14 +15,18 @@
 //   SAVE <workload> <path>             persist the current model
 //   STATS <workload>                   one-line serving counters
 //   WORKLOADS                          list registered workloads
+//   METRICS [JSON]                     scrape the process metrics registry
 //   QUIT                               end the session
 //
 // Responses, one line per command: "OK ...", "PRED <workload> <v1> ...",
 // "STATS <workload> k=v ...", "WORKLOADS ...", or "ERR <message>". Errors
-// never terminate the session.
+// never terminate the session. METRICS is the one multi-line response: raw
+// Prometheus text exposition terminated by an "OK metrics" line (or, with
+// JSON, a single "METRICS {...}" line).
 #pragma once
 
 #include <iosfwd>
+#include <sstream>
 #include <string>
 
 #include "serving/service.hpp"
@@ -42,6 +46,8 @@ class LineProtocol {
   std::size_t run(std::istream& in, std::ostream& out);
 
  private:
+  bool dispatch(const std::string& verb, std::istringstream& is, std::ostream& out);
+
   PredictionService& service_;
 };
 

@@ -6,12 +6,20 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/serialization.hpp"
+#include "obs/trace.hpp"
 
 namespace ld::serving {
 
 namespace {
+
+obs::Gauge& retrain_queue_gauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("ld_serving_retrain_queue_depth");
+  return gauge;
+}
 
 void validate_name(const std::string& name) {
   if (name.empty()) throw std::invalid_argument("serving: empty workload name");
@@ -24,6 +32,20 @@ void validate_name(const std::string& name) {
 }
 
 }  // namespace
+
+PredictionService::Workload::Workload(const core::DriftConfig& drift,
+                                      const std::string& name)
+    : monitor(drift) {
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"workload", name}};
+  obs.predict_latency =
+      &reg.histogram("ld_serving_predict_latency_seconds", labels, 1e-7, 1e2);
+  obs.retrain_seconds = &reg.histogram("ld_serving_retrain_seconds", labels, 1e-4, 1e4);
+  obs.predictions = &reg.counter("ld_serving_predictions_total", labels);
+  obs.observations = &reg.counter("ld_serving_observations_total", labels);
+  obs.drift = &reg.counter("ld_serving_drift_total", labels);
+  obs.retrains = &reg.counter("ld_serving_retrains_total", labels);
+}
 
 PredictionService::PredictionService(ServiceConfig config) : config_(std::move(config)) {
   if (config_.max_history < 16)
@@ -51,7 +73,7 @@ PredictionService::Workload& PredictionService::ensure_workload(const std::strin
   validate_name(name);
   std::scoped_lock lock(workloads_mu_);
   auto& slot = workloads_[name];
-  if (!slot) slot = std::make_unique<Workload>(config_.adaptive.drift_config());
+  if (!slot) slot = std::make_unique<Workload>(config_.adaptive.drift_config(), name);
   return *slot;
 }
 
@@ -120,7 +142,10 @@ void PredictionService::publish_model(const std::string& name,
   w.baseline_mape = model.validation_mape();
   w.last_fit_step = w.observations;
   w.monitor.reset();
-  if (count_retrain) ++w.retrains;
+  if (count_retrain) {
+    ++w.retrains;
+    w.obs.retrains->inc();
+  }
 }
 
 void PredictionService::observe(const std::string& name, double value) {
@@ -131,6 +156,7 @@ void PredictionService::observe_many(const std::string& name,
                                      std::span<const double> values) {
   if (values.empty()) return;
   Workload& w = ensure_workload(name);
+  w.obs.observations->inc(values.size());
   bool queue_retrain = false;
   {
     std::scoped_lock lock(w.mu);
@@ -147,6 +173,8 @@ void PredictionService::observe_many(const std::string& name,
       if (drift.should_retrain) {
         w.retrain_pending = true;
         queue_retrain = true;
+        w.obs.drift->inc();
+        LD_TRACE_INSTANT("serve.drift");
         log::info("serving: drift on '", name, "' (recent MAPE ", drift.recent_mape,
                   "% vs baseline ", w.baseline_mape, "%",
                   drift.changepoint ? ", changepoint" : "", "), retrain queued");
@@ -159,6 +187,8 @@ void PredictionService::observe_many(const std::string& name,
 std::vector<double> PredictionService::predict(const std::string& name,
                                                std::size_t horizon) {
   if (horizon == 0) throw std::invalid_argument("serving: horizon must be >= 1");
+  LD_TRACE_SPAN("serve.predict");
+  const Stopwatch clock;
   const std::shared_ptr<const PublishedModel> model = registry_.current(name);
   if (!model) throw std::runtime_error("serving: no model published for '" + name + "'");
   Workload& w = workload(name);
@@ -182,6 +212,8 @@ std::vector<double> PredictionService::predict(const std::string& name,
     // drift monitor scores it once that actual is observed.
     w.monitor.record(now, forecast.front());
   }
+  w.obs.predictions->inc();
+  w.obs.predict_latency->observe(clock.seconds());
   return forecast;
 }
 
@@ -211,10 +243,13 @@ bool PredictionService::request_retrain(const std::string& name) {
 }
 
 void PredictionService::enqueue_retrain(const std::string& name) {
+  std::size_t depth = 0;
   {
     std::scoped_lock lock(queue_mu_);
     queue_.push_back(name);
+    depth = queue_.size();
   }
+  retrain_queue_gauge().set(static_cast<double>(depth));
   work_cv_.notify_one();
 }
 
@@ -233,6 +268,7 @@ void PredictionService::worker_loop() {
       name = std::move(queue_.front());
       queue_.pop_front();
       worker_busy_ = true;
+      retrain_queue_gauge().set(static_cast<double>(queue_.size()));
     }
     try {
       run_retrain(name);
@@ -248,7 +284,9 @@ void PredictionService::worker_loop() {
 }
 
 void PredictionService::run_retrain(const std::string& name) {
+  LD_TRACE_SPAN("serve.retrain");
   Workload& w = workload(name);
+  const Stopwatch clock;
   std::vector<double> history;
   std::size_t retrain_index = 0;
   {
@@ -270,6 +308,7 @@ void PredictionService::run_retrain(const std::string& name) {
     }
   }
   if (model) publish_model(name, *model, /*count_retrain=*/true, /*write_checkpoint=*/true);
+  w.obs.retrain_seconds->observe(clock.seconds());
   std::uint64_t version = 0;
   {
     std::scoped_lock lock(w.mu);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/adaptive.hpp"
+#include "obs/registry.hpp"
 #include "serving/registry.hpp"
 
 namespace ld::serving {
@@ -123,8 +124,20 @@ class PredictionService {
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
  private:
+  /// Per-workload registry instruments, resolved once at workload creation
+  /// (all labeled workload=<name>). Pointers stay valid forever: the global
+  /// registry is leaked.
+  struct Instruments {
+    obs::Histogram* predict_latency = nullptr;
+    obs::Histogram* retrain_seconds = nullptr;
+    obs::Counter* predictions = nullptr;
+    obs::Counter* observations = nullptr;
+    obs::Counter* drift = nullptr;
+    obs::Counter* retrains = nullptr;
+  };
+
   struct Workload {
-    explicit Workload(const core::DriftConfig& drift) : monitor(drift) {}
+    Workload(const core::DriftConfig& drift, const std::string& name);
     std::mutex mu;  ///< guards everything below; held only for brief sections
     std::vector<double> history;     ///< capped tail of the observed series
     std::size_t observations = 0;    ///< total observed (absolute step count)
@@ -135,6 +148,7 @@ class PredictionService {
     std::size_t last_fit_step = 0;   ///< absolute step of the last publish
     core::DriftMonitor monitor;
     bool retrain_pending = false;
+    Instruments obs;  ///< lock-free; safe to touch without holding mu
   };
 
   Workload& ensure_workload(const std::string& name);

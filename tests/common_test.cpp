@@ -157,7 +157,22 @@ TEST(LatencyHistogram, PercentilesWithinBucketRelativeError) {
         << "geometric buckets promise ~4% relative error at p" << p;
   }
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 1.0) << "p100 is the exact max";
-  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.percentile(0.1)) << "p0 clamps to first sample";
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min()) << "p0 is the exact min";
+}
+
+TEST(LatencyHistogram, PercentileZeroReturnsExactMin) {
+  // Regression: p0 used to return the upper edge of the first occupied
+  // bucket, which overshoots the smallest sample by up to a bucket width.
+  ld::metrics::LatencyHistogram h(1e-6, 10.0);
+  h.record(1e-3);
+  h.record(0.5);
+  h.record(2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_GE(h.percentile(0.1), h.percentile(0.0))
+      << "percentiles stay monotone at the bottom";
+  // Negative inputs clamp to p0 as well.
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 1e-3);
 }
 
 TEST(LatencyHistogram, MergeMatchesCombinedRecording) {

@@ -1,0 +1,280 @@
+// Observability layer: metrics registry (concurrent counters, sharded
+// histograms, Prometheus/JSON scrape) and the tracing layer (span nesting,
+// ring-buffer drops, zero cost when disabled, Chrome trace-event JSON).
+//
+// The registry and tracer are process-wide singletons shared by every test
+// in this binary, so each test uses its own series names and restores the
+// tracer to the stopped state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using ld::obs::MetricsRegistry;
+using ld::obs::Tracer;
+
+// --- minimal Chrome-trace parsing -----------------------------------------
+// Events carry flat fields plus at most one nested {"args":{...}} object, so
+// a brace scanner that ignores one nesting level is enough.
+
+struct ParsedEvent {
+  std::string name;
+  std::string phase;
+  double ts = -1.0;   // microseconds
+  double dur = -1.0;  // microseconds ('X' only)
+  long tid = -1;
+  bool has_args = false;
+};
+
+std::string field_str(const std::string& event, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = event.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  return event.substr(start, event.find('"', start) - start);
+}
+
+double field_num(const std::string& event, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = event.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(event.c_str() + at + needle.size(), nullptr);
+}
+
+std::vector<ParsedEvent> parse_trace(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  const std::size_t list = json.find("\"traceEvents\":[");
+  EXPECT_NE(list, std::string::npos) << "missing traceEvents array";
+  if (list == std::string::npos) return events;
+  std::size_t pos = list;
+  while ((pos = json.find('{', pos + 1)) != std::string::npos) {
+    int depth = 1;
+    std::size_t end = pos;
+    while (depth > 0 && ++end < json.size()) {
+      if (json[end] == '{') ++depth;
+      if (json[end] == '}') --depth;
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced braces in trace JSON";
+    const std::string body = json.substr(pos, end - pos + 1);
+    ParsedEvent e;
+    e.name = field_str(body, "name");
+    e.phase = field_str(body, "ph");
+    e.ts = field_num(body, "ts");
+    e.dur = field_num(body, "dur");
+    e.tid = static_cast<long>(field_num(body, "tid"));
+    e.has_args = body.find("\"args\"") != std::string::npos;
+    events.push_back(std::move(e));
+    pos = end;
+  }
+  return events;
+}
+
+std::string dump_trace() {
+  std::ostringstream out;
+  Tracer::instance().write_json(out);
+  return out.str();
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(ObsRegistry, CountersSumExactlyAcrossThreads) {
+  auto& counter = MetricsRegistry::global().counter("obs_test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, GaugeSetAndAdd) {
+  auto& gauge = MetricsRegistry::global().gauge("obs_test_gauge");
+  gauge.set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.add(1.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.75);
+  gauge.set(-2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.0);
+}
+
+TEST(ObsRegistry, HistogramMergesThreadShards) {
+  auto& hist =
+      MetricsRegistry::global().histogram("obs_test_sharded_seconds", {}, 1e-6, 10.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 1; i <= kPerThread; ++i)
+        hist.observe(1e-4 * (t + 1) * i / kPerThread);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const ld::metrics::LatencyHistogram merged = hist.snapshot();
+  EXPECT_EQ(merged.count(), hist.count());
+  EXPECT_GT(merged.percentile(50), 0.0);
+  EXPECT_LE(merged.percentile(50), merged.percentile(99));
+  EXPECT_DOUBLE_EQ(merged.percentile(0), merged.min());
+}
+
+TEST(ObsRegistry, SameSeriesSameInstrumentAndKindConflictThrows) {
+  auto& a = MetricsRegistry::global().counter("obs_test_identity_total",
+                                              {{"workload", "wiki"}, {"stage", "train"}});
+  // Label order must not matter: the registry canonicalizes by key.
+  auto& b = MetricsRegistry::global().counter("obs_test_identity_total",
+                                              {{"stage", "train"}, {"workload", "wiki"}});
+  EXPECT_EQ(&a, &b);
+  auto& other = MetricsRegistry::global().counter("obs_test_identity_total",
+                                                  {{"workload", "google"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_THROW(MetricsRegistry::global().gauge("obs_test_identity_total",
+                                               {{"workload", "wiki"}, {"stage", "train"}}),
+               std::invalid_argument);
+}
+
+TEST(ObsRegistry, PrometheusTextFormat) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("obs_test_scrape_total", {{"workload", "wiki"}}).inc(42);
+  reg.gauge("obs_test_scrape_depth").set(7.0);
+  auto& hist = reg.histogram("obs_test_scrape_seconds", {}, 1e-6, 10.0);
+  for (int i = 1; i <= 100; ++i) hist.observe(0.001 * i);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE obs_test_scrape_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_scrape_total{workload=\"wiki\"} 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_scrape_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_scrape_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_scrape_seconds summary"), std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.95", "0.99"})
+    EXPECT_NE(text.find("obs_test_scrape_seconds{quantile=\"" + std::string(q) + "\"}"),
+              std::string::npos);
+  EXPECT_NE(text.find("obs_test_scrape_seconds_count 100"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_scrape_seconds_sum "), std::string::npos);
+  EXPECT_NE(text.find("obs_test_scrape_seconds_min "), std::string::npos);
+  EXPECT_NE(text.find("obs_test_scrape_seconds_max "), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonIsSingleLine) {
+  MetricsRegistry::global().counter("obs_test_json_total").inc();
+  const std::string json = MetricsRegistry::global().json();
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "json() must stay protocol-line safe";
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"obs_test_json_total\""), std::string::npos);
+}
+
+// --- tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, SpansRecordNestingAndThreads) {
+  Tracer::instance().start();
+  {
+    LD_TRACE_SPAN("obs_test.outer");
+    {
+      LD_TRACE_SPAN("obs_test.inner");
+      LD_TRACE_COUNTER("obs_test.counter", 3);
+    }
+    std::thread([] { LD_TRACE_SPAN("obs_test.worker"); }).join();
+  }
+  Tracer::instance().stop();
+  const std::vector<ParsedEvent> events = parse_trace(dump_trace());
+  Tracer::instance().clear();
+
+  const ParsedEvent* outer = nullptr;
+  const ParsedEvent* inner = nullptr;
+  const ParsedEvent* worker = nullptr;
+  const ParsedEvent* counter = nullptr;
+  for (const ParsedEvent& e : events) {
+    if (e.name == "obs_test.outer") outer = &e;
+    if (e.name == "obs_test.inner") inner = &e;
+    if (e.name == "obs_test.worker") worker = &e;
+    if (e.name == "obs_test.counter") counter = &e;
+    if (e.phase == "X") {
+      EXPECT_GE(e.ts, 0.0) << e.name;
+      EXPECT_GE(e.dur, 0.0) << e.name;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(worker, nullptr);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(outer->phase, "X");
+  EXPECT_EQ(counter->phase, "C");
+  EXPECT_TRUE(counter->has_args) << "counter events carry their value in args";
+  // Nesting containment: the inner span lies within the outer one.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + 1e-6);
+  // The worker span ran on a different thread.
+  EXPECT_NE(worker->tid, outer->tid);
+  EXPECT_EQ(inner->tid, outer->tid);
+}
+
+TEST(ObsTrace, DisabledSpansCostNothing) {
+  Tracer::instance().stop();
+  Tracer::instance().clear();
+  const std::size_t threads_before = Tracer::instance().thread_count();
+  std::thread([] {
+    for (int i = 0; i < 1000; ++i) {
+      LD_TRACE_SPAN("obs_test.disabled");
+      LD_TRACE_COUNTER("obs_test.disabled_counter", i);
+      LD_TRACE_INSTANT("obs_test.disabled_instant");
+    }
+  }).join();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  EXPECT_EQ(Tracer::instance().thread_count(), threads_before)
+      << "disabled spans must not even register a thread buffer";
+}
+
+TEST(ObsTrace, DropsWhenFullNeverBlocks) {
+  Tracer::instance().set_capacity(8);
+  Tracer::instance().start();
+  // A fresh thread gets a fresh (capacity-8) buffer; overflow must drop, not
+  // block or overwrite.
+  std::thread([] {
+    for (int i = 0; i < 100; ++i) LD_TRACE_INSTANT("obs_test.flood");
+  }).join();
+  Tracer::instance().stop();
+  EXPECT_GE(Tracer::instance().dropped_count(), 92u);
+  const std::string json = dump_trace();
+  Tracer::instance().clear();
+  Tracer::instance().set_capacity(1 << 18);
+  EXPECT_NE(json.find("obs_test.flood"), std::string::npos);
+}
+
+TEST(ObsTrace, TraceSessionActivatesFromEnv) {
+  const std::string path = testing::TempDir() + "obs_test_trace.json";
+  ASSERT_EQ(setenv("LD_TRACE", path.c_str(), 1), 0);
+  {
+    ld::obs::TraceSession session;
+    EXPECT_TRUE(session.active());
+    EXPECT_EQ(session.path(), path);
+    LD_TRACE_SPAN("obs_test.session");
+  }
+  ASSERT_EQ(unsetenv("LD_TRACE"), 0);
+  EXPECT_FALSE(Tracer::enabled()) << "session destruction stops the tracer";
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "trace file written on session destruction";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::vector<ParsedEvent> events = parse_trace(buffer.str());
+  bool found = false;
+  for (const ParsedEvent& e : events) found |= e.name == "obs_test.session";
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+  Tracer::instance().clear();
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 // job runs this suite), checkpoint restart, and the line protocol.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <filesystem>
@@ -367,6 +368,36 @@ TEST(ServingProtocol, LosslessForecastPrecisionOverText) {
   EXPECT_EQ(tag, "PRED");
   // max_digits10 output must parse back to the identical double.
   EXPECT_EQ(value, service.predict("web", 1)[0]);
+}
+
+TEST(ServingProtocol, MetricsCommandEmitsPrometheusText) {
+  const auto series = seasonal(240);
+  serving::PredictionService service(quick_service());
+  service.publish("web", *quick_model(series));
+  service.observe_many("web", series);
+
+  serving::LineProtocol protocol(service);
+  std::ostringstream warm;
+  EXPECT_TRUE(protocol.handle("PREDICT web 1", warm));
+
+  std::ostringstream out;
+  EXPECT_TRUE(protocol.handle("METRICS", out));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE ld_serving_predict_latency_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("ld_serving_predict_latency_seconds"), std::string::npos);
+  EXPECT_NE(text.find("workload=\"web\""), std::string::npos);
+  EXPECT_NE(text.find("ld_serving_retrains_total"), std::string::npos);
+  EXPECT_NE(text.find("ld_serving_command_latency_seconds"), std::string::npos);
+  // Multi-line response ends with the protocol terminator line.
+  EXPECT_NE(text.find("OK metrics\n"), std::string::npos);
+
+  std::ostringstream json_out;
+  EXPECT_TRUE(protocol.handle("METRICS JSON", json_out));
+  const std::string json_line = json_out.str();
+  EXPECT_EQ(json_line.rfind("METRICS {", 0), 0u) << "single-line JSON reply";
+  EXPECT_EQ(std::count(json_line.begin(), json_line.end(), '\n'), 1)
+      << "JSON variant stays one protocol line";
 }
 
 TEST(ServingApp, ReplayFileServesPredictionsInProcess) {

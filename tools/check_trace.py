@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by the obs tracing layer.
+
+Usage: check_trace.py TRACE.json [REQUIRED_SPAN ...]
+
+Checks that the file is well-formed trace-event JSON (every event has a
+legal phase, non-negative timestamps, durations on 'X' events) and that each
+REQUIRED_SPAN name appears at least once as a complete ('X') span. Exits
+non-zero with a diagnostic on the first violation.
+"""
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py TRACE.json [REQUIRED_SPAN ...]")
+    path, required = sys.argv[1], sys.argv[2:]
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse '{path}': {e}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    span_names = set()
+    threads = set()
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("X", "C", "i", "M"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if "name" not in e:
+            fail(f"event {i}: missing name")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i} ({e['name']}): bad ts {ts!r}")
+        threads.add(e.get("tid"))
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i} ({e['name']}): bad dur {dur!r}")
+            span_names.add(e["name"])
+        if ph == "C" and "value" not in e.get("args", {}):
+            fail(f"event {i} ({e['name']}): counter without args.value")
+
+    missing = [name for name in required if name not in span_names]
+    if missing:
+        fail(f"required spans not found: {', '.join(missing)}; "
+             f"have: {', '.join(sorted(span_names))}")
+
+    print(f"check_trace: OK — {len(events)} events, {len(threads)} threads, "
+          f"{len(span_names)} distinct spans")
+
+
+if __name__ == "__main__":
+    main()
