@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/loaddynamics.hpp"
+#include "fault/injector.hpp"
 #include "nn/dataset.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
@@ -182,6 +183,31 @@ void BM_TraceSpanDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_FaultPointDisabled(benchmark::State& state) {
+  // The acceptance-criterion case: no faults configured, a fault point must
+  // cost a single relaxed load (a few ns at most).
+  fault::Injector::instance().reset();
+  for (auto _ : state) {
+    LD_FAULT_POINT("bench.fault");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointDisabled);
+
+void BM_FaultPointEnabledMiss(benchmark::State& state) {
+  // Injection on but for a different site: the worst case a production site
+  // pays during a chaos drill (map lookup under the injector mutex).
+  fault::Injector::instance().configure("other.site:p=1", 42);
+  for (auto _ : state) {
+    LD_FAULT_POINT("bench.fault");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  fault::Injector::instance().reset();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointEnabledMiss);
 
 void BM_TraceSpanEnabled(benchmark::State& state) {
   obs::Tracer::instance().set_capacity(1 << 16);

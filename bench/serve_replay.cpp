@@ -6,7 +6,13 @@
 //
 //   serve_replay [--threads 4] [--requests 2000] [--horizon 4] [--replicas 2]
 //                [--workloads 2|3] [--epochs 12] [--no-retrain] [--seed 2020]
-//                [--trace out.json]
+//                [--trace out.json] [--faults SPEC] [--fault-seed 42]
+//                [--retrain-timeout S] [--checkpoint-dir D]
+//
+// Chaos mode (--faults / LD_FAULTS, see docs/API.md): injects checkpoint
+// failures, retrain hangs, NaN forecasts, etc. The exit code asserts the
+// fault-tolerance contract — 0 only when every PREDICT returned a finite
+// forecast and the final one-step forecast per workload is finite.
 //
 // Latency is recorded through the obs::MetricsRegistry
 // (ld_replay_predict_latency_seconds{workload=,phase=}) and split into
@@ -29,6 +35,8 @@
 #include "common/metrics.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/fallback.hpp"
+#include "fault/injector.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serving/service.hpp"
@@ -55,6 +63,13 @@ int main(int argc, char** argv) {
   const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
   const ld::obs::TraceSession trace_session(args.get("trace", ""));
 
+  fault::init_from_env();
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty())
+    fault::Injector::instance().configure(
+        faults, static_cast<std::uint64_t>(args.get_int("fault-seed", 42)));
+  const bool chaos = fault::Injector::enabled();
+
   const std::vector<WorkloadSetup> setups{
       {"wiki", workloads::TraceKind::kWikipedia},
       {"google", workloads::TraceKind::kGoogle},
@@ -70,6 +85,8 @@ int main(int argc, char** argv) {
   cfg.adaptive.base.training.trainer.max_epochs = 4;
   cfg.adaptive.refresh_candidates = 1;
   cfg.adaptive.retrain_history_cap = 160;
+  cfg.checkpoint_dir = args.get("checkpoint-dir", "");
+  cfg.retrain_timeout_seconds = args.get_double("retrain-timeout", 0.0);
   serving::PredictionService service(cfg);
 
   // Quick-train one small model per workload and split its trace into warmup
@@ -126,6 +143,8 @@ int main(int argc, char** argv) {
           "ld_replay_predict_latency_seconds",
           {{"workload", names[i]}, {"phase", kPhases[p]}}, 1e-7, 10.0);
   std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> non_finite{0};
+  std::atomic<std::size_t> degraded{0};
 
   Stopwatch clock;
   std::vector<std::thread> predictors;
@@ -139,12 +158,15 @@ int main(int argc, char** argv) {
         const bool pending_before = service.stats(names[wi]).retrain_pending;
         Stopwatch lat;
         try {
-          const auto forecast = service.predict(names[wi], horizon);
+          const auto result = service.predict_detailed(names[wi], horizon);
           const double seconds = lat.seconds();
           const bool overlapped =
               pending_before || service.stats(names[wi]).retrain_pending;
           latency[wi][overlapped ? 1 : 0]->observe(seconds);
-          (void)forecast;
+          if (result.level != fault::DegradationLevel::kLive)
+            degraded.fetch_add(1, std::memory_order_relaxed);
+          if (!fault::all_finite(result.forecast))
+            non_finite.fetch_add(1, std::memory_order_relaxed);
         } catch (const std::exception&) {
           errors.fetch_add(1, std::memory_order_relaxed);
         }
@@ -185,5 +207,28 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-18s %10zu %10.1f %10.1f %10.1f %10.1f\n", "all", "both",
               all.count(), all.percentile(50) * 1e6, all.percentile(95) * 1e6,
               all.percentile(99) * 1e6, all.max() * 1e6);
-  return 0;
+
+  // Contract check (meaningful under --faults, cheap insurance without):
+  // every PREDICT answered, every forecast finite, and one more finite
+  // one-step forecast per workload after the dust settles.
+  std::size_t final_non_finite = 0;
+  for (const std::string& name : names) {
+    try {
+      const auto result = service.predict_detailed(name, 1);
+      if (!fault::all_finite(result.forecast)) ++final_non_finite;
+    } catch (const std::exception& e) {
+      ++final_non_finite;
+      std::printf("final forecast for %s FAILED: %s\n", name.c_str(), e.what());
+    }
+  }
+  if (chaos || errors.load() > 0 || non_finite.load() > 0 || final_non_finite > 0) {
+    std::printf("\nchaos summary: faults=%s injected=%llu errors=%zu non_finite=%zu "
+                "degraded=%zu final_non_finite=%zu\n",
+                chaos ? fault::Injector::instance().status().c_str() : "off",
+                static_cast<unsigned long long>(fault::Injector::instance().total_fires()),
+                errors.load(), non_finite.load(), degraded.load(), final_non_finite);
+  }
+  const bool ok = errors.load() == 0 && non_finite.load() == 0 && final_non_finite == 0;
+  if (!ok) std::printf("serve_replay: FAULT-TOLERANCE CONTRACT VIOLATED\n");
+  return ok ? 0 : 1;
 }

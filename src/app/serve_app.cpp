@@ -17,6 +17,7 @@
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "core/loaddynamics.hpp"
+#include "fault/injector.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serving/protocol.hpp"
@@ -50,12 +51,19 @@ flags:
                        LD_TRACE=FILE does the same for any binary
   --metrics-out FILE   periodically dump the Prometheus scrape to FILE
   --metrics-interval S metrics dump period in seconds (default 5)
+  --faults SPEC        enable deterministic fault injection, e.g.
+                       'checkpoint.write:p=0.3,retrain.hang:mode=sleep:ms=2000'
+  --fault-seed S       fault-injection RNG seed (default 42)
+  --retrain-timeout S  watchdog deadline per retrain attempt in seconds
+                       (default 0 = unsupervised)
+  --retrain-attempts N max retrain attempts incl. retries (default 3)
 
 protocol: LOAD OBSERVE INGEST PREDICT BATCH RETRAIN WAIT SAVE STATS
-          WORKLOADS METRICS QUIT   (see docs/API.md)
+          WORKLOADS METRICS FAULTS QUIT   (see docs/API.md)
 
 env: LD_LOG_LEVEL=debug|info|warn|error|off, LD_TRACE=FILE,
-     LD_TRACE_BUFFER=N (trace events per thread), LD_NUM_THREADS=N
+     LD_TRACE_BUFFER=N (trace events per thread), LD_NUM_THREADS=N,
+     LD_FAULTS=SPEC, LD_FAULT_SEED=N (see docs/API.md, ld::fault)
 )";
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -160,6 +168,12 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
   }
   log::init_from_env();
   try {
+    fault::init_from_env();
+    if (!args.get("faults", "").empty())
+      fault::Injector::instance().configure(
+          args.get("faults", ""),
+          static_cast<std::uint64_t>(args.get_int("fault-seed", 42)));
+
     // Scope-bound: the trace file and final metrics scrape are written when
     // the try block unwinds, after the protocol session has fully drained.
     const obs::TraceSession trace_session(args.get("trace", ""));
@@ -180,18 +194,30 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
     cfg.adaptive.base.training.trainer.max_epochs =
         static_cast<std::size_t>(args.get_int("epochs", 20));
     cfg.adaptive.refresh_candidates = 2;
+    cfg.retrain_timeout_seconds = args.get_double("retrain-timeout", 0.0);
+    cfg.retrain_retry.max_attempts =
+        static_cast<std::size_t>(args.get_int("retrain-attempts", 3));
 
     serving::PredictionService service(cfg);
 
     // A restarted server resumes every workload checkpointed by the previous
     // run, without having to re-list them on the command line.
     if (!cfg.checkpoint_dir.empty()) {
+      std::vector<std::string> resume;
       for (const auto& entry : std::filesystem::directory_iterator(cfg.checkpoint_dir)) {
-        if (!entry.is_regular_file() || entry.path().extension() != ".ldm") continue;
-        const std::string name = entry.path().stem().string();
+        if (!entry.is_regular_file()) continue;
+        std::filesystem::path p = entry.path();
+        // A crash can leave only the previous-good snapshot (`NAME.ldm.prev`)
+        // behind; resume from it too (add_workload's checkpoint fallback).
+        if (p.extension() == ".prev") p = p.parent_path() / p.stem();
+        if (p.extension() != ".ldm") continue;
+        const std::string name = p.stem().string();
+        if (std::find(resume.begin(), resume.end(), name) == resume.end())
+          resume.push_back(name);
+      }
+      for (const std::string& name : resume) {
         if (service.add_workload(name))
-          err << "ld_serve: resumed '" << name << "' from " << entry.path().string()
-              << "\n";
+          err << "ld_serve: resumed '" << name << "' from " << cfg.checkpoint_dir << "\n";
       }
     }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "fault/injector.hpp"
 #include "tensor/linalg.hpp"
 
 namespace ld::bayesopt {
@@ -40,6 +41,7 @@ bool GaussianProcess::try_build(const KernelParams& params, double noise) {
 }
 
 void GaussianProcess::fit(const tensor::Matrix& x, std::span<const double> y) {
+  LD_FAULT_POINT("gp.fit");
   if (x.rows() == 0 || x.rows() != y.size())
     throw std::invalid_argument("GaussianProcess::fit: bad shapes");
   for (const double v : y)

@@ -1,0 +1,13 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// integrity footers. Table-driven, byte at a time — plenty for the few-KB
+// model files it guards.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ld {
+
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+}  // namespace ld

@@ -1,5 +1,6 @@
 #include "common/csv.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -102,6 +103,26 @@ void write_file(const std::string& path, const std::vector<std::string>& header,
     }
     out << '\n';
   }
+}
+
+std::vector<double> sanitize_loads(const std::vector<double>& values,
+                                   SanitizeStats* stats) {
+  std::vector<double> clean;
+  clean.reserve(values.size());
+  SanitizeStats local;
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      ++local.rejected_nan;
+    } else if (std::isinf(v)) {
+      ++local.rejected_inf;
+    } else if (v < 0.0) {
+      ++local.rejected_negative;
+    } else {
+      clean.push_back(v);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return clean;
 }
 
 }  // namespace ld::csv

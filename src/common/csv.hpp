@@ -1,6 +1,7 @@
 // Minimal CSV reading/writing for traces and experiment outputs.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -28,5 +29,22 @@ struct Table {
 /// Write rows of doubles with a header line.
 void write_file(const std::string& path, const std::vector<std::string>& header,
                 const std::vector<std::vector<double>>& rows);
+
+/// What sanitize_loads() dropped, by reason.
+struct SanitizeStats {
+  std::size_t rejected_nan = 0;
+  std::size_t rejected_inf = 0;
+  std::size_t rejected_negative = 0;
+  [[nodiscard]] std::size_t total() const noexcept {
+    return rejected_nan + rejected_inf + rejected_negative;
+  }
+};
+
+/// Remove samples a load series can never legitimately contain — NaN, ±Inf,
+/// and negative values — returning only the clean samples in order. A model
+/// fed a single NaN silently poisons every forecast, so ingest paths call
+/// this before anything touches the history (see DESIGN.md §10).
+[[nodiscard]] std::vector<double> sanitize_loads(const std::vector<double>& values,
+                                                 SanitizeStats* stats = nullptr);
 
 }  // namespace ld::csv

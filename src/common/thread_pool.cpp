@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/injector.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -84,6 +85,9 @@ void ThreadPool::worker_loop() {
     const auto started = std::chrono::steady_clock::now();
     {
       LD_TRACE_SPAN("pool.task");
+      // Delay-only site: a throw here would strand submit() futures, so
+      // chaos runs can stall workers but never unwind them.
+      LD_FAULT_DELAY("pool.task");
       task();  // packaged_task captures exceptions; raw chunks guard themselves
     }
     pool_instruments().task_latency.observe(

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "timeseries/changepoint.hpp"
@@ -101,6 +102,8 @@ std::shared_ptr<TrainedModel> warm_retrain(std::span<const double> history_full,
                                                   config.base.seed + retrain_index);
       if (!best || model->validation_mape() < best->validation_mape())
         best = std::move(model);
+    } catch (const fault::CancelledError&) {
+      throw;  // a watchdog cancelled the whole retrain, not just this candidate
     } catch (const std::exception& e) {
       log::warn("adaptive retrain: ", hp.to_string(), " failed: ", e.what());
     }

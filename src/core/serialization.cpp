@@ -2,15 +2,28 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/checksum.hpp"
+#include "common/log.hpp"
+#include "fault/injector.hpp"
+#include "obs/registry.hpp"
 
 namespace ld::core {
 
 namespace {
 constexpr const char* kMagic = "loaddynamics-model";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;  // v2 adds the crc32 footer; v1 files still load
+constexpr const char* kFooterKeyword = "\ncrc32 ";
 
 std::string expect_token(std::istream& in, const char* what) {
   std::string token;
@@ -30,10 +43,11 @@ std::string hex_double(double v) {
   std::snprintf(buf, sizeof(buf), "%a", v);
   return buf;
 }
-}  // namespace
 
-void save_model(const TrainedModel& model, std::ostream& out) {
+/// Render the model body (header + weights, no footer) to text.
+std::string render_body(const TrainedModel& model) {
   const ModelSnapshot snap = model.snapshot();
+  std::ostringstream out;
   out << kMagic << ' ' << kVersion << '\n';
   out << "hyperparameters " << snap.hyperparameters.history_length << ' '
       << snap.hyperparameters.cell_size << ' ' << snap.hyperparameters.num_layers << ' '
@@ -52,21 +66,20 @@ void save_model(const TrainedModel& model, std::ostream& out) {
     out << ((i + 1) % 8 == 0 ? '\n' : ' ');
   }
   out << '\n';
-  if (!out) throw std::runtime_error("save_model: stream write failed");
+  return out.str();
 }
 
-void save_model_file(const TrainedModel& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_model: cannot open '" + path + "'");
-  save_model(model, out);
+std::string render_with_footer(const TrainedModel& model) {
+  std::string body = render_body(model);
+  char footer[32];
+  std::snprintf(footer, sizeof(footer), "crc32 %08" PRIx32 "\n", crc32(body));
+  body += footer;
+  return body;
 }
 
-std::shared_ptr<TrainedModel> load_model(std::istream& in) {
-  if (expect_token(in, "magic") != kMagic)
-    throw std::runtime_error("load_model: not a loaddynamics model file");
-  if (std::stoi(expect_token(in, "version")) != kVersion)
-    throw std::runtime_error("load_model: unsupported version");
-
+/// Parse the body (everything after the "<magic> <version>" header line has
+/// already been consumed from `in`).
+std::shared_ptr<TrainedModel> parse_body(std::istream& in) {
   ModelSnapshot snap;
   auto expect_keyword = [&](const char* kw) {
     if (expect_token(in, kw) != kw)
@@ -102,10 +115,166 @@ std::shared_ptr<TrainedModel> load_model(std::istream& in) {
   return TrainedModel::restore(snap);
 }
 
+#ifndef _WIN32
+/// Write `data` to `path` with an fsync before close so the bytes are
+/// durable before the caller renames the file into place.
+void write_durable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("save_model: cannot open '" + path + "'");
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      throw std::runtime_error("save_model: write failed for '" + path + "'");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("save_model: fsync failed for '" + path + "'");
+  }
+  if (::close(fd) != 0) throw std::runtime_error("save_model: close failed for '" + path + "'");
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Best effort: make the rename itself durable. Failure here is not fatal
+  // (some filesystems refuse O_RDONLY on directories).
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int fd = ::open(parent.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+#else
+void write_durable(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_model: cannot open '" + path + "'");
+  out << data;
+  out.flush();
+  if (!out) throw std::runtime_error("save_model: write failed for '" + path + "'");
+}
+void fsync_parent_dir(const std::string&) {}
+#endif
+
+obs::Counter& quarantined_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ld_checkpoint_quarantined_total");
+  return counter;
+}
+}  // namespace
+
+void save_model(const TrainedModel& model, std::ostream& out) {
+  out << render_with_footer(model);
+  if (!out) throw std::runtime_error("save_model: stream write failed");
+}
+
+void save_model_file(const TrainedModel& model, const std::string& path) {
+  const std::string data = render_with_footer(model);
+  const std::string tmp = path + ".tmp";
+  try {
+    write_durable(tmp, data);
+    LD_FAULT_POINT("checkpoint.write");
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // never leave a torn temp behind
+    throw;
+  }
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    // Keep the previous good snapshot: it is the fallback load_checkpoint
+    // reaches for when the new file turns out corrupt.
+    std::filesystem::rename(path, path + ".prev", ec);
+    if (ec) log::warn("save_model: could not keep previous snapshot for '", path, "': ",
+                      ec.message());
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw std::runtime_error("save_model: rename to '" + path + "' failed: " + ec.message());
+  }
+  fsync_parent_dir(path);
+}
+
+std::shared_ptr<TrainedModel> load_model(std::istream& in) {
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string content = slurp.str();
+
+  std::istringstream header(content);
+  if (expect_token(header, "magic") != kMagic)
+    throw std::runtime_error("load_model: not a loaddynamics model file");
+  const int version = std::stoi(expect_token(header, "version"));
+  if (version != 1 && version != kVersion)
+    throw std::runtime_error("load_model: unsupported version");
+
+  if (version == 1) return parse_body(header);  // legacy: no footer
+
+  const std::size_t footer_pos = content.rfind(kFooterKeyword);
+  if (footer_pos == std::string::npos)
+    throw std::runtime_error("load_model: missing crc32 footer (truncated file?)");
+  const std::string_view body(content.data(), footer_pos + 1);  // incl. '\n'
+  std::uint32_t stored = 0;
+  if (std::sscanf(content.c_str() + footer_pos + std::strlen(kFooterKeyword), "%8" SCNx32,
+                  &stored) != 1)
+    throw std::runtime_error("load_model: unreadable crc32 footer");
+  const std::uint32_t actual = crc32(body);
+  if (actual != stored) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "load_model: crc32 mismatch (stored %08" PRIx32 ", computed %08" PRIx32 ")",
+                  stored, actual);
+    throw std::runtime_error(msg);
+  }
+
+  std::istringstream verified{std::string(body)};
+  expect_token(verified, "magic");
+  expect_token(verified, "version");
+  return parse_body(verified);
+}
+
 std::shared_ptr<TrainedModel> load_model_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_model: cannot open '" + path + "'");
   return load_model(in);
+}
+
+std::shared_ptr<TrainedModel> load_checkpoint(const std::string& path,
+                                              std::string* loaded_from) {
+  std::string primary_error;
+  try {
+    LD_FAULT_POINT("checkpoint.load");
+    auto model = load_model_file(path);
+    if (loaded_from != nullptr) *loaded_from = path;
+    return model;
+  } catch (const std::exception& e) {
+    primary_error = e.what();
+  }
+
+  // Move the bad file aside so the next save cannot .prev-preserve garbage
+  // and a human can inspect what went wrong.
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    std::filesystem::rename(path, path + ".quarantine", ec);
+    if (!ec) {
+      quarantined_counter().inc();
+      log::warn("load_checkpoint: quarantined corrupt '", path, "' (", primary_error, ")");
+    }
+  }
+
+  const std::string prev = path + ".prev";
+  try {
+    auto model = load_model_file(prev);
+    log::warn("load_checkpoint: recovered from previous snapshot '", prev, "'");
+    if (loaded_from != nullptr) *loaded_from = prev;
+    return model;
+  } catch (const std::exception& e) {
+    throw std::runtime_error("load_checkpoint: '" + path + "' failed (" + primary_error +
+                             ") and fallback '" + prev + "' failed (" + e.what() + ")");
+  }
 }
 
 }  // namespace ld::core

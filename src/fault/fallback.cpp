@@ -1,0 +1,39 @@
+#include "fault/fallback.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ld::fault {
+
+const char* to_string(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::kLive: return "live";
+    case DegradationLevel::kSnapshot: return "snapshot";
+    case DegradationLevel::kBaseline: return "baseline";
+  }
+  return "unknown";
+}
+
+bool all_finite(std::span<const double> values) noexcept {
+  for (const double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+std::vector<double> baseline_forecast(std::span<const double> history,
+                                      std::size_t horizon, double alpha) {
+  if (history.empty())
+    throw std::invalid_argument("baseline_forecast: history is empty");
+  if (!(alpha > 0.0) || alpha > 1.0)
+    throw std::invalid_argument("baseline_forecast: alpha must be in (0, 1]");
+  double level = history.front();
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const double v = history[i];
+    if (!std::isfinite(v)) continue;  // defensive: skip bad samples
+    level = alpha * v + (1.0 - alpha) * level;
+  }
+  if (!std::isfinite(level)) level = 0.0;
+  return std::vector<double>(horizon, level);
+}
+
+}  // namespace ld::fault

@@ -1,0 +1,31 @@
+// Graceful-degradation primitives for the serving layer's fallback chain:
+// current model -> last-known-good snapshot -> EWMA baseline (see
+// DESIGN.md §10). A degraded forecast is always finite; the level tells the
+// client (and the metrics) how much trust to place in it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ld::fault {
+
+enum class DegradationLevel {
+  kLive = 0,      ///< current published model answered with finite output
+  kSnapshot = 1,  ///< fell back to the last-known-good published snapshot
+  kBaseline = 2,  ///< fell back to the model-free EWMA baseline
+};
+
+[[nodiscard]] const char* to_string(DegradationLevel level) noexcept;
+
+/// True when every element is finite (no NaN / +-Inf).
+[[nodiscard]] bool all_finite(std::span<const double> values) noexcept;
+
+/// Last-resort flat forecast: the exponentially weighted moving average of
+/// `history` repeated `horizon` times. Throws std::invalid_argument on an
+/// empty history (nothing to average) or alpha outside (0, 1].
+[[nodiscard]] std::vector<double> baseline_forecast(std::span<const double> history,
+                                                    std::size_t horizon,
+                                                    double alpha = 0.3);
+
+}  // namespace ld::fault

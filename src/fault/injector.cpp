@@ -1,0 +1,221 @@
+#include "fault/injector.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "fault/watchdog.hpp"
+#include "obs/registry.hpp"
+
+namespace ld::fault {
+
+std::atomic<bool> Injector::g_enabled{false};
+
+namespace {
+
+/// FNV-1a, used only to derive an independent RNG stream per site name.
+std::uint64_t hash_name(const std::string& name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double parse_number(const std::string& value, const std::string& site,
+                    const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault spec: bad value '" + value + "' for " + site + ":" +
+                                key);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, SiteSpec> parse_fault_spec(const std::string& spec) {
+  std::map<std::string, SiteSpec> sites;
+  std::istringstream items(spec);
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    if (item.empty()) continue;
+    std::istringstream fields(item);
+    std::string site;
+    if (!std::getline(fields, site, ':') || site.empty())
+      throw std::invalid_argument("fault spec: empty site name in '" + item + "'");
+    SiteSpec s;
+    std::string field;
+    while (std::getline(fields, field, ':')) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos || eq == 0)
+        throw std::invalid_argument("fault spec: expected key=value, got '" + field +
+                                    "' for site '" + site + "'");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "p") {
+        s.probability = parse_number(value, site, key);
+        if (s.probability < 0.0 || s.probability > 1.0)
+          throw std::invalid_argument("fault spec: p must be in [0,1] for '" + site + "'");
+      } else if (key == "after") {
+        s.after = static_cast<std::uint64_t>(parse_number(value, site, key));
+      } else if (key == "n") {
+        s.max_fires = static_cast<std::uint64_t>(parse_number(value, site, key));
+      } else if (key == "ms") {
+        s.sleep_ms = parse_number(value, site, key);
+      } else if (key == "mode") {
+        if (value == "throw")
+          s.mode = SiteSpec::Mode::kThrow;
+        else if (value == "sleep")
+          s.mode = SiteSpec::Mode::kSleep;
+        else
+          throw std::invalid_argument("fault spec: unknown mode '" + value + "' for '" +
+                                      site + "' (use throw|sleep)");
+      } else {
+        throw std::invalid_argument("fault spec: unknown key '" + key + "' for '" + site +
+                                    "' (use p|after|n|mode|ms)");
+      }
+    }
+    sites[site] = s;
+  }
+  return sites;
+}
+
+Injector& Injector::instance() {
+  static Injector* injector = new Injector();  // leaked like MetricsRegistry
+  return *injector;
+}
+
+void Injector::configure(const std::string& spec, std::uint64_t seed) {
+  auto parsed = parse_fault_spec(spec);  // throws before any state changes
+  std::scoped_lock lock(mu_);
+  sites_.clear();
+  seed_ = seed;
+  for (auto& [name, site_spec] : parsed) {
+    Site site;
+    site.spec = site_spec;
+    site.rng = Rng(seed ^ hash_name(name));
+    site.injected =
+        &obs::MetricsRegistry::global().counter("ld_fault_injected_total", {{"site", name}});
+    sites_.emplace(name, std::move(site));
+  }
+  g_enabled.store(!sites_.empty(), std::memory_order_relaxed);
+  if (!sites_.empty())
+    log::info("fault: injection enabled (", sites_.size(), " sites, seed ", seed, ")");
+}
+
+void Injector::configure_from_env() {
+  const char* spec = std::getenv("LD_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::uint64_t seed = 42;
+  if (const char* seed_env = std::getenv("LD_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(seed_env, &end, 10);
+    if (end != seed_env && *end == '\0') seed = parsed;
+  }
+  configure(spec, seed);
+}
+
+void Injector::reset() {
+  std::scoped_lock lock(mu_);
+  sites_.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool Injector::fires(const char* site) {
+  if (!enabled()) return false;
+  obs::Counter* injected = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = sites_.find(std::string_view(site));
+    if (it == sites_.end()) return false;
+    Site& s = it->second;
+    ++s.passes;
+    if (s.passes <= s.spec.after) return false;
+    if (s.fires >= s.spec.max_fires) return false;
+    if (s.spec.probability < 1.0 && s.rng.uniform() >= s.spec.probability) return false;
+    ++s.fires;
+    injected = s.injected;
+  }
+  // Counter bump outside mu_ — the registry has its own synchronization.
+  if (injected != nullptr) injected->inc();
+  return true;
+}
+
+void Injector::check(const char* site) {
+  if (!fires(site)) return;
+  SiteSpec spec;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = sites_.find(std::string_view(site));
+    if (it == sites_.end()) return;
+    spec = it->second.spec;
+  }
+  if (spec.mode == SiteSpec::Mode::kSleep) {
+    log::debug("fault: '", site, "' sleeping ", spec.sleep_ms, " ms");
+    cancellable_sleep(spec.sleep_ms / 1000.0);
+    return;
+  }
+  log::debug("fault: '", site, "' throwing");
+  throw FaultInjectedError(site);
+}
+
+void Injector::delay(const char* site) {
+  if (!fires(site)) return;
+  double sleep_ms = 100.0;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = sites_.find(std::string_view(site));
+    if (it != sites_.end()) sleep_ms = it->second.spec.sleep_ms;
+  }
+  log::debug("fault: '", site, "' delaying ", sleep_ms, " ms");
+  cancellable_sleep(sleep_ms / 1000.0);
+}
+
+std::uint64_t Injector::fire_count(const std::string& site) const {
+  std::scoped_lock lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t Injector::pass_count(const std::string& site) const {
+  std::scoped_lock lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.passes;
+}
+
+std::uint64_t Injector::total_fires() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, site] : sites_) total += site.fires;
+  return total;
+}
+
+std::vector<std::string> Injector::site_names() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, _] : sites_) out.push_back(name);
+  return out;
+}
+
+std::string Injector::status() const {
+  std::scoped_lock lock(mu_);
+  if (sites_.empty()) return "off";
+  std::ostringstream out;
+  out << "seed=" << seed_;
+  for (const auto& [name, site] : sites_) {
+    out << ' ' << name << ":p=" << site.spec.probability
+        << (site.spec.mode == SiteSpec::Mode::kSleep ? ":mode=sleep" : "")
+        << ":passes=" << site.passes << ":fired=" << site.fires;
+  }
+  return out.str();
+}
+
+void init_from_env() { Injector::instance().configure_from_env(); }
+
+}  // namespace ld::fault

@@ -1,0 +1,137 @@
+// Deterministic fault injection for chaos-testing the serving stack.
+//
+//   LD_FAULT_POINT("checkpoint.write");   // throws / sleeps when the site fires
+//   if (LD_FAULT_FIRES("predict.nan")) corrupt_the_forecast();
+//   LD_FAULT_DELAY("pool.task");          // sleep-only (never unwinds the pool)
+//
+// Sites are configured by name at runtime — programmatically via
+// Injector::configure(), from the environment (LD_FAULTS / LD_FAULT_SEED via
+// init_from_env()), or over the serve protocol (FAULTS <spec>):
+//
+//   LD_FAULTS="checkpoint.write:p=0.3,retrain.hang:after=5:mode=sleep:ms=2000"
+//
+// Per-site keys: p= fire probability per pass (default 1), after= passes
+// skipped before the site can fire, n= max fires, mode=throw|sleep, ms=
+// sleep duration for mode=sleep. Every site draws from its own RNG stream
+// derived from one seed, so a given seed reproduces each site's fire
+// sequence (by pass index) regardless of how threads interleave across
+// sites. Fires are counted in ld_fault_injected_total{site=...}.
+//
+// Disabled cost: each macro is a single relaxed atomic load (mirroring
+// obs::Tracer) — no lookup, no lock, no allocation. The injector is off
+// unless at least one site is configured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ld::obs {
+class Counter;
+}
+
+namespace ld::fault {
+
+/// Thrown by LD_FAULT_POINT when a mode=throw site fires.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : std::runtime_error("fault injected at '" + site + "'"), site_(site) {}
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct SiteSpec {
+  enum class Mode { kThrow, kSleep };
+  double probability = 1.0;        ///< p= fire chance per eligible pass
+  std::uint64_t after = 0;         ///< after= passes skipped before firing
+  std::uint64_t max_fires = ~0ULL; ///< n= cap on total fires
+  Mode mode = Mode::kThrow;        ///< mode= what LD_FAULT_POINT does on fire
+  double sleep_ms = 100.0;         ///< ms= sleep duration for mode=sleep
+};
+
+/// Parse an LD_FAULTS-style spec ("site:k=v:k=v,site2:k=v"). Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] std::map<std::string, SiteSpec> parse_fault_spec(const std::string& spec);
+
+class Injector {
+ public:
+  /// Process-wide injector (intentionally leaked, like obs::MetricsRegistry).
+  [[nodiscard]] static Injector& instance();
+
+  [[nodiscard]] static bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Replace the active configuration (and reset all pass/fire counts).
+  /// An empty spec disables injection entirely. Throws on a malformed spec.
+  void configure(const std::string& spec, std::uint64_t seed = 42);
+  /// configure() from LD_FAULTS / LD_FAULT_SEED; no-op when LD_FAULTS is
+  /// unset or empty. Throws on a malformed value.
+  void configure_from_env();
+  /// Disable injection and forget every site.
+  void reset();
+
+  /// Core decision: count a pass through `site` and report whether it fires
+  /// this time. Unknown sites never fire. Safe from any thread.
+  [[nodiscard]] bool fires(const char* site);
+  /// fires() + act: mode=throw raises FaultInjectedError, mode=sleep blocks
+  /// for ms (cancellable — see watchdog.hpp).
+  void check(const char* site);
+  /// fires() + sleep regardless of mode. For sites that must never unwind
+  /// (e.g. inside a pool worker, where a throw would break task futures).
+  void delay(const char* site);
+
+  [[nodiscard]] std::uint64_t fire_count(const std::string& site) const;
+  [[nodiscard]] std::uint64_t pass_count(const std::string& site) const;
+  [[nodiscard]] std::uint64_t total_fires() const;
+  [[nodiscard]] std::vector<std::string> site_names() const;
+  /// One-line human-readable summary for FAULTS STATUS / logs.
+  [[nodiscard]] std::string status() const;
+
+ private:
+  Injector() = default;
+
+  struct Site {
+    SiteSpec spec;
+    Rng rng{0};
+    std::uint64_t passes = 0;
+    std::uint64_t fires = 0;
+    obs::Counter* injected = nullptr;  ///< ld_fault_injected_total{site=}
+  };
+
+  static std::atomic<bool> g_enabled;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::uint64_t seed_ = 0;
+};
+
+/// Convenience entry point for binaries: wire up LD_FAULTS / LD_FAULT_SEED
+/// (mirrors log::init_from_env / obs::TraceSession).
+void init_from_env();
+
+}  // namespace ld::fault
+
+#define LD_FAULT_POINT(site)                              \
+  do {                                                    \
+    if (::ld::fault::Injector::enabled())                 \
+      ::ld::fault::Injector::instance().check(site);      \
+  } while (0)
+
+#define LD_FAULT_FIRES(site) \
+  (::ld::fault::Injector::enabled() && ::ld::fault::Injector::instance().fires(site))
+
+#define LD_FAULT_DELAY(site)                              \
+  do {                                                    \
+    if (::ld::fault::Injector::enabled())                 \
+      ::ld::fault::Injector::instance().delay(site);      \
+  } while (0)

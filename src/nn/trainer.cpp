@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -75,6 +76,8 @@ TrainResult train(LstmNetwork& network, const SlidingWindowDataset& train,
   }
 
   for (std::size_t epoch = 0; epoch < epoch_budget; ++epoch) {
+    if (fault::cancellation_requested())
+      throw fault::CancelledError("train: cancelled at epoch " + std::to_string(epoch));
     LD_TRACE_SPAN("train.epoch");
     const Stopwatch epoch_clock;
     bool early_stop = false;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/stopwatch.hpp"
+#include "fault/injector.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -45,6 +46,7 @@ const CommandInfo& command_info(const std::string& verb) {
     add("STATS", "stats", "serve.cmd.stats");
     add("WORKLOADS", "workloads", "serve.cmd.workloads");
     add("METRICS", "metrics", "serve.cmd.metrics");
+    add("FAULTS", "faults", "serve.cmd.faults");
     add("QUIT", "quit", "serve.cmd.quit");
     add("", "other", "serve.cmd.other");
     return t;
@@ -84,12 +86,17 @@ std::size_t parse_count(const std::string& token, const char* what) {
 }
 
 void write_forecast(std::ostream& out, const std::string& workload,
-                    const std::vector<double>& forecast) {
+                    const std::vector<double>& forecast,
+                    fault::DegradationLevel level = fault::DegradationLevel::kLive) {
   // max_digits10 keeps round-trips through the text protocol lossless, so a
   // restarted server is verifiably bit-identical from the client side too.
   const auto precision = out.precision(std::numeric_limits<double>::max_digits10);
   out << "PRED " << workload;
   for (const double v : forecast) out << ' ' << v;
+  // A live answer keeps the historical line shape; the suffix only appears
+  // when the fallback chain had to step in.
+  if (level != fault::DegradationLevel::kLive)
+    out << " degraded=" << fault::to_string(level);
   out << '\n';
   out.precision(precision);
 }
@@ -136,7 +143,8 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
     } else if (verb == "PREDICT") {
       const std::string name = next_token(is, "workload");
       const std::size_t horizon = parse_count(next_token(is, "horizon"), "horizon");
-      write_forecast(out, name, service_.predict(name, horizon));
+      const PredictResult result = service_.predict_detailed(name, horizon);
+      write_forecast(out, name, result.forecast, result.level);
     } else if (verb == "BATCH") {
       const std::size_t horizon = parse_count(next_token(is, "horizon"), "horizon");
       std::vector<PredictRequest> requests;
@@ -146,7 +154,8 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
       const std::vector<PredictResponse> responses = service_.predict_batch(requests);
       for (std::size_t i = 0; i < responses.size(); ++i) {
         if (responses[i].error.empty())
-          write_forecast(out, requests[i].workload, responses[i].forecast);
+          write_forecast(out, requests[i].workload, responses[i].forecast,
+                         responses[i].level);
         else
           out << "ERR " << requests[i].workload << ": " << responses[i].error << '\n';
       }
@@ -164,10 +173,17 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
     } else if (verb == "STATS") {
       const std::string name = next_token(is, "workload");
       const WorkloadStats s = service_.stats(name);
+      // New fields go at the END of the line: clients (and our own tests)
+      // prefix-match it.
       out << "STATS " << name << " version=" << s.version << " observed=" << s.observations
           << " predictions=" << s.predictions << " retrains=" << s.retrains
           << " history=" << s.history_size << " baseline_mape=" << s.baseline_mape
-          << " retrain_pending=" << (s.retrain_pending ? 1 : 0) << '\n';
+          << " retrain_pending=" << (s.retrain_pending ? 1 : 0)
+          << " rejected=" << s.rejected << " degraded=" << s.degraded
+          << " retrain_failures=" << s.retrain_failures
+          << " retrain_retries=" << s.retrain_retries
+          << " retrain_timeouts=" << s.retrain_timeouts
+          << " degradation=" << fault::to_string(s.last_level) << '\n';
     } else if (verb == "WORKLOADS") {
       out << "WORKLOADS";
       for (const std::string& name : service_.workload_names()) out << ' ' << name;
@@ -180,6 +196,25 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
         out << "METRICS " << obs::MetricsRegistry::global().json() << '\n';
       } else {
         out << obs::MetricsRegistry::global().prometheus_text() << "OK metrics\n";
+      }
+    } else if (verb == "FAULTS") {
+      // FAULTS STATUS | FAULTS OFF | FAULTS <spec> [seed] — runtime control
+      // of the fault injector (chaos drills against a live server).
+      std::string arg;
+      if (!(is >> arg)) arg = "STATUS";
+      const std::string mode = upper(arg);
+      if (mode == "STATUS") {
+        out << "FAULTS " << fault::Injector::instance().status() << '\n';
+      } else if (mode == "OFF") {
+        fault::Injector::instance().reset();
+        out << "OK faults off\n";
+      } else {
+        std::uint64_t seed = 42;
+        std::string seed_token;
+        if (is >> seed_token)
+          seed = static_cast<std::uint64_t>(parse_count(seed_token, "seed"));
+        fault::Injector::instance().configure(arg, seed);
+        out << "OK " << fault::Injector::instance().status() << '\n';
       }
     } else {
       out << "ERR unknown command '" << verb << "'\n";

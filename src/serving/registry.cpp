@@ -4,7 +4,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/log.hpp"
+#include "obs/registry.hpp"
+
 namespace ld::serving {
+
+namespace {
+obs::Counter& drop_errors_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("ld_registry_drop_errors_total");
+  return counter;
+}
+}  // namespace
+
+std::function<void()> PublishedModel::destroy_hook_for_test;
 
 PublishedModel::PublishedModel(const core::TrainedModel& model, std::uint64_t version,
                                std::size_t replicas)
@@ -17,6 +30,27 @@ PublishedModel::PublishedModel(const core::TrainedModel& model, std::uint64_t ve
     replica->model = core::TrainedModel::restore(*snapshot_);
     replicas_.push_back(std::move(replica));
   }
+}
+
+PublishedModel::~PublishedModel() noexcept(false) {
+  if (destroy_hook_for_test) destroy_hook_for_test();
+}
+
+std::shared_ptr<const PublishedModel> PublishedModel::make(const core::TrainedModel& model,
+                                                           std::uint64_t version,
+                                                           std::size_t replicas) {
+  return std::shared_ptr<const PublishedModel>(
+      new PublishedModel(model, version, replicas), [](const PublishedModel* p) {
+        try {
+          delete p;
+        } catch (const std::exception& e) {
+          drop_errors_counter().inc();
+          log::warn("registry: model v-drop destructor threw (swallowed): ", e.what());
+        } catch (...) {
+          drop_errors_counter().inc();
+          log::warn("registry: model v-drop destructor threw (swallowed): unknown");
+        }
+      });
 }
 
 template <typename F>
@@ -55,10 +89,19 @@ std::shared_ptr<const PublishedModel> ModelRegistry::current(const std::string& 
 void ModelRegistry::publish(const std::string& name,
                             std::shared_ptr<const PublishedModel> model) {
   if (!model) throw std::invalid_argument("ModelRegistry::publish: null model");
-  std::scoped_lock lock(write_mu_);
-  auto next = std::make_shared<Map>(*map_.load(std::memory_order_acquire));
-  (*next)[name] = std::move(model);
-  map_.store(std::shared_ptr<const Map>(std::move(next)), std::memory_order_release);
+  std::shared_ptr<const Map> old;
+  {
+    std::scoped_lock lock(write_mu_);
+    auto next = std::make_shared<Map>(*map_.load(std::memory_order_acquire));
+    (*next)[name] = std::move(model);
+    old = map_.exchange(std::shared_ptr<const Map>(std::move(next)),
+                        std::memory_order_acq_rel);
+  }
+  // The displaced model version (when no reader still holds it) is dropped
+  // here, outside write_mu_; models built via make() guard a throwing
+  // destructor in their deleter, so a bad teardown costs a counter bump,
+  // not the process.
+  old.reset();
 }
 
 std::vector<std::string> ModelRegistry::names() const {

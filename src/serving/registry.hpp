@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,8 +36,24 @@ class PublishedModel {
   PublishedModel(const core::TrainedModel& model, std::uint64_t version,
                  std::size_t replicas);
 
+  /// Destruction runs arbitrary model/replica teardown; declared throwing so
+  /// the make() deleter guard below is meaningful (and testable).
+  ~PublishedModel() noexcept(false);
+
   PublishedModel(const PublishedModel&) = delete;
   PublishedModel& operator=(const PublishedModel&) = delete;
+
+  /// Preferred factory: the returned shared_ptr carries a deleter that
+  /// swallows (logs + counts in ld_registry_drop_errors_total) anything the
+  /// destructor throws. Without it, a throwing teardown of a replica dropped
+  /// mid-swap would propagate through shared_ptr::reset() / the registry
+  /// map's noexcept destructor and terminate the process.
+  [[nodiscard]] static std::shared_ptr<const PublishedModel> make(
+      const core::TrainedModel& model, std::uint64_t version, std::size_t replicas);
+
+  /// Test-only: invoked at the top of the destructor when set, so fault
+  /// tests can simulate a throwing teardown. Not used in production.
+  static std::function<void()> destroy_hook_for_test;
 
   /// Forecast through an idle replica (round-robin + try_lock, falling back
   /// to a blocking lock when every replica is busy). Safe to call from any

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
 
+#include "common/csv.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "core/serialization.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 
 namespace ld::serving {
@@ -45,9 +49,15 @@ PredictionService::Workload::Workload(const core::DriftConfig& drift,
   obs.observations = &reg.counter("ld_serving_observations_total", labels);
   obs.drift = &reg.counter("ld_serving_drift_total", labels);
   obs.retrains = &reg.counter("ld_serving_retrains_total", labels);
+  obs.rejected = &reg.counter("ld_rejected_samples_total", labels);
+  obs.degraded = &reg.counter("ld_degraded_predictions_total", labels);
+  obs.retrain_failures = &reg.counter("ld_serving_retrain_failures_total", labels);
+  obs.retrain_retries = &reg.counter("ld_serving_retrain_retries_total", labels);
+  obs.retrain_timeouts = &reg.counter("ld_serving_retrain_timeouts_total", labels);
 }
 
-PredictionService::PredictionService(ServiceConfig config) : config_(std::move(config)) {
+PredictionService::PredictionService(ServiceConfig config)
+    : config_(std::move(config)), backoff_rng_(config_.adaptive.base.seed + 0xbac0ff) {
   if (config_.max_history < 16)
     throw std::invalid_argument("serving: max_history must be >= 16");
   if (!config_.checkpoint_dir.empty())
@@ -94,12 +104,20 @@ bool PredictionService::add_workload(const std::string& name) {
   if (registry_.current(name)) return true;
   if (!config_.checkpoint_dir.empty()) {
     const std::string path = checkpoint_path(name);
-    if (std::filesystem::exists(path)) {
-      const auto model = core::load_model_file(path);
-      // Restored from our own checkpoint — don't immediately rewrite it.
-      publish_model(name, *model, /*count_retrain=*/false, /*write_checkpoint=*/false);
-      log::info("serving: warm-started '", name, "' from ", path);
-      return true;
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec) || std::filesystem::exists(path + ".prev", ec)) {
+      try {
+        std::string loaded_from;
+        const auto model = core::load_checkpoint(path, &loaded_from);
+        // Restored from our own checkpoint — don't immediately rewrite it.
+        publish_model(name, *model, /*count_retrain=*/false, /*write_checkpoint=*/false);
+        log::info("serving: warm-started '", name, "' from ", loaded_from);
+        return true;
+      } catch (const std::exception& e) {
+        // A cold start beats refusing to serve: the workload still registers
+        // and can train from scratch.
+        log::warn("serving: warm start of '", name, "' failed: ", e.what());
+      }
     }
   }
   return false;
@@ -127,8 +145,15 @@ void PredictionService::publish_model(const std::string& name,
     std::scoped_lock lock(w.mu);
     version = ++w.version;
   }
-  auto published = std::make_shared<const PublishedModel>(model, version, config_.replicas);
+  auto published = PublishedModel::make(model, version, config_.replicas);
+  const std::shared_ptr<const PublishedModel> previous = registry_.current(name);
   registry_.publish(name, published);
+  if (previous) {
+    // The displaced version becomes the fallback snapshot: it served fine
+    // until a moment ago, which is more than the new version can claim.
+    std::scoped_lock lock(w.mu);
+    w.last_good = previous;
+  }
 
   if (write_checkpoint && !config_.checkpoint_dir.empty()) {
     try {
@@ -156,12 +181,28 @@ void PredictionService::observe_many(const std::string& name,
                                      std::span<const double> values) {
   if (values.empty()) return;
   Workload& w = ensure_workload(name);
-  w.obs.observations->inc(values.size());
+  // A single NaN in the history poisons every later forecast, so bad
+  // samples are rejected at the door (counted, never ingested).
+  csv::SanitizeStats rejected;
+  const std::vector<double> clean =
+      csv::sanitize_loads(std::vector<double>(values.begin(), values.end()), &rejected);
+  if (rejected.total() > 0) {
+    w.obs.rejected->inc(rejected.total());
+    {
+      std::scoped_lock lock(w.mu);
+      w.rejected += rejected.total();
+    }
+    log::warn("serving: rejected ", rejected.total(), " bad samples for '", name,
+              "' (nan=", rejected.rejected_nan, " inf=", rejected.rejected_inf,
+              " negative=", rejected.rejected_negative, ")");
+  }
+  if (clean.empty()) return;
+  w.obs.observations->inc(clean.size());
   bool queue_retrain = false;
   {
     std::scoped_lock lock(w.mu);
-    w.history.insert(w.history.end(), values.begin(), values.end());
-    w.observations += values.size();
+    w.history.insert(w.history.end(), clean.begin(), clean.end());
+    w.observations += clean.size();
     // Trim in chunks so steady-state ingestion stays amortized O(1).
     if (w.history.size() > config_.max_history + config_.max_history / 4)
       w.history.erase(w.history.begin(),
@@ -186,6 +227,11 @@ void PredictionService::observe_many(const std::string& name,
 
 std::vector<double> PredictionService::predict(const std::string& name,
                                                std::size_t horizon) {
+  return predict_detailed(name, horizon).forecast;
+}
+
+PredictResult PredictionService::predict_detailed(const std::string& name,
+                                                  std::size_t horizon) {
   if (horizon == 0) throw std::invalid_argument("serving: horizon must be >= 1");
   LD_TRACE_SPAN("serve.predict");
   const Stopwatch clock;
@@ -195,26 +241,69 @@ std::vector<double> PredictionService::predict(const std::string& name,
 
   std::vector<double> history;
   std::size_t now = 0;
+  std::shared_ptr<const PublishedModel> last_good;
   {
     std::scoped_lock lock(w.mu);
     history = w.history;
     now = w.observations;
+    last_good = w.last_good;
   }
   if (history.empty())
     throw std::runtime_error("serving: no observations for '" + name + "' yet");
 
-  std::vector<double> forecast = model->predict_horizon(history, horizon);
+  const auto usable = [](const std::vector<double>& f) {
+    return !f.empty() && fault::all_finite(f);
+  };
+
+  // Fallback chain: current model -> last-known-good snapshot -> baseline.
+  PredictResult result;
+  result.version = model->version();
+  try {
+    result.forecast = model->predict_horizon(history, horizon);
+  } catch (const std::exception& e) {
+    log::warn("serving: live predict for '", name, "' threw: ", e.what());
+    result.forecast.clear();
+  }
+  if (LD_FAULT_FIRES("predict.nan"))
+    result.forecast.assign(horizon, std::numeric_limits<double>::quiet_NaN());
+  if (!usable(result.forecast)) {
+    result.level = fault::DegradationLevel::kSnapshot;
+    result.forecast.clear();
+    if (last_good) {
+      try {
+        std::vector<double> fallback = last_good->predict_horizon(history, horizon);
+        if (usable(fallback)) {
+          result.forecast = std::move(fallback);
+          result.version = last_good->version();
+        }
+      } catch (const std::exception& e) {
+        log::warn("serving: snapshot fallback for '", name, "' threw: ", e.what());
+      }
+    }
+  }
+  if (!usable(result.forecast)) {
+    result.level = fault::DegradationLevel::kBaseline;
+    result.version = 0;
+    result.forecast = fault::baseline_forecast(history, horizon, config_.baseline_ewma_alpha);
+  }
 
   {
     std::scoped_lock lock(w.mu);
     ++w.predictions;
     // The first element is the one-step forecast of the next actual; the
     // drift monitor scores it once that actual is observed.
-    w.monitor.record(now, forecast.front());
+    w.monitor.record(now, result.forecast.front());
+    w.last_level = result.level;
+    if (result.level != fault::DegradationLevel::kLive) ++w.degraded;
+  }
+  if (result.level != fault::DegradationLevel::kLive) {
+    w.obs.degraded->inc();
+    log::warn("serving: '", name, "' answered degraded (", fault::to_string(result.level),
+              ")");
   }
   w.obs.predictions->inc();
   w.obs.predict_latency->observe(clock.seconds());
-  return forecast;
+  return result;
 }
 
 std::vector<PredictResponse> PredictionService::predict_batch(
@@ -222,7 +311,9 @@ std::vector<PredictResponse> PredictionService::predict_batch(
   std::vector<PredictResponse> out(requests.size());
   ThreadPool::global().parallel_for(0, requests.size(), [&](std::size_t i) {
     try {
-      out[i].forecast = predict(requests[i].workload, requests[i].horizon);
+      PredictResult result = predict_detailed(requests[i].workload, requests[i].horizon);
+      out[i].forecast = std::move(result.forecast);
+      out[i].level = result.level;
     } catch (const std::exception& e) {
       out[i].error = e.what();
     }
@@ -287,24 +378,93 @@ void PredictionService::run_retrain(const std::string& name) {
   LD_TRACE_SPAN("serve.retrain");
   Workload& w = workload(name);
   const Stopwatch clock;
-  std::vector<double> history;
   std::size_t retrain_index = 0;
+  auto history = std::make_shared<std::vector<double>>();
   {
     std::scoped_lock lock(w.mu);
-    history = w.history;
+    *history = w.history;
     retrain_index = w.retrains;
   }
   const std::shared_ptr<const PublishedModel> incumbent = registry_.current(name);
 
   std::shared_ptr<core::TrainedModel> model;
   if (incumbent) {
-    try {
-      // The expensive part: runs with no service lock held, so predictions
-      // and ingestion proceed untouched on the incumbent snapshot.
-      model = core::warm_retrain(history, incumbent->hyperparameters(), config_.adaptive,
-                                 retrain_index);
-    } catch (const std::exception& e) {
-      log::warn("serving: warm retrain of '", name, "' skipped: ", e.what());
+    // Attempt closures are self-contained (no service state) so a timed-out
+    // attempt orphaned by the supervisor can finish — or keep hanging —
+    // without touching anything the service might mutate or destroy.
+    const auto hp = std::make_shared<const core::Hyperparameters>(incumbent->hyperparameters());
+    const auto adaptive = std::make_shared<const core::AdaptiveConfig>(config_.adaptive);
+    const fault::RetryPolicy& policy = config_.retrain_retry;
+    const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        w.obs.retrain_retries->inc();
+        {
+          std::scoped_lock lock(w.mu);
+          ++w.retrain_retries;
+        }
+        const double wait = fault::backoff_seconds(policy, attempt - 1, backoff_rng_);
+        log::info("serving: retrain of '", name, "' retry ", attempt, " in ", wait, "s");
+        fault::cancellable_sleep(wait);
+      }
+      auto slot = std::make_shared<std::shared_ptr<core::TrainedModel>>();
+      const auto attempt_fn = [slot, history, hp, adaptive, retrain_index, attempt] {
+        LD_FAULT_POINT("retrain.hang");
+        LD_FAULT_POINT("retrain.fail");
+        // The expensive part: runs with no service lock held, so predictions
+        // and ingestion proceed untouched on the incumbent snapshot.
+        // `+ attempt` gives a retry fresh candidate probes (attempt 0 keeps
+        // the historical seeding).
+        *slot = core::warm_retrain(*history, *hp, *adaptive, retrain_index + attempt);
+      };
+      std::string error;
+      bool permanent = false;
+      const fault::TaskStatus status =
+          supervisor_.run(attempt_fn, config_.retrain_timeout_seconds, &error, &permanent);
+      if (status == fault::TaskStatus::kCompleted) {
+        std::shared_ptr<core::TrainedModel> candidate = *slot;
+        if (!candidate) {
+          // No candidate converged: the historical quiet outcome, not a
+          // fault — the incumbent simply stays. Don't burn retries on it.
+          log::warn("serving: warm retrain of '", name, "' produced no model");
+          break;
+        }
+        bool valid = true;
+        if (LD_FAULT_FIRES("retrain.nan")) {
+          error = "injected non-finite weights";
+          valid = false;
+        }
+        if (valid) {
+          const core::ModelSnapshot snap = candidate->snapshot();
+          if (!fault::all_finite(snap.weights) || !std::isfinite(snap.validation_mape)) {
+            error = "model has non-finite weights or validation MAPE";
+            valid = false;
+          }
+        }
+        if (valid) {
+          model = std::move(candidate);
+          break;
+        }
+      } else if (status == fault::TaskStatus::kTimedOut) {
+        w.obs.retrain_timeouts->inc();
+        {
+          std::scoped_lock lock(w.mu);
+          ++w.retrain_timeouts;
+        }
+        error = "cancelled by watchdog after " +
+                std::to_string(config_.retrain_timeout_seconds) + "s";
+      }
+      w.obs.retrain_failures->inc();
+      {
+        std::scoped_lock lock(w.mu);
+        ++w.retrain_failures;
+      }
+      log::warn("serving: retrain attempt ", attempt + 1, "/", max_attempts, " for '", name,
+                "' failed: ", error);
+      if (permanent) {
+        log::warn("serving: retrain of '", name, "' skipped: ", error);
+        break;
+      }
     }
   }
   if (model) publish_model(name, *model, /*count_retrain=*/true, /*write_checkpoint=*/true);
@@ -329,7 +489,13 @@ WorkloadStats PredictionService::stats(const std::string& name) const {
           .retrains = w.retrains,
           .history_size = w.history.size(),
           .baseline_mape = w.baseline_mape,
-          .retrain_pending = w.retrain_pending};
+          .retrain_pending = w.retrain_pending,
+          .rejected = w.rejected,
+          .degraded = w.degraded,
+          .retrain_failures = w.retrain_failures,
+          .retrain_retries = w.retrain_retries,
+          .retrain_timeouts = w.retrain_timeouts,
+          .last_level = w.last_level};
 }
 
 std::vector<std::string> PredictionService::workload_names() const {

@@ -25,7 +25,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/adaptive.hpp"
+#include "fault/fallback.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/registry.hpp"
 #include "serving/registry.hpp"
 
@@ -47,6 +50,18 @@ struct ServiceConfig {
   /// Automatically queue a background retrain when a workload drifts. Manual
   /// request_retrain() works regardless.
   bool background_retrain = true;
+  /// Watchdog deadline for one background retrain attempt. <= 0 (the
+  /// default) runs attempts unsupervised on the worker thread — the pre-PR-4
+  /// behavior. > 0 runs each attempt on a helper thread, cancelling (and, if
+  /// it won't yield, orphaning) attempts that exceed the deadline while the
+  /// old model keeps serving.
+  double retrain_timeout_seconds = 0.0;
+  /// Retry/backoff schedule for failed or timed-out retrain attempts
+  /// (jittered deterministically from adaptive.base.seed).
+  fault::RetryPolicy retrain_retry;
+  /// EWMA smoothing for the last-resort baseline forecast (fallback chain
+  /// level 2; see DESIGN.md §10).
+  double baseline_ewma_alpha = 0.3;
 };
 
 struct WorkloadStats {
@@ -57,6 +72,12 @@ struct WorkloadStats {
   std::size_t history_size = 0;
   double baseline_mape = 0.0;
   bool retrain_pending = false;
+  std::size_t rejected = 0;           ///< non-finite/negative samples dropped
+  std::size_t degraded = 0;           ///< predictions answered below kLive
+  std::size_t retrain_failures = 0;   ///< failed/timed-out retrain attempts
+  std::size_t retrain_retries = 0;    ///< attempts beyond the first
+  std::size_t retrain_timeouts = 0;   ///< attempts cancelled by the watchdog
+  fault::DegradationLevel last_level = fault::DegradationLevel::kLive;
 };
 
 struct PredictRequest {
@@ -67,6 +88,14 @@ struct PredictRequest {
 struct PredictResponse {
   std::vector<double> forecast;  ///< empty on error
   std::string error;             ///< empty on success
+  fault::DegradationLevel level = fault::DegradationLevel::kLive;
+};
+
+/// predict_detailed(): the forecast plus how it was produced.
+struct PredictResult {
+  std::vector<double> forecast;
+  fault::DegradationLevel level = fault::DegradationLevel::kLive;
+  std::uint64_t version = 0;  ///< model version that answered (0 = baseline)
 };
 
 class PredictionService {
@@ -98,6 +127,13 @@ class PredictionService {
   /// Forecast the next `horizon` intervals from the current snapshot.
   /// Throws std::runtime_error when no model is published for `name`.
   [[nodiscard]] std::vector<double> predict(const std::string& name, std::size_t horizon);
+
+  /// predict() + the degradation level that produced the forecast. The
+  /// fallback chain (current model -> last-known-good snapshot -> EWMA
+  /// baseline) guarantees a finite forecast whenever a model was ever
+  /// published and at least one observation exists; only those two
+  /// preconditions still throw.
+  [[nodiscard]] PredictResult predict_detailed(const std::string& name, std::size_t horizon);
 
   /// Micro-batch: fan the requests out over the shared ThreadPool, one slot
   /// per request. Per-request failures are reported in-slot, never thrown.
@@ -134,6 +170,11 @@ class PredictionService {
     obs::Counter* observations = nullptr;
     obs::Counter* drift = nullptr;
     obs::Counter* retrains = nullptr;
+    obs::Counter* rejected = nullptr;          ///< ld_rejected_samples_total
+    obs::Counter* degraded = nullptr;          ///< ld_degraded_predictions_total
+    obs::Counter* retrain_failures = nullptr;  ///< ld_serving_retrain_failures_total
+    obs::Counter* retrain_retries = nullptr;   ///< ld_serving_retrain_retries_total
+    obs::Counter* retrain_timeouts = nullptr;  ///< ld_serving_retrain_timeouts_total
   };
 
   struct Workload {
@@ -148,6 +189,15 @@ class PredictionService {
     std::size_t last_fit_step = 0;   ///< absolute step of the last publish
     core::DriftMonitor monitor;
     bool retrain_pending = false;
+    /// The previously published version — the fallback when the current
+    /// model misbehaves (see predict_detailed). Updated on every publish.
+    std::shared_ptr<const PublishedModel> last_good;
+    std::size_t rejected = 0;
+    std::size_t degraded = 0;
+    std::size_t retrain_failures = 0;
+    std::size_t retrain_retries = 0;
+    std::size_t retrain_timeouts = 0;
+    fault::DegradationLevel last_level = fault::DegradationLevel::kLive;
     Instruments obs;  ///< lock-free; safe to touch without holding mu
   };
 
@@ -175,6 +225,12 @@ class PredictionService {
   bool worker_busy_ = false;
   bool stop_ = false;
   std::thread worker_;
+
+  Rng backoff_rng_;  ///< jitters retry backoff; touched only by the worker
+  /// Deadline supervision for retrain attempts. Last member: destroyed
+  /// first, joining any orphaned attempt before the rest of the service
+  /// tears down (attempt closures are self-contained regardless).
+  fault::Supervisor supervisor_;
 };
 
 }  // namespace ld::serving

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "common/csv.hpp"
+#include "common/log.hpp"
+#include "fault/injector.hpp"
+#include "obs/registry.hpp"
 #include "timeseries/stats.hpp"
 
 namespace ld::workloads {
@@ -105,6 +109,18 @@ Trace load_csv_trace(const std::string& path, const std::string& name,
   // Use the last column (files may carry a timestamp first).
   const std::size_t col = table.rows.front().size() - 1;
   trace.jars = csv::numeric_column(table, col);
+  if (LD_FAULT_FIRES("csv.ingest") && !trace.jars.empty())
+    trace.jars[trace.jars.size() / 2] = std::numeric_limits<double>::quiet_NaN();
+  csv::SanitizeStats rejected;
+  trace.jars = csv::sanitize_loads(trace.jars, &rejected);
+  if (rejected.total() > 0) {
+    obs::MetricsRegistry::global()
+        .counter("ld_rejected_samples_total", {{"workload", name}})
+        .inc(rejected.total());
+    log::warn("load_csv_trace: dropped ", rejected.total(), " bad samples from '", path,
+              "' (nan=", rejected.rejected_nan, " inf=", rejected.rejected_inf,
+              " negative=", rejected.rejected_negative, ")");
+  }
   validate_trace(trace);
   return trace;
 }

@@ -1,14 +1,16 @@
 // Model persistence: lossless round-trip, format validation, corruption
-// handling.
+// handling (torn writes, bit flips, quarantine + previous-good fallback).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <numbers>
 #include <sstream>
 
 #include "core/serialization.hpp"
+#include "fault/injector.hpp"
 
 namespace {
 
@@ -124,6 +126,139 @@ TEST(Serialization, RestoreRejectsWeightSizeMismatch) {
   ModelSnapshot snap = model->snapshot();
   snap.weights.pop_back();
   EXPECT_THROW((void)TrainedModel::restore(snap), std::invalid_argument);
+}
+
+TEST(Serialization, SavedFileCarriesCrcFooter) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("\ncrc32 "), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Serialization, TornWriteFailsWithCrcErrorAtEveryEighth) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  const std::string text = stream.str();
+  // A torn write can stop at any byte; probe every 1/8 boundary. Every cut
+  // must fail cleanly, mentioning the crc (missing or mismatched footer) —
+  // never parse garbage, never read past the buffer.
+  for (std::size_t i = 1; i < 8; ++i) {
+    const std::size_t cut = text.size() * i / 8;
+    std::stringstream torn(text.substr(0, cut));
+    try {
+      (void)load_model(torn);
+      FAIL() << "torn write at " << cut << "/" << text.size() << " bytes loaded";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("crc"), std::string::npos)
+          << "cut at " << cut << " raised a non-crc error: " << e.what();
+    }
+  }
+}
+
+TEST(Serialization, BitFlipFailsWithCrcMismatch) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  std::string text = stream.str();
+  // Flip one bit in the middle of the weight block.
+  text[text.size() / 2] = static_cast<char>(text[text.size() / 2] ^ 0x08);
+  std::stringstream corrupt(text);
+  try {
+    (void)load_model(corrupt);
+    FAIL() << "bit-flipped file loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("crc32 mismatch"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Serialization, LegacyV1WithoutFooterStillLoads) {
+  const auto model = make_model();
+  std::stringstream stream;
+  save_model(*model, stream);
+  std::string text = stream.str();
+  // Reconstruct what a pre-footer (version 1) file looked like.
+  const std::size_t footer = text.rfind("\ncrc32 ");
+  ASSERT_NE(footer, std::string::npos);
+  text.resize(footer + 1);
+  const std::size_t version = text.find(" 2\n");
+  ASSERT_NE(version, std::string::npos);
+  text.replace(version, 3, " 1\n");
+  std::stringstream legacy(text);
+  const auto restored = load_model(legacy);
+  const auto series = seasonal_series(100, 16.0);
+  EXPECT_EQ(model->predict_next(series), restored->predict_next(series));
+}
+
+TEST(Serialization, SaveKeepsPreviousGoodSnapshot) {
+  const auto model = make_model();
+  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_prev_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "m.ldm").string();
+  save_model_file(*model, path);
+  save_model_file(*model, path);  // second save displaces the first to .prev
+  EXPECT_TRUE(std::filesystem::exists(path + ".prev"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto series = seasonal_series(100, 16.0);
+  EXPECT_EQ(load_model_file(path + ".prev")->predict_next(series),
+            model->predict_next(series));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialization, InjectedWriteFaultLeavesExistingCheckpointIntact) {
+  const auto model = make_model();
+  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_fault_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "m.ldm").string();
+  save_model_file(*model, path);
+
+  ld::fault::Injector::instance().configure("checkpoint.write:p=1", 7);
+  EXPECT_THROW(save_model_file(*model, path), ld::fault::FaultInjectedError);
+  ld::fault::Injector::instance().reset();
+
+  // The failed save must not have torn the existing checkpoint or leaked
+  // its temp file.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto series = seasonal_series(100, 16.0);
+  EXPECT_EQ(load_model_file(path)->predict_next(series), model->predict_next(series));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialization, LoadCheckpointQuarantinesCorruptAndFallsBack) {
+  const auto model = make_model();
+  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_quarantine_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "m.ldm").string();
+  save_model_file(*model, path);
+  save_model_file(*model, path);  // leaves a good .prev
+  {
+    // Corrupt the primary the way a torn write would: chop it mid-weights.
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    text.resize(text.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  std::string loaded_from;
+  const auto restored = load_checkpoint(path, &loaded_from);
+  EXPECT_EQ(loaded_from, path + ".prev");
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  const auto series = seasonal_series(100, 16.0);
+  EXPECT_EQ(restored->predict_next(series), model->predict_next(series));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Serialization, LoadCheckpointThrowsWhenNothingLoadable) {
+  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_nothing_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "m.ldm").string();
+  EXPECT_THROW((void)load_checkpoint(path), std::runtime_error);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

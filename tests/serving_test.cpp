@@ -278,6 +278,50 @@ TEST(Serving, RestartFromCheckpointResumesIdenticalForecasts) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Serving, RestartAfterTornCheckpointFallsBackToPreviousGood) {
+  const auto dir = unique_dir("torn_restart");
+  const auto series = seasonal(240);
+
+  std::vector<double> before;
+  {
+    auto cfg = quick_service();
+    cfg.checkpoint_dir = dir.string();
+    serving::PredictionService service(cfg);
+    service.publish("web", *quick_model(series));
+    service.observe_many("web", series);
+    before = service.predict("web", 4);
+    // A second publish displaces the first checkpoint to web.ldm.prev.
+    service.publish("web", *quick_model(series, 8));
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir / "web.ldm.prev"));
+
+  // Simulate a crash mid-save: tear the primary checkpoint in half.
+  {
+    std::ifstream in(dir / "web.ldm", std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    text.resize(text.size() / 2);
+    std::ofstream out(dir / "web.ldm", std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  auto cfg = quick_service();
+  cfg.checkpoint_dir = dir.string();
+  serving::PredictionService restarted(cfg);
+  ASSERT_TRUE(restarted.add_workload("web"))
+      << "torn primary must fall back to the previous-good snapshot";
+  EXPECT_TRUE(std::filesystem::exists(dir / "web.ldm.quarantine"))
+      << "the torn checkpoint must be quarantined, not silently deleted";
+  restarted.observe_many("web", series);
+  const auto after = restarted.predict("web", 4);
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_EQ(after[i], before[i])
+        << "previous-good restart must reproduce v1's exact forecast (step " << i << ")";
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Serving, PredictBatchMatchesIndividualAndReportsPerSlotErrors) {
   const auto series = seasonal(240);
   serving::PredictionService service(quick_service());
