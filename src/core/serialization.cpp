@@ -1,6 +1,8 @@
 #include "core/serialization.hpp"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,10 +33,42 @@ std::string expect_token(std::istream& in, const char* what) {
   return token;
 }
 
+/// Parse a size field, converting stoul's invalid_argument/out_of_range into
+/// the documented std::runtime_error and rejecting absurd values before they
+/// turn into multi-gigabyte allocations (fuzzed/corrupt files reach here).
+std::size_t parse_size(const std::string& token, const char* what, std::size_t max_value) {
+  unsigned long long v = 0;
+  try {
+    std::size_t used = 0;
+    v = std::stoull(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("load_model: bad value for ") + what + " '" +
+                             token + "'");
+  }
+  if (v > max_value)
+    throw std::runtime_error(std::string("load_model: implausible ") + what + " " + token);
+  return static_cast<std::size_t>(v);
+}
+
+// Sanity ceilings for structural fields. Far above anything this project
+// produces (the largest paper-scale network is ~1M weights) yet small enough
+// that a corrupt count cannot drive reserve()/restore() into bad_alloc.
+constexpr std::size_t kMaxDim = 1u << 20;       // history/cell/layers/batch/window
+constexpr std::size_t kMaxWeights = 1u << 26;   // 64M doubles = 512 MB hard stop
+
 double parse_hex_double(const std::string& token, const char* what) {
   double v = 0.0;
   if (std::sscanf(token.c_str(), "%la", &v) != 1)
     throw std::runtime_error(std::string("load_model: bad value for ") + what);
+  // %la happily parses "nan"/"inf", and a v1 file has no CRC to catch the
+  // corruption. A single NaN weight silently poisons every forecast, so a
+  // non-finite value anywhere in a checkpoint is a load error, not data.
+  // (Found by the checkpoint fuzz driver; regression input in
+  // tests/golden/corpus/checkpoint_nan_weight.ldm.)
+  if (!std::isfinite(v))
+    throw std::runtime_error(std::string("load_model: non-finite value for ") + what + " '" +
+                             token + "'");
   return v;
 }
 
@@ -87,19 +121,25 @@ std::shared_ptr<TrainedModel> parse_body(std::istream& in) {
   };
 
   expect_keyword("hyperparameters");
-  snap.hyperparameters.history_length = std::stoul(expect_token(in, "history"));
-  snap.hyperparameters.cell_size = std::stoul(expect_token(in, "cell"));
-  snap.hyperparameters.num_layers = std::stoul(expect_token(in, "layers"));
-  snap.hyperparameters.batch_size = std::stoul(expect_token(in, "batch"));
+  snap.hyperparameters.history_length = parse_size(expect_token(in, "history"), "history", kMaxDim);
+  snap.hyperparameters.cell_size = parse_size(expect_token(in, "cell"), "cell", kMaxDim);
+  snap.hyperparameters.num_layers = parse_size(expect_token(in, "layers"), "layers", kMaxDim);
+  snap.hyperparameters.batch_size = parse_size(expect_token(in, "batch"), "batch", kMaxDim);
   expect_keyword("extended");
-  snap.hyperparameters.cell = nn::cell_type_from_name(expect_token(in, "cell type"));
-  snap.hyperparameters.activation = nn::activation_from_name(expect_token(in, "activation"));
-  snap.hyperparameters.loss = nn::loss_from_name(expect_token(in, "loss"));
+  try {
+    snap.hyperparameters.cell = nn::cell_type_from_name(expect_token(in, "cell type"));
+    snap.hyperparameters.activation = nn::activation_from_name(expect_token(in, "activation"));
+    snap.hyperparameters.loss = nn::loss_from_name(expect_token(in, "loss"));
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("load_model: bad extended field: ") + e.what());
+  }
   snap.hyperparameters.learning_rate =
       parse_hex_double(expect_token(in, "learning rate"), "learning rate");
   snap.hyperparameters.dropout = parse_hex_double(expect_token(in, "dropout"), "dropout");
   expect_keyword("window");
-  snap.effective_window = std::stoul(expect_token(in, "window value"));
+  snap.effective_window = parse_size(expect_token(in, "window value"), "window", kMaxDim);
   expect_keyword("scaler");
   snap.scaler_min = parse_hex_double(expect_token(in, "scaler min"), "scaler min");
   snap.scaler_max = parse_hex_double(expect_token(in, "scaler max"), "scaler max");
@@ -107,12 +147,22 @@ std::shared_ptr<TrainedModel> parse_body(std::istream& in) {
   snap.validation_mape =
       parse_hex_double(expect_token(in, "validation_mape"), "validation_mape");
   expect_keyword("weights");
-  const std::size_t count = std::stoul(expect_token(in, "weight count"));
-  snap.weights.reserve(count);
+  const std::size_t count = parse_size(expect_token(in, "weight count"), "weight count", kMaxWeights);
+  // Reserve only what a small file can plausibly back; a lying header then
+  // costs token-read failures, not a giant upfront allocation.
+  snap.weights.reserve(std::min<std::size_t>(count, 4096));
   for (std::size_t i = 0; i < count; ++i)
     snap.weights.push_back(parse_hex_double(expect_token(in, "weight"), "weight"));
 
-  return TrainedModel::restore(snap);
+  try {
+    return TrainedModel::restore(snap);
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception& e) {
+    // restore() validates structure (window/weight-count consistency) with
+    // invalid_argument; surface it as the documented load failure type.
+    throw std::runtime_error(std::string("load_model: rejected snapshot: ") + e.what());
+  }
 }
 
 #ifndef _WIN32
@@ -207,8 +257,8 @@ std::shared_ptr<TrainedModel> load_model(std::istream& in) {
   std::istringstream header(content);
   if (expect_token(header, "magic") != kMagic)
     throw std::runtime_error("load_model: not a loaddynamics model file");
-  const int version = std::stoi(expect_token(header, "version"));
-  if (version != 1 && version != kVersion)
+  const std::size_t version = parse_size(expect_token(header, "version"), "version", 1000);
+  if (version != 1 && version != static_cast<std::size_t>(kVersion))
     throw std::runtime_error("load_model: unsupported version");
 
   if (version == 1) return parse_body(header);  // legacy: no footer

@@ -151,6 +151,13 @@ std::size_t MetricsRegistry::series_count() const {
   return series_.size();
 }
 
+void MetricsRegistry::reset_for_testing() {
+  const std::scoped_lock lock(mu_);
+  graveyard_.reserve(graveyard_.size() + series_.size());
+  for (auto& [key, s] : series_) graveyard_.push_back(std::move(s));
+  series_.clear();
+}
+
 std::string MetricsRegistry::prometheus_text() const {
   const std::scoped_lock lock(mu_);
   std::ostringstream out;

@@ -117,6 +117,16 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t series_count() const;
 
+  /// Retire every registered series so the next scrape starts empty. For
+  /// tests only: the process-wide registry otherwise accumulates counters
+  /// across test cases, so assertions on absolute values interfere.
+  ///
+  /// Retired instruments are moved to a graveyard instead of destroyed —
+  /// code that cached an instrument reference (the hot-path contract above)
+  /// keeps a valid, silently-ignored instrument rather than a dangling one.
+  /// Such callers must re-resolve after a reset to be scraped again.
+  void reset_for_testing();
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Series {
@@ -133,6 +143,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<Key, Series> series_;  ///< sorted by name → stable scrape grouping
+  std::vector<Series> graveyard_;  ///< retired by reset_for_testing(), never scraped
 };
 
 }  // namespace ld::obs

@@ -1,8 +1,10 @@
 #include "serving/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <stdexcept>
@@ -14,6 +16,8 @@
 #include "core/serialization.hpp"
 #include "fault/injector.hpp"
 #include "obs/trace.hpp"
+#include "tensor/matrix.hpp"
+#include "verify/ulp.hpp"
 
 namespace ld::serving {
 
@@ -35,7 +39,47 @@ void validate_name(const std::string& name) {
     throw std::invalid_argument("serving: workload name must not start with '.'");
 }
 
+std::atomic<int> g_verify_diff{-1};  ///< -1 = consult LD_VERIFY_DIFF on first use
+
+/// Recompute `blocked` with the reference kernels and report a divergence
+/// beyond the documented ULP bound. Never throws, never alters the forecast.
+void diff_check_forecast(const std::string& name, const PublishedModel& model,
+                         std::span<const double> history, std::size_t horizon,
+                         std::span<const double> blocked) {
+  std::vector<double> reference;
+  try {
+    const tensor::ScopedKernelMode guard(tensor::KernelMode::kReference);
+    reference = model.predict_horizon(history, horizon);
+  } catch (const std::exception& e) {
+    log::warn("serving: verify-diff reference predict for '", name, "' threw: ", e.what());
+  }
+  const bool mismatch =
+      reference.size() != blocked.size() ||
+      verify::max_ulp_distance(blocked, reference) > verify::kPredictUlpBound;
+  if (!mismatch) return;
+  obs::MetricsRegistry::global()
+      .counter("ld_verify_diff_mismatch_total", {{"workload", name}})
+      .inc();
+  log::warn("serving: verify-diff mismatch on '", name, "' (horizon ", horizon,
+            "): blocked and reference kernels disagree beyond ",
+            verify::kPredictUlpBound, " ULPs");
+}
+
 }  // namespace
+
+void set_verify_diff(bool enabled) noexcept {
+  g_verify_diff.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool verify_diff_enabled() noexcept {
+  int v = g_verify_diff.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("LD_VERIFY_DIFF");
+    v = (env != nullptr && env[0] == '1') ? 1 : 0;
+    g_verify_diff.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
 
 PredictionService::Workload::Workload(const core::DriftConfig& drift,
                                       const std::string& name)
@@ -260,6 +304,8 @@ PredictResult PredictionService::predict_detailed(const std::string& name,
   result.version = model->version();
   try {
     result.forecast = model->predict_horizon(history, horizon);
+    if (verify_diff_enabled() && !result.forecast.empty())
+      diff_check_forecast(name, *model, history, horizon, result.forecast);
   } catch (const std::exception& e) {
     log::warn("serving: live predict for '", name, "' threw: ", e.what());
     result.forecast.clear();

@@ -98,6 +98,17 @@ struct PredictResult {
   std::uint64_t version = 0;  ///< model version that answered (0 = baseline)
 };
 
+/// Differential kernel verification (DESIGN.md §11). When enabled — via
+/// set_verify_diff(true), or LD_VERIFY_DIFF=1 in the environment when the
+/// setter was never called — every live forecast is recomputed with the
+/// serial reference kernels (tensor::KernelMode::kReference) and compared
+/// ULP-wise against the production blocked path. A divergence beyond
+/// verify::kPredictUlpBound bumps ld_verify_diff_mismatch_total{workload=}
+/// and logs a warning; the production forecast is served either way.
+/// Roughly doubles predict cost — a canary/debug mode, not a default.
+void set_verify_diff(bool enabled) noexcept;
+[[nodiscard]] bool verify_diff_enabled() noexcept;
+
 class PredictionService {
  public:
   explicit PredictionService(ServiceConfig config = {});

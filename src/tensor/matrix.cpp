@@ -60,6 +60,52 @@ Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 
 namespace {
+thread_local KernelMode t_kernel_mode = KernelMode::kBlocked;
+
+// Reference kernels: the textbook serial loops the blocked/packed kernels
+// are differentially tested against. Deliberately free of packing, tiling
+// and OpenMP so a miscompiled or mis-blocked fast path cannot hide — the
+// only thing they share with the fast path is the ascending-k summation
+// order per C element.
+void gemm_reference(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += arow[p] * b[p * n + j];
+      crow[j] += sum;
+    }
+  }
+}
+
+void gemm_at_b_reference(const double* a, const double* b, double* c, std::size_t m,
+                         std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += a[p * m + i] * b[p * n + j];
+      crow[j] += sum;
+    }
+  }
+}
+
+void gemm_a_bt_reference(const double* a, const double* b, double* c, std::size_t m,
+                         std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] += sum;
+    }
+  }
+}
+
 // Register-blocked kernels: MI x kNr C tiles accumulate in registers over the
 // full k extent before a single write-back, so B rows are reused MI times and
 // the inner loop is branch-free FMAs on contiguous loads. MI is a template
@@ -158,6 +204,9 @@ void gemm_at_b(const double* a, const double* b, double* c, std::size_t m, std::
 }
 }  // namespace
 
+KernelMode kernel_mode() noexcept { return t_kernel_mode; }
+void set_kernel_mode(KernelMode mode) noexcept { t_kernel_mode = mode; }
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());
   matmul_into(a, b, c, /*accumulate=*/true);  // c starts zeroed
@@ -169,7 +218,10 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
   if (c.rows() != a.rows() || c.cols() != b.cols())
     throw std::invalid_argument("matmul: output shape mismatch");
   if (!accumulate) c.fill(0.0);
-  gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  if (t_kernel_mode == KernelMode::kReference)
+    gemm_reference(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  else
+    gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
 }
 
 void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -177,7 +229,10 @@ void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumula
   if (c.rows() != a.cols() || c.cols() != b.cols())
     throw std::invalid_argument("matmul_at_b: output shape mismatch");
   if (!accumulate) c.fill(0.0);
-  gemm_at_b(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
+  if (t_kernel_mode == KernelMode::kReference)
+    gemm_at_b_reference(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
+  else
+    gemm_at_b(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
 }
 
 void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -186,6 +241,10 @@ void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumula
     throw std::invalid_argument("matmul_a_bt: output shape mismatch");
   if (!accumulate) c.fill(0.0);
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (t_kernel_mode == KernelMode::kReference) {
+    gemm_a_bt_reference(a.data(), b.data(), c.data(), m, k, n);
+    return;
+  }
 #pragma omp parallel for if (m * n * k > 1u << 16)
   for (std::size_t i = 0; i < m; ++i) {
     const double* arow = a.data() + i * k;

@@ -59,6 +59,33 @@ class Matrix {
 [[nodiscard]] Matrix operator-(Matrix a, const Matrix& b);
 [[nodiscard]] Matrix operator*(Matrix a, double s);
 
+/// Which GEMM implementation the matmul entry points dispatch to. The
+/// blocked/packed kernels are the production path; the reference path is a
+/// plain serial triple loop (no packing, no OpenMP, no register tiling) kept
+/// as the oracle for differential testing (src/verify/). Both paths sum each
+/// C element over k in ascending order, so they agree to within a few ULP —
+/// the bound is pinned by verify::kGemmUlpBound and enforced in verify_test.
+enum class KernelMode { kBlocked, kReference };
+
+/// Per-thread kernel selection (dispatch happens on the calling thread,
+/// before any OpenMP region, so the mode never races with worker threads).
+[[nodiscard]] KernelMode kernel_mode() noexcept;
+void set_kernel_mode(KernelMode mode) noexcept;
+
+/// RAII kernel-mode switch for differential tests and LD_VERIFY_DIFF.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : previous_(kernel_mode()) {
+    set_kernel_mode(mode);
+  }
+  ~ScopedKernelMode() { set_kernel_mode(previous_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode previous_;
+};
+
 /// C = A * B (throws on shape mismatch).
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 

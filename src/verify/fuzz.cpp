@@ -1,0 +1,348 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "core/model.hpp"
+#include "core/serialization.hpp"
+#include "fault/injector.hpp"
+#include "serving/protocol.hpp"
+#include "serving/service.hpp"
+
+namespace ld::verify {
+
+namespace {
+
+const std::vector<std::string>& special_tokens() {
+  static const std::vector<std::string> tokens = {
+      "nan",  "-nan", "inf",   "-inf", "1e309", "-1e309", "0",     "-0",
+      "",     "\"",   ",",     "\n",   " ",     "999999999999999999999",
+      "-1",   "1.5",  "crc32", "weights", "PREDICT", "QUIT", "%s",  "\t",
+      "0x1p+10", "18446744073709551616"};
+  return tokens;
+}
+
+}  // namespace
+
+std::string Mutator::flip_bytes(std::string s) {
+  if (s.empty()) return s;
+  const std::size_t flips = 1 + static_cast<std::size_t>(rng_.uniform_int(0, 3));
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<long long>(s.size()) - 1));
+    s[pos] = static_cast<char>(rng_.uniform_int(0, 255));
+  }
+  return s;
+}
+
+std::string Mutator::truncate(std::string s) {
+  if (s.empty()) return s;
+  const auto keep = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<long long>(s.size()) - 1));
+  s.resize(keep);
+  return s;
+}
+
+std::string Mutator::duplicate_span(std::string s) {
+  if (s.empty()) return s;
+  const auto begin = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<long long>(s.size()) - 1));
+  const auto len = std::min<std::size_t>(
+      s.size() - begin, 1 + static_cast<std::size_t>(rng_.uniform_int(0, 31)));
+  const auto at = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<long long>(s.size())));
+  s.insert(at, s.substr(begin, len));
+  return s;
+}
+
+std::string Mutator::token_edit(std::string s) {
+  // Split on whitespace (keeping the separators is not important for the
+  // parsers under test, which all re-tokenize), then drop / duplicate /
+  // replace / swap tokens.
+  std::istringstream is(s);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  if (tokens.empty()) return inject_token(std::move(s));
+  const auto pick = [&] {
+    return static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<long long>(tokens.size()) - 1));
+  };
+  switch (rng_.uniform_int(0, 3)) {
+    case 0: tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(pick())); break;
+    case 1: {
+      const std::size_t i = pick();
+      tokens.insert(tokens.begin() + static_cast<std::ptrdiff_t>(i), tokens[i]);
+      break;
+    }
+    case 2: {
+      const auto& specials = special_tokens();
+      tokens[pick()] = specials[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<long long>(specials.size()) - 1))];
+      break;
+    }
+    default: std::swap(tokens[pick()], tokens[pick()]); break;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::string Mutator::inject_token(std::string s) {
+  const auto& specials = special_tokens();
+  const std::string& token = specials[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<long long>(specials.size()) - 1))];
+  const auto at =
+      static_cast<std::size_t>(rng_.uniform_int(0, static_cast<long long>(s.size())));
+  s.insert(at, token);
+  return s;
+}
+
+std::string Mutator::mutate(const std::string& input) {
+  std::string out = input;
+  const int stacked = static_cast<int>(rng_.uniform_int(1, 3));
+  for (int i = 0; i < stacked; ++i) {
+    switch (rng_.uniform_int(0, 4)) {
+      case 0: out = flip_bytes(std::move(out)); break;
+      case 1: out = truncate(std::move(out)); break;
+      case 2: out = duplicate_span(std::move(out)); break;
+      case 3: out = token_edit(std::move(out)); break;
+      default: out = inject_token(std::move(out)); break;
+    }
+  }
+  return out;
+}
+
+std::string FuzzReport::summary() const {
+  std::ostringstream out;
+  out << iterations << " iters, " << accepted << " accepted, " << rejected
+      << " rejected, " << failures.size() << " failures";
+  return out.str();
+}
+
+FuzzReport run_fuzz(const std::vector<std::string>& seeds, const FuzzTarget& target,
+                    std::uint64_t seed, std::size_t iterations) {
+  if (seeds.empty()) throw std::invalid_argument("run_fuzz: empty seed corpus");
+  FuzzReport report;
+  Mutator mutator{Rng(seed)};
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::string input = mutator.mutate(seeds[i % seeds.size()]);
+    ++report.iterations;
+    try {
+      target(input);
+      ++report.accepted;
+    } catch (const InvariantViolation& e) {
+      report.failures.push_back({i, input, e.what()});
+    } catch (const std::exception&) {
+      ++report.rejected;  // clean reject: the parser said no, politely
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> replay_corpus(const std::string& corpus_dir,
+                                       const std::string& prefix,
+                                       const FuzzTarget& target) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(corpus_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    try {
+      target(slurp.str());
+    } catch (const InvariantViolation& e) {
+      throw InvariantViolation(path + ": " + e.what());
+    } catch (const std::exception&) {
+      // clean reject — the corpus mostly holds inputs that must *not* crash
+    }
+  }
+  return files;
+}
+
+// ---------------------------------------------------------------------------
+// Targets
+
+FuzzTarget make_protocol_target() {
+  // One model-free service shared across the whole run: no published model
+  // means SAVE/LOAD/PREDICT fail fast inside dispatch (no filesystem writes
+  // from fuzzer-chosen paths), while parsing of every verb still runs. State
+  // accumulated by OBSERVE/INGEST across inputs is part of the point — a
+  // long-lived server sees exactly that.
+  auto service = std::make_shared<serving::PredictionService>([] {
+    serving::ServiceConfig config;
+    config.background_retrain = false;
+    return config;
+  }());
+  auto protocol = std::make_shared<serving::LineProtocol>(*service);
+  return [service, protocol](const std::string& input) {
+    std::istringstream lines(input);
+    std::string line;
+    bool quit = false;
+    while (std::getline(lines, line)) {
+      if (quit)
+        break;  // run() would have stopped here too
+      std::ostringstream out;
+      bool keep_going = true;
+      try {
+        keep_going = protocol->handle(line, out);
+      } catch (const std::exception& e) {
+        // dispatch() catches everything; an escape is a harness bug.
+        throw InvariantViolation(std::string("handle() threw: ") + e.what());
+      }
+      std::istringstream probe(line);
+      std::string verb;
+      const bool executable = static_cast<bool>(probe >> verb) && verb.front() != '#';
+      std::string upper_verb = verb;
+      std::transform(upper_verb.begin(), upper_verb.end(), upper_verb.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+      if (!keep_going && upper_verb != "QUIT")
+        throw InvariantViolation("session ended on non-QUIT line: " + line);
+      if (!executable && !out.str().empty())
+        throw InvariantViolation("blank/comment line produced output: " + out.str());
+      if (executable && out.str().empty())
+        throw InvariantViolation("command produced no response: " + line);
+      quit = !keep_going;
+    }
+    // The fuzzer may legitimately reach the FAULTS verb and configure the
+    // process-wide injector; never let that leak into later iterations (or
+    // the rest of the test process).
+    if (fault::Injector::enabled()) fault::Injector::instance().reset();
+  };
+}
+
+FuzzTarget make_csv_target() {
+  return [](const std::string& input) {
+    for (const bool has_header : {true, false}) {
+      const csv::Table table = csv::parse(input, has_header);
+      // Header/rows relationship: every parsed row is usable as strings.
+      for (std::size_t c = 0; c < (table.rows.empty() ? 0 : table.rows[0].size()); ++c) {
+        std::vector<double> values;
+        try {
+          values = csv::numeric_column(table, c);
+        } catch (const std::invalid_argument&) {
+          continue;  // documented reject for non-numeric cells
+        }
+        if (values.size() != table.rows.size())
+          throw InvariantViolation("numeric_column lost rows");
+        csv::SanitizeStats stats;
+        const std::vector<double> clean = csv::sanitize_loads(values, &stats);
+        if (clean.size() + stats.total() != values.size())
+          throw InvariantViolation("sanitize_loads dropped without accounting");
+        for (const double v : clean)
+          if (!std::isfinite(v) || v < 0.0)
+            throw InvariantViolation("sanitize_loads let a bad sample through");
+      }
+    }
+  };
+}
+
+FuzzTarget make_checkpoint_target() {
+  return [](const std::string& input) {
+    std::shared_ptr<core::TrainedModel> model;
+    std::istringstream in(input);
+    try {
+      model = core::load_model(in);
+    } catch (const std::runtime_error&) {
+      throw;  // the documented reject type — run_fuzz counts it as clean
+    } catch (const std::exception& e) {
+      // Anything else (bad_alloc from an absurd count, stoul's
+      // invalid_argument, ...) breaks the "throws std::runtime_error"
+      // contract in serialization.hpp.
+      throw InvariantViolation(std::string("load_model threw non-runtime_error: ") +
+                               e.what());
+    }
+    if (!model) throw InvariantViolation("load_model returned null without throwing");
+    // Accepted files must survive a save/load round trip bit-identically —
+    // otherwise a checkpoint written from this model silently drifts.
+    std::ostringstream saved;
+    core::save_model(*model, saved);
+    std::istringstream again(saved.str());
+    const std::shared_ptr<core::TrainedModel> reloaded = core::load_model(again);
+    const core::ModelSnapshot a = model->snapshot();
+    const core::ModelSnapshot b = reloaded->snapshot();
+    if (a.weights != b.weights || a.scaler_min != b.scaler_min ||
+        a.scaler_max != b.scaler_max || a.effective_window != b.effective_window)
+      throw InvariantViolation("save/load round trip not bit-identical");
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Seed corpora
+
+std::vector<std::string> protocol_seeds() {
+  return {
+      "PREDICT wiki 4\n",
+      "OBSERVE wiki 123.5\nOBSERVE wiki 130\nSTATS wiki\n",
+      "INGEST az 1 2 3 4 5 6 7 8\nWORKLOADS\n",
+      "BATCH 2 wiki az\n",
+      "LOAD wiki /tmp/nonexistent.ldm\nSAVE wiki /tmp/out.ldm\n",
+      "RETRAIN wiki\nWAIT\nMETRICS JSON\n",
+      "METRICS\n# comment line\n\nSTATS wiki\n",
+      "FAULTS STATUS\nFAULTS OFF\n",
+      "faults checkpoint.write:p=0.5:n=2,retrain.hang:mode=sleep:ms=10 7\n",
+      "QUIT\nPREDICT after quit 1\n",
+  };
+}
+
+std::vector<std::string> csv_seeds() {
+  return {
+      "load\n1\n2\n3.5\n4\n",
+      "timestamp,load\n0,1.25\n1,2.5\n2,3\n",
+      "a,b,c\n\"quoted, cell\",2,3\n\"doubled \"\" quote\",5,6\n",
+      "load\n-1\nnan\ninf\n7\n",
+      "x\n1e308\n-1e308\n0.0001\n",
+  };
+}
+
+std::vector<std::string> checkpoint_seeds() {
+  // A real, tiny trained model rendered by the actual writer: mutations stay
+  // structurally close to what production files look like. Trained once and
+  // cached — the fuzz budget must go to parsing, not LSTM training.
+  static const std::vector<std::string> seeds = [] {
+    std::vector<double> series;
+    for (int i = 0; i < 64; ++i)
+      series.push_back(100.0 + 10.0 * std::sin(i / 5.0) + (i % 7));
+    core::Hyperparameters hp;
+    hp.history_length = 4;
+    hp.cell_size = 3;
+    hp.num_layers = 1;
+    hp.batch_size = 8;
+    core::ModelTrainingConfig config;
+    config.trainer.max_epochs = 2;
+    const core::TrainedModel model({series.data(), 48}, {series.data() + 48, 16}, hp,
+                                   config, /*seed=*/7);
+    std::ostringstream v2;
+    core::save_model(model, v2);
+
+    // A v1 rendering of the same model: version byte rewritten, footer cut.
+    std::string v1 = v2.str();
+    const std::size_t nl = v1.find('\n');
+    std::string header = v1.substr(0, nl);
+    const std::size_t space = header.rfind(' ');
+    header.resize(space + 1);
+    header += '1';
+    const std::size_t footer = v1.rfind("\ncrc32 ");
+    std::string body = v1.substr(nl, footer + 1 - nl);
+    return std::vector<std::string>{v2.str(), header + body};
+  }();
+  return seeds;
+}
+
+}  // namespace ld::verify

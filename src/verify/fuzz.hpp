@@ -1,0 +1,102 @@
+// Deterministic, structure-aware fuzzing for the project's parsers
+// (DESIGN.md §11). No libFuzzer / sanitizer-runtime dependency: a seeded
+// ld::Rng drives a fixed mutation budget per CI run, so a failure is
+// reproducible from (driver, seed, iteration) alone, and the drivers run as
+// plain ctest entries under the `fuzz` label.
+//
+// Contract for a fuzz target: given arbitrary bytes it either succeeds or
+// throws std::exception (a clean reject). Anything else — an invariant the
+// target asserts internally — throws InvariantViolation, which the harness
+// records as a failure along with the offending input. Inputs that ever
+// found a bug live on as files in tests/golden/corpus/ and are replayed as
+// regular tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ld::verify {
+
+/// Thrown by fuzz targets when a parser broke its contract (crashed state,
+/// accepted garbage, wrong-typed exception, lost round-trip, ...).
+class InvariantViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Structure-aware mutator: byte-level corruption plus token-level edits
+/// (duplicate / drop / swap whitespace-separated tokens, inject numeric
+/// edge cases like nan/inf/overflow). All randomness flows from the Rng
+/// handed in, so mutation i of seed s is the same bytes forever.
+class Mutator {
+ public:
+  explicit Mutator(Rng rng) : rng_(rng) {}
+
+  [[nodiscard]] std::string mutate(const std::string& input);
+
+ private:
+  std::string flip_bytes(std::string s);
+  std::string truncate(std::string s);
+  std::string duplicate_span(std::string s);
+  std::string token_edit(std::string s);
+  std::string inject_token(std::string s);
+
+  Rng rng_;
+};
+
+struct FuzzFailure {
+  std::size_t iteration = 0;
+  std::string input;    ///< the exact bytes that broke the target
+  std::string message;  ///< what the InvariantViolation said
+};
+
+struct FuzzReport {
+  std::size_t iterations = 0;
+  std::size_t accepted = 0;  ///< target completed without throwing
+  std::size_t rejected = 0;  ///< clean std::exception reject
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  /// One-line summary for logs ("1024 iters, 37 accepted, 987 rejected, 0 failures").
+  [[nodiscard]] std::string summary() const;
+};
+
+using FuzzTarget = std::function<void(const std::string&)>;
+
+/// Run `iterations` mutations of the seed corpus against `target`. Iteration
+/// i picks seed input i % seeds.size() (every seed gets equal budget) and
+/// applies 1-3 stacked mutations. Failures capture the input for triage; the
+/// run never stops early so one bug cannot mask another.
+[[nodiscard]] FuzzReport run_fuzz(const std::vector<std::string>& seeds,
+                                  const FuzzTarget& target, std::uint64_t seed,
+                                  std::size_t iterations);
+
+/// Replay every regular file in `corpus_dir` whose name starts with `prefix`
+/// against `target` (the crash-corpus regression path). Returns the files
+/// replayed; an InvariantViolation propagates — a corpus regression is a
+/// plain test failure, not a statistic.
+std::vector<std::string> replay_corpus(const std::string& corpus_dir,
+                                       const std::string& prefix,
+                                       const FuzzTarget& target);
+
+// Built-in targets for the three attack surfaces (each creates its own
+// sandboxed state; see fuzz.cpp for the invariants they assert).
+
+/// LineProtocol command parsing against a model-free PredictionService.
+[[nodiscard]] FuzzTarget make_protocol_target();
+/// csv::parse + numeric extraction + sanitize_loads.
+[[nodiscard]] FuzzTarget make_csv_target();
+/// core::load_model over mutated .ldm v1/v2 checkpoint bytes.
+[[nodiscard]] FuzzTarget make_checkpoint_target();
+
+/// Seed corpora the mutator starts from (valid, structure-rich inputs).
+[[nodiscard]] std::vector<std::string> protocol_seeds();
+[[nodiscard]] std::vector<std::string> csv_seeds();
+[[nodiscard]] std::vector<std::string> checkpoint_seeds();
+
+}  // namespace ld::verify

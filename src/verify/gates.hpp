@@ -1,0 +1,52 @@
+// The golden paper-fidelity gates behind the `ld_golden` tool (DESIGN.md
+// §11). Each gate recomputes one machine-checkable artifact of the
+// reproduction under a *pinned* protocol — fixed traces, seeds, search
+// budget and thread-count-independent execution — and returns it as a
+// verify::Snapshot to diff against tests/golden/<gate>.json:
+//
+//   fig9        per-workload + average LoadDynamics test MAPE (the paper's
+//               headline Fig. 9 numbers, at golden-gate scale)
+//   table4      the BO-selected hyperparameters per workload (Table IV)
+//   checkpoint  .ldm render byte count + CRC32 and round-trip/v1 invariants
+//   metrics     the Prometheus exposition *shape* of a serve session
+//               (series names + label sets, values stripped)
+//
+// The gate protocol is deliberately NOT the bench protocol: bench defaults
+// may evolve for better paper fidelity, while a gate only changes when
+// someone consciously runs `ld_golden --regen` and commits the diff.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "verify/golden.hpp"
+
+namespace ld::verify {
+
+/// Gate names in canonical execution order.
+[[nodiscard]] std::vector<std::string> gate_names();
+
+/// Expensive state shared between gates in one process (fig9 and table4 use
+/// the same fits; checkpoint and metrics share one tiny trained model).
+class GateCache {
+ public:
+  struct Fit {
+    std::string label;        ///< e.g. "GL-30"
+    double test_mape = 0.0;
+    std::string selected_hp;  ///< Hyperparameters::to_string()
+  };
+
+  [[nodiscard]] const std::vector<Fit>& fits();
+  [[nodiscard]] std::shared_ptr<core::TrainedModel> tiny_model();
+
+ private:
+  std::vector<Fit> fits_;
+  std::shared_ptr<core::TrainedModel> tiny_model_;
+};
+
+/// Run one gate. Throws std::invalid_argument for an unknown name.
+[[nodiscard]] Snapshot run_gate(const std::string& name, GateCache& cache);
+
+}  // namespace ld::verify

@@ -1,0 +1,327 @@
+#include "verify/golden.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ld::verify {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal recursive-descent parser for the JSON subset Snapshot emits:
+/// an object of objects whose leaves are strings or numbers. Kept private —
+/// golden files are the only JSON this project reads.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Snapshot parse() {
+    Snapshot snap;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return snap;
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      parse_entry(snap, key);
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+      skip_ws();
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after top-level object");
+    return snap;
+  }
+
+ private:
+  void parse_entry(Snapshot& snap, const std::string& key) {
+    expect('{');
+    std::string text;
+    double value = 0.0, abs_tol = 0.0, rel_tol = 0.0;
+    bool has_text = false, has_value = false;
+    skip_ws();
+    if (peek() == '}') fail("empty golden entry for '" + key + "'");
+    for (;;) {
+      const std::string field = parse_string();
+      expect(':');
+      skip_ws();
+      if (field == "text") {
+        text = parse_string();
+        has_text = true;
+      } else if (field == "value") {
+        value = parse_number();
+        has_value = true;
+      } else if (field == "abs") {
+        abs_tol = parse_number();
+      } else if (field == "rel") {
+        rel_tol = parse_number();
+      } else {
+        fail("unknown golden field '" + field + "' in '" + key + "'");
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+      skip_ws();
+    }
+    if (has_text == has_value)
+      fail("entry '" + key + "' needs exactly one of \"value\" or \"text\"");
+    if (has_text)
+      snap.set_text(key, text);
+    else
+      snap.set(key, value, abs_tol, rel_tol);
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (next() != '"') fail("expected string");
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          if (std::sscanf(text_.c_str() + pos_, "%4x", &code) != 1 || code > 0x7f)
+            fail("unsupported \\u escape (ASCII only)");
+          pos_ += 4;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+      return v;
+    } catch (const std::exception&) {
+      fail("bad number '" + token + "'");
+    }
+  }
+
+  void expect(char want) {
+    skip_ws();
+    if (next() != want) fail(std::string("expected '") + want + "'");
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("golden json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string format_double(double v) {
+  // Try increasing precision until the rendering round-trips exactly; %.17g
+  // always does, shorter forms keep the files human-readable (0.05 stays
+  // "0.05", not "0.050000000000000003").
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v || (std::isnan(back) && std::isnan(v))) return buf;
+  }
+  return buf;
+}
+
+void Snapshot::set(const std::string& key, double value, double abs_tol, double rel_tol) {
+  GoldenValue gv;
+  gv.kind = GoldenValue::Kind::kNumber;
+  gv.number = value;
+  gv.abs_tol = abs_tol;
+  gv.rel_tol = rel_tol;
+  if (has(key)) throw std::logic_error("golden: duplicate key '" + key + "'");
+  keys_.push_back(key);
+  values_.push_back(std::move(gv));
+}
+
+void Snapshot::set_text(const std::string& key, const std::string& value) {
+  GoldenValue gv;
+  gv.kind = GoldenValue::Kind::kText;
+  gv.text = value;
+  if (has(key)) throw std::logic_error("golden: duplicate key '" + key + "'");
+  keys_.push_back(key);
+  values_.push_back(std::move(gv));
+}
+
+bool Snapshot::has(const std::string& key) const {
+  for (const std::string& k : keys_)
+    if (k == key) return true;
+  return false;
+}
+
+const GoldenValue& Snapshot::at(const std::string& key) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) return values_[i];
+  throw std::out_of_range("golden: no key '" + key + "'");
+}
+
+std::vector<GoldenDiff> Snapshot::check(const Snapshot& actual) const {
+  std::vector<GoldenDiff> diffs;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const std::string& key = keys_[i];
+    const GoldenValue& want = values_[i];
+    if (!actual.has(key)) {
+      diffs.push_back({key, "missing from the fresh run (stale golden? --regen)"});
+      continue;
+    }
+    const GoldenValue& got = actual.at(key);
+    if (got.kind != want.kind) {
+      diffs.push_back({key, "kind mismatch (number vs text)"});
+      continue;
+    }
+    if (want.kind == GoldenValue::Kind::kText) {
+      if (got.text != want.text)
+        diffs.push_back({key, "\"" + got.text + "\" vs golden \"" + want.text + "\""});
+      continue;
+    }
+    const double delta = std::abs(got.number - want.number);
+    const double allowed =
+        std::max(want.abs_tol, want.rel_tol * std::abs(want.number));
+    const bool both_nan = std::isnan(got.number) && std::isnan(want.number);
+    if (!both_nan && (!(delta <= allowed) || std::isnan(got.number))) {
+      std::ostringstream msg;
+      msg << format_double(got.number) << " vs golden " << format_double(want.number)
+          << " (|delta| " << format_double(delta) << " > allowed "
+          << format_double(allowed);
+      if (want.rel_tol > 0.0) msg << ", rel_tol " << format_double(want.rel_tol);
+      if (want.abs_tol > 0.0) msg << ", abs_tol " << format_double(want.abs_tol);
+      msg << ")";
+      diffs.push_back({key, msg.str()});
+    }
+  }
+  for (const std::string& key : actual.keys_)
+    if (!has(key))
+      diffs.push_back({key, "new field not in the golden file (run --regen)"});
+  return diffs;
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const GoldenValue& gv = values_[i];
+    out << "  \"" << escape_json(keys_[i]) << "\": {";
+    if (gv.kind == GoldenValue::Kind::kText) {
+      out << "\"text\": \"" << escape_json(gv.text) << "\"";
+    } else {
+      out << "\"value\": " << format_double(gv.number);
+      out << ", \"abs\": " << format_double(gv.abs_tol);
+      out << ", \"rel\": " << format_double(gv.rel_tol);
+    }
+    out << "}" << (i + 1 < keys_.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Snapshot Snapshot::from_json(const std::string& json) { return JsonParser(json).parse(); }
+
+void Snapshot::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("golden: cannot write '" + path + "'");
+  out << to_json();
+  if (!out) throw std::runtime_error("golden: write failed for '" + path + "'");
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("golden: cannot open '" + path + "'");
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  try {
+    return from_json(slurp.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " in '" + path + "'");
+  }
+}
+
+void print_diffs(std::ostream& out, const std::string& gate,
+                 const std::vector<GoldenDiff>& diffs) {
+  for (const GoldenDiff& d : diffs)
+    out << "  [" << gate << "] " << d.key << ": " << d.message << "\n";
+}
+
+}  // namespace ld::verify

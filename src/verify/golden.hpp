@@ -1,0 +1,84 @@
+// Tolerance-aware golden-file framework (DESIGN.md §11).
+//
+// A Snapshot is an ordered set of named values — numbers with per-field
+// absolute/relative tolerances, or exact-match strings — persisted as a
+// restricted, canonical JSON file under tests/golden/. The `ld_golden` tool
+// regenerates the files (--regen) and checks a fresh computation against
+// them (--check); check failures render a readable per-field diff instead of
+// a bare exit code.
+//
+// Canonical on purpose: keys are kept in insertion order, numbers render via
+// shortest-exact %.17g, and load()+save() round-trips bit-identically — so a
+// --regen on an unchanged tree produces a byte-identical file and golden
+// diffs in review only ever show real drift.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ld::verify {
+
+/// One golden field: either a number with tolerances or an exact string.
+struct GoldenValue {
+  enum class Kind { kNumber, kText };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;
+  double abs_tol = 0.0;  ///< |actual - expected| allowed
+  double rel_tol = 0.0;  ///< ... or relative to |expected|, whichever is larger
+};
+
+/// One mismatch found by check(), pre-rendered for humans.
+struct GoldenDiff {
+  std::string key;
+  std::string message;  ///< e.g. "12.31 vs golden 11.02 (rel 11.7% > 5%)"
+};
+
+class Snapshot {
+ public:
+  /// Record a number; the tolerances are stored in the golden file, so a
+  /// --check run uses the tolerance the file was regenerated with.
+  void set(const std::string& key, double value, double abs_tol = 0.0,
+           double rel_tol = 0.0);
+  /// Record an exact-match string (CRC hashes, selected hyperparameters,
+  /// exposition shapes).
+  void set_text(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const GoldenValue& at(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept { return keys_; }
+
+  /// Compare `actual` (freshly computed) against *this (the golden file).
+  /// Tolerances come from the golden side. Missing keys, extra keys, kind
+  /// mismatches and out-of-tolerance values all produce diffs.
+  [[nodiscard]] std::vector<GoldenDiff> check(const Snapshot& actual) const;
+
+  /// Canonical JSON, e.g.
+  ///   {
+  ///     "fig9.GL-30.mape": {"value": 12.31, "abs": 0, "rel": 0.05},
+  ///     "checkpoint.crc32": {"text": "9ab01c22"}
+  ///   }
+  [[nodiscard]] std::string to_json() const;
+  /// Parse what to_json() produces (plus arbitrary JSON whitespace). Throws
+  /// std::runtime_error with a position on malformed input.
+  [[nodiscard]] static Snapshot from_json(const std::string& json);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static Snapshot load(const std::string& path);
+
+ private:
+  std::vector<std::string> keys_;  ///< insertion order, preserved in the file
+  std::vector<GoldenValue> values_;
+};
+
+/// Render a diff list as an indented human-readable block.
+void print_diffs(std::ostream& out, const std::string& gate,
+                 const std::vector<GoldenDiff>& diffs);
+
+/// Shortest %.17g-style rendering that parses back to the identical double.
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace ld::verify

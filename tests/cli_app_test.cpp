@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "app/cli_app.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -34,15 +35,9 @@ CliResult run(const std::vector<std::string>& args) {
 
 class CliJourney : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = fs::temp_directory_path() / "ld_cli_test";
-    fs::create_directories(dir_);
-    trace_ = (dir_ / "trace.csv").string();
-    model_ = (dir_ / "model.ldm").string();
-  }
-  void TearDown() override { fs::remove_all(dir_); }
+  CliJourney() : tmp_("cli"), trace_(tmp_.file("trace.csv")), model_(tmp_.file("model.ldm")) {}
 
-  fs::path dir_;
+  ld::testutil::ScopedTempDir tmp_;
   std::string trace_, model_;
 };
 
@@ -88,7 +83,7 @@ TEST_F(CliJourney, FullTrainPredictEvaluateSimulateJourney) {
   EXPECT_NE(train.out.find("test MAPE"), std::string::npos);
 
   // 3. predict
-  const std::string forecast = (dir_ / "forecast.csv").string();
+  const std::string forecast = tmp_.file("forecast.csv");
   const auto predict = run({"predict", "--model", model_, "--csv", trace_, "--interval",
                             "60", "--horizon", "6", "--out", forecast});
   ASSERT_EQ(predict.code, 0) << predict.err;
@@ -113,13 +108,13 @@ TEST_F(CliJourney, FullTrainPredictEvaluateSimulateJourney) {
 
 TEST_F(CliJourney, PredictWithMissingModelFails) {
   ASSERT_EQ(run({"generate", "--workload", "lcg", "--out", trace_, "--days", "4"}).code, 0);
-  const auto result = run({"predict", "--model", (dir_ / "nope.ldm").string(), "--csv", trace_});
+  const auto result = run({"predict", "--model", tmp_.file("nope.ldm"), "--csv", trace_});
   EXPECT_EQ(result.code, 2);
   EXPECT_NE(result.err.find("error:"), std::string::npos);
 }
 
 TEST_F(CliJourney, TrainOnGarbageCsvFails) {
-  const std::string bad = (dir_ / "bad.csv").string();
+  const std::string bad = tmp_.file("bad.csv");
   std::FILE* f = std::fopen(bad.c_str(), "w");
   std::fputs("jar\nhello\nworld\n", f);
   std::fclose(f);

@@ -12,6 +12,7 @@
 #include "common/csv.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -243,12 +244,12 @@ TEST(Csv, NumericColumnAndErrors) {
 }
 
 TEST(Csv, WriteReadRoundTrip) {
-  const std::string path = std::filesystem::temp_directory_path() / "ld_csv_test.csv";
+  const ld::testutil::ScopedTempDir tmp("csv");
+  const std::string path = tmp.file("round_trip.csv");
   ld::csv::write_file(path, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
   const auto table = ld::csv::read_file(path);
   EXPECT_EQ(table.header, (std::vector<std::string>{"x", "y"}));
   EXPECT_EQ(ld::csv::numeric_column(table, 1), (std::vector<double>{2.0, 4.0}));
-  std::remove(path.c_str());
 }
 
 TEST(Csv, MissingFileThrows) {

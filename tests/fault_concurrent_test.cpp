@@ -1,0 +1,150 @@
+// The degradation fallback chain under concurrent load *and* fault
+// injection: predictors, observers (with poisoned samples) and a failing
+// background retrain all hammer one workload, and the STATS counters must
+// come out exactly consistent with what each thread saw.
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "core/model.hpp"
+#include "fault/injector.hpp"
+#include "serving/service.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace ld;
+
+class FaultConcurrent : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Injector::instance().reset();
+    log::set_level(log::Level::kError);  // degraded/reject warns are the point
+  }
+  void TearDown() override {
+    fault::Injector::instance().reset();
+    log::set_level(log::Level::kInfo);
+  }
+};
+
+std::shared_ptr<core::TrainedModel> tiny_model(std::uint64_t seed) {
+  const std::vector<double> series = testutil::seasonal_series(140, 100.0, 12.0, 24.0, seed);
+  core::Hyperparameters hp;
+  hp.history_length = 6;
+  hp.cell_size = 4;
+  hp.num_layers = 1;
+  hp.batch_size = 8;
+  core::ModelTrainingConfig config;
+  config.trainer.max_epochs = 3;
+  return std::make_shared<core::TrainedModel>(
+      std::span<const double>(series.data(), 100),
+      std::span<const double>(series.data() + 100, 40), hp, config, seed);
+}
+
+TEST_F(FaultConcurrent, SnapshotFallbackStaysConsistentUnderConcurrentRetrain) {
+  serving::ServiceConfig config;
+  config.background_retrain = false;
+  config.retrain_retry.max_attempts = 1;
+  serving::PredictionService service(config);
+
+  // Two publishes: the second model is "current", the first survives as the
+  // last-known-good snapshot the fallback chain reaches for.
+  service.publish("web", *tiny_model(21));
+  service.publish("web", *tiny_model(22));
+  service.observe_many("web", testutil::seasonal_series(64, 100.0, 12.0, 24.0, 3));
+
+  const testutil::CounterDelta degraded("ld_degraded_predictions_total",
+                                        {{"workload", "web"}});
+  const testutil::CounterDelta failures("ld_serving_retrain_failures_total",
+                                        {{"workload", "web"}});
+  const serving::WorkloadStats before = service.stats("web");
+
+  // Every live forecast is corrupted; the retrain attempt dies immediately.
+  fault::Injector::instance().configure("predict.nan:p=1,retrain.fail:p=1", 5);
+
+  constexpr int kPredictors = 4, kPredictsEach = 25;
+  constexpr int kObservers = 2, kObservesEach = 30, kBadEach = 5;
+  std::vector<serving::PredictResult> results(kPredictors * kPredictsEach);
+  std::vector<std::thread> threads;
+  threads.reserve(kPredictors + kObservers);
+  for (int p = 0; p < kPredictors; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPredictsEach; ++i)
+        results[static_cast<std::size_t>(p * kPredictsEach + i)] =
+            service.predict_detailed("web", 3);
+    });
+  for (int o = 0; o < kObservers; ++o)
+    threads.emplace_back([&, o] {
+      for (int i = 0; i < kObservesEach; ++i)
+        service.observe("web", 100.0 + (o * kObservesEach + i) % 7);
+      for (int i = 0; i < kBadEach; ++i)
+        service.observe("web", i % 2 == 0 ? std::nan("") : -5.0);
+    });
+  EXPECT_TRUE(service.request_retrain("web"));
+  for (auto& t : threads) t.join();
+  service.wait_idle();
+
+  // Every forecast came from the snapshot fallback, finite and full-length.
+  std::size_t snapshot_level = 0;
+  for (const auto& r : results) {
+    ASSERT_EQ(r.forecast.size(), 3u);
+    for (const double v : r.forecast) EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NE(r.level, fault::DegradationLevel::kLive);
+    if (r.level == fault::DegradationLevel::kSnapshot) ++snapshot_level;
+  }
+  EXPECT_EQ(snapshot_level, results.size())
+      << "last-good model is healthy, so nothing should fall through to baseline";
+
+  const serving::WorkloadStats stats = service.stats("web");
+  EXPECT_EQ(stats.predictions - before.predictions, results.size());
+  EXPECT_EQ(stats.degraded - before.degraded, results.size());
+  EXPECT_EQ(stats.rejected - before.rejected,
+            static_cast<std::size_t>(kObservers * kBadEach));
+  EXPECT_EQ(stats.retrain_failures - before.retrain_failures, 1u);
+  EXPECT_EQ(stats.version, before.version) << "a failed retrain must not publish";
+  EXPECT_EQ(stats.last_level, fault::DegradationLevel::kSnapshot);
+
+  // Registry counters moved in lockstep with the per-workload stats.
+  EXPECT_EQ(degraded.delta(), results.size());
+  EXPECT_EQ(failures.delta(), 1u);
+
+  // Clearing the faults restores live serving immediately.
+  fault::Injector::instance().reset();
+  const auto healthy = service.predict_detailed("web", 2);
+  EXPECT_EQ(healthy.level, fault::DegradationLevel::kLive);
+  EXPECT_EQ(service.stats("web").last_level, fault::DegradationLevel::kLive);
+}
+
+TEST_F(FaultConcurrent, BaselineFallbackWhenNoSnapshotExists) {
+  serving::ServiceConfig config;
+  config.background_retrain = false;
+  serving::PredictionService service(config);
+  service.publish("solo", *tiny_model(33));  // one publish: no last-good yet
+  service.observe_many("solo", testutil::seasonal_series(48, 100.0, 12.0, 24.0, 3));
+
+  fault::Injector::instance().configure("predict.nan:p=1", 5);
+  std::vector<serving::PredictResult> results(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i)
+        results[static_cast<std::size_t>(t * 4 + i)] = service.predict_detailed("solo", 4);
+    });
+  for (auto& t : threads) t.join();
+
+  for (const auto& r : results) {
+    EXPECT_EQ(r.level, fault::DegradationLevel::kBaseline);
+    EXPECT_EQ(r.version, 0u) << "baseline answers carry no model version";
+    ASSERT_EQ(r.forecast.size(), 4u);
+    for (const double v : r.forecast) EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(service.stats("solo").degraded, results.size());
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Deterministic fuzz drivers (ctest label: fuzz). Each driver runs a fixed
+// seeded mutation budget against one parser and asserts zero invariant
+// violations; the crash corpus under tests/golden/corpus/ is replayed as a
+// plain regression suite. A failure report prints the exact offending bytes,
+// and (driver seed, iteration) reproduces it forever.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "verify/fuzz.hpp"
+
+#ifndef LD_CORPUS_DIR
+#define LD_CORPUS_DIR "tests/golden/corpus"
+#endif
+
+namespace {
+
+using namespace ld;
+
+constexpr std::size_t kBudget = 1024;  ///< mutations per driver per CI run
+
+/// Render a failed report for the gtest failure message.
+std::string describe(const verify::FuzzReport& report) {
+  std::string out = report.summary();
+  for (const auto& f : report.failures) {
+    out += "\n  iter " + std::to_string(f.iteration) + ": " + f.message;
+    out += "\n  input bytes: [" + f.input + "]";
+  }
+  return out;
+}
+
+class FuzzDrivers : public ::testing::Test {
+ protected:
+  // The protocol target feeds a service garbage on purpose; silence the
+  // expected rejection warnings so a real failure stands out.
+  void SetUp() override { log::set_level(log::Level::kError); }
+  void TearDown() override { log::set_level(log::Level::kInfo); }
+};
+
+TEST_F(FuzzDrivers, MutatorIsDeterministic) {
+  const std::string seed_input = "PREDICT wiki 4\nOBSERVE wiki 99.5\n";
+  verify::Mutator a{Rng(123)}, b{Rng(123)}, c{Rng(124)};
+  bool any_difference = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::string ma = a.mutate(seed_input);
+    EXPECT_EQ(ma, b.mutate(seed_input)) << "same seed must give the same mutation " << i;
+    if (ma != c.mutate(seed_input)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should explore differently";
+}
+
+TEST_F(FuzzDrivers, LineProtocolSurvivesBudget) {
+  const verify::FuzzReport report = verify::run_fuzz(
+      verify::protocol_seeds(), verify::make_protocol_target(), /*seed=*/0xF00D01, kBudget);
+  EXPECT_EQ(report.iterations, kBudget);
+  EXPECT_EQ(report.accepted + report.rejected + report.failures.size(), kBudget);
+  EXPECT_TRUE(report.ok()) << describe(report);
+  // The mutator must not degenerate into producing only rejects: a healthy
+  // structure-aware corpus keeps exercising the accept paths too.
+  EXPECT_GT(report.accepted, kBudget / 20) << report.summary();
+}
+
+TEST_F(FuzzDrivers, CsvIngestSurvivesBudget) {
+  const verify::FuzzReport report = verify::run_fuzz(
+      verify::csv_seeds(), verify::make_csv_target(), /*seed=*/0xF00D02, kBudget);
+  EXPECT_EQ(report.iterations, kBudget);
+  EXPECT_TRUE(report.ok()) << describe(report);
+  EXPECT_GT(report.accepted, kBudget / 20) << report.summary();
+}
+
+TEST_F(FuzzDrivers, CheckpointLoaderSurvivesBudget) {
+  const verify::FuzzReport report =
+      verify::run_fuzz(verify::checkpoint_seeds(), verify::make_checkpoint_target(),
+                       /*seed=*/0xF00D03, kBudget);
+  EXPECT_EQ(report.iterations, kBudget);
+  EXPECT_TRUE(report.ok()) << describe(report);
+  // Most mutations of a checksummed format must be rejected (the CRC works),
+  // but the v1 seed keeps some accepts alive.
+  EXPECT_GT(report.rejected, kBudget / 2) << report.summary();
+}
+
+TEST_F(FuzzDrivers, CorpusReplaysClean) {
+  const struct {
+    const char* prefix;
+    verify::FuzzTarget target;
+  } drivers[] = {
+      {"protocol_", verify::make_protocol_target()},
+      {"csv_", verify::make_csv_target()},
+      {"checkpoint_", verify::make_checkpoint_target()},
+  };
+  std::size_t total = 0;
+  for (const auto& d : drivers) {
+    const std::vector<std::string> files =
+        verify::replay_corpus(LD_CORPUS_DIR, d.prefix, d.target);
+    total += files.size();
+  }
+  EXPECT_GE(total, 6u) << "crash corpus went missing from " << LD_CORPUS_DIR;
+}
+
+TEST_F(FuzzDrivers, RunFuzzRejectsEmptyCorpus) {
+  EXPECT_THROW((void)verify::run_fuzz({}, verify::make_csv_target(), 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -11,17 +11,14 @@
 
 #include "core/serialization.hpp"
 #include "fault/injector.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace ld::core;
 
 std::vector<double> seasonal_series(std::size_t n, double period) {
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i)
-    out[i] =
-        100.0 + 40.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / period);
-  return out;
+  return ld::testutil::seasonal_series(n, 100.0, 40.0, period);
 }
 
 std::shared_ptr<TrainedModel> make_model() {
@@ -54,13 +51,12 @@ TEST(Serialization, RoundTripPreservesPredictionsExactly) {
 
 TEST(Serialization, FileRoundTrip) {
   const auto model = make_model();
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "ld_model_test.ldm").string();
+  const ld::testutil::ScopedTempDir tmp("ser_file");
+  const std::string path = tmp.file("m.ldm");
   save_model_file(*model, path);
   const auto restored = load_model_file(path);
   const auto series = seasonal_series(100, 16.0);
   EXPECT_EQ(model->predict_next(series), restored->predict_next(series));
-  std::remove(path.c_str());
 }
 
 TEST(Serialization, GruCellRoundTripPreservesPredictionsExactly) {
@@ -194,9 +190,8 @@ TEST(Serialization, LegacyV1WithoutFooterStillLoads) {
 
 TEST(Serialization, SaveKeepsPreviousGoodSnapshot) {
   const auto model = make_model();
-  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_prev_test";
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / "m.ldm").string();
+  const ld::testutil::ScopedTempDir tmp("ser_prev");
+  const std::string path = tmp.file("m.ldm");
   save_model_file(*model, path);
   save_model_file(*model, path);  // second save displaces the first to .prev
   EXPECT_TRUE(std::filesystem::exists(path + ".prev"));
@@ -204,14 +199,12 @@ TEST(Serialization, SaveKeepsPreviousGoodSnapshot) {
   const auto series = seasonal_series(100, 16.0);
   EXPECT_EQ(load_model_file(path + ".prev")->predict_next(series),
             model->predict_next(series));
-  std::filesystem::remove_all(dir);
 }
 
 TEST(Serialization, InjectedWriteFaultLeavesExistingCheckpointIntact) {
   const auto model = make_model();
-  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_fault_test";
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / "m.ldm").string();
+  const ld::testutil::ScopedTempDir tmp("ser_fault");
+  const std::string path = tmp.file("m.ldm");
   save_model_file(*model, path);
 
   ld::fault::Injector::instance().configure("checkpoint.write:p=1", 7);
@@ -223,14 +216,12 @@ TEST(Serialization, InjectedWriteFaultLeavesExistingCheckpointIntact) {
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   const auto series = seasonal_series(100, 16.0);
   EXPECT_EQ(load_model_file(path)->predict_next(series), model->predict_next(series));
-  std::filesystem::remove_all(dir);
 }
 
 TEST(Serialization, LoadCheckpointQuarantinesCorruptAndFallsBack) {
   const auto model = make_model();
-  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_quarantine_test";
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / "m.ldm").string();
+  const ld::testutil::ScopedTempDir tmp("ser_quarantine");
+  const std::string path = tmp.file("m.ldm");
   save_model_file(*model, path);
   save_model_file(*model, path);  // leaves a good .prev
   {
@@ -250,15 +241,11 @@ TEST(Serialization, LoadCheckpointQuarantinesCorruptAndFallsBack) {
   EXPECT_FALSE(std::filesystem::exists(path));
   const auto series = seasonal_series(100, 16.0);
   EXPECT_EQ(restored->predict_next(series), model->predict_next(series));
-  std::filesystem::remove_all(dir);
 }
 
 TEST(Serialization, LoadCheckpointThrowsWhenNothingLoadable) {
-  const auto dir = std::filesystem::temp_directory_path() / "ld_ser_nothing_test";
-  std::filesystem::create_directories(dir);
-  const std::string path = (dir / "m.ldm").string();
-  EXPECT_THROW((void)load_checkpoint(path), std::runtime_error);
-  std::filesystem::remove_all(dir);
+  const ld::testutil::ScopedTempDir tmp("ser_nothing");
+  EXPECT_THROW((void)load_checkpoint(tmp.file("m.ldm")), std::runtime_error);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "serving/protocol.hpp"
 #include "serving/registry.hpp"
 #include "serving/service.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -62,13 +63,6 @@ serving::ServiceConfig quick_service(bool background_retrain = false) {
   cfg.adaptive.degradation_factor = 1.5;
   cfg.adaptive.absolute_mape_floor = 10.0;
   return cfg;
-}
-
-std::filesystem::path unique_dir(const std::string& tag) {
-  const auto dir = std::filesystem::temp_directory_path() / ("ld_serving_" + tag);
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir;
 }
 
 TEST(ServingRegistry, InFlightSnapshotSurvivesPublish) {
@@ -119,8 +113,8 @@ TEST(ServingRegistry, ReplicasAreBitIdenticalToSourceModel) {
 TEST(Serving, PredictionsBitIdenticalToDirectModel) {
   const auto series = seasonal(240);
   const auto model = quick_model(series);
-  const auto path =
-      (std::filesystem::temp_directory_path() / "ld_serving_direct.ldm").string();
+  const testutil::ScopedTempDir tmp("serving_direct");
+  const auto path = tmp.file("m.ldm");
   core::save_model_file(*model, path);
   const auto direct = core::load_model_file(path);
 
@@ -248,7 +242,8 @@ TEST(Serving, DriftTriggersBackgroundRetrain) {
 // Acceptance (c): a service restarted from its persisted checkpoints resumes
 // with bit-identical forecasts.
 TEST(Serving, RestartFromCheckpointResumesIdenticalForecasts) {
-  const auto dir = unique_dir("restart");
+  const testutil::ScopedTempDir tmp("serving_restart");
+  const std::filesystem::path& dir = tmp.path();
   const auto series = seasonal(240);
 
   std::vector<double> before;
@@ -275,11 +270,11 @@ TEST(Serving, RestartFromCheckpointResumesIdenticalForecasts) {
   for (std::size_t i = 0; i < after.size(); ++i)
     EXPECT_EQ(after[i], before[i]) << "restart must resume the exact forecast (step " << i
                                    << ")";
-  std::filesystem::remove_all(dir);
 }
 
 TEST(Serving, RestartAfterTornCheckpointFallsBackToPreviousGood) {
-  const auto dir = unique_dir("torn_restart");
+  const testutil::ScopedTempDir tmp("serving_torn_restart");
+  const std::filesystem::path& dir = tmp.path();
   const auto series = seasonal(240);
 
   std::vector<double> before;
@@ -319,7 +314,6 @@ TEST(Serving, RestartAfterTornCheckpointFallsBackToPreviousGood) {
   for (std::size_t i = 0; i < after.size(); ++i)
     EXPECT_EQ(after[i], before[i])
         << "previous-good restart must reproduce v1's exact forecast (step " << i << ")";
-  std::filesystem::remove_all(dir);
 }
 
 TEST(Serving, PredictBatchMatchesIndividualAndReportsPerSlotErrors) {
@@ -346,7 +340,8 @@ TEST(Serving, PredictBatchMatchesIndividualAndReportsPerSlotErrors) {
 
 TEST(ServingProtocol, ScriptedSessionEndToEnd) {
   const auto series = seasonal(240);
-  const auto dir = unique_dir("protocol");
+  const testutil::ScopedTempDir tmp("serving_protocol");
+  const std::filesystem::path& dir = tmp.path();
   const std::string model_path = (dir / "web.ldm").string();
   const std::string saved_path = (dir / "saved.ldm").string();
   core::save_model_file(*quick_model(series), model_path);
@@ -393,7 +388,6 @@ TEST(ServingProtocol, ScriptedSessionEndToEnd) {
   std::vector<double> observed(series.begin(), series.begin() + 40);
   observed.push_back(123.5);
   EXPECT_EQ(saved->predict_next(observed), service.predict("web", 1)[0]);
-  std::filesystem::remove_all(dir);
 }
 
 TEST(ServingProtocol, LosslessForecastPrecisionOverText) {
@@ -446,7 +440,8 @@ TEST(ServingProtocol, MetricsCommandEmitsPrometheusText) {
 
 TEST(ServingApp, ReplayFileServesPredictionsInProcess) {
   const auto series = seasonal(240);
-  const auto dir = unique_dir("app");
+  const testutil::ScopedTempDir tmp("serving_app");
+  const std::filesystem::path& dir = tmp.path();
   const std::string model_path = (dir / "web.ldm").string();
   core::save_model_file(*quick_model(series), model_path);
 
@@ -466,12 +461,12 @@ TEST(ServingApp, ReplayFileServesPredictionsInProcess) {
   EXPECT_EQ(app::run_serve(5, argv, in, out, err), 0) << err.str();
   EXPECT_NE(out.str().find("PRED web "), std::string::npos);
   EXPECT_NE(err.str().find("served 4 commands"), std::string::npos);
-  std::filesystem::remove_all(dir);
 }
 
 TEST(ServingApp, ResumesWorkloadsFromCheckpointDir) {
   const auto series = seasonal(240);
-  const auto dir = unique_dir("app_resume");
+  const testutil::ScopedTempDir tmp("serving_app_resume");
+  const std::filesystem::path& dir = tmp.path();
   const auto ckpt = dir / "ckpt";
   std::filesystem::create_directories(ckpt);
   core::save_model_file(*quick_model(series), (ckpt / "web.ldm").string());
@@ -493,7 +488,6 @@ TEST(ServingApp, ResumesWorkloadsFromCheckpointDir) {
   EXPECT_EQ(app::run_serve(6, argv, in, out, err), 0) << err.str();
   EXPECT_NE(err.str().find("resumed 'web'"), std::string::npos);
   EXPECT_NE(out.str().find("PRED web "), std::string::npos);
-  std::filesystem::remove_all(dir);
 }
 
 TEST(ServingApp, BadWorkloadSpecFailsCleanly) {

@@ -1,0 +1,409 @@
+// Tests for the verification harness (DESIGN.md §11): the golden-file
+// framework, ULP helpers, and the differential kernel suite that enforces
+// the documented reference-vs-blocked agreement bounds.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/loaddynamics.hpp"
+#include "core/model.hpp"
+#include "serving/service.hpp"
+#include "tensor/matrix.hpp"
+#include "test_util.hpp"
+#include "verify/golden.hpp"
+#include "verify/ulp.hpp"
+
+namespace {
+
+using namespace ld;
+
+// ---------------------------------------------------------------------------
+// ULP distance
+
+TEST(Ulp, IdenticalAndAdjacentValues) {
+  EXPECT_EQ(verify::ulp_distance(1.5, 1.5), 0u);
+  EXPECT_EQ(verify::ulp_distance(0.0, -0.0), 0u);
+  const double up = std::nextafter(1.5, 2.0);
+  EXPECT_EQ(verify::ulp_distance(1.5, up), 1u);
+  EXPECT_EQ(verify::ulp_distance(up, 1.5), 1u);
+}
+
+TEST(Ulp, MeasuresThroughZeroAndFlagsNonFinite) {
+  const double pos = std::nextafter(0.0, 1.0);
+  const double neg = std::nextafter(0.0, -1.0);
+  EXPECT_EQ(verify::ulp_distance(pos, neg), 2u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(verify::ulp_distance(nan, 1.0), ~0ULL);
+  EXPECT_EQ(verify::ulp_distance(nan, nan), 0u);  // both-NaN counts as agreement
+  EXPECT_EQ(verify::ulp_distance(inf, inf), 0u);
+  EXPECT_EQ(verify::ulp_distance(inf, -inf), ~0ULL);
+  EXPECT_EQ(verify::ulp_distance(inf, 1.0), ~0ULL);
+}
+
+TEST(Ulp, MaxOverSpansAndLengthMismatch) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b = a;
+  EXPECT_EQ(verify::max_ulp_distance(a, b), 0u);
+  b[1] = std::nextafter(b[1], 10.0);
+  EXPECT_EQ(verify::max_ulp_distance(a, b), 1u);
+  b.push_back(4.0);
+  EXPECT_EQ(verify::max_ulp_distance(a, b), ~0ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot framework
+
+TEST(Golden, ToleranceSemantics) {
+  verify::Snapshot golden;
+  golden.set("m.abs", 10.0, /*abs_tol=*/0.5);
+  golden.set("m.rel", 100.0, /*abs_tol=*/0.0, /*rel_tol=*/0.05);
+
+  verify::Snapshot within;
+  within.set("m.abs", 10.4);
+  within.set("m.rel", 104.9);
+  EXPECT_TRUE(golden.check(within).empty());
+
+  verify::Snapshot outside;
+  outside.set("m.abs", 10.6);
+  outside.set("m.rel", 106.0);
+  const auto diffs = golden.check(outside);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].key, "m.abs");
+  EXPECT_NE(diffs[0].message.find("10.6"), std::string::npos)
+      << "diff must show the actual value: " << diffs[0].message;
+}
+
+TEST(Golden, StructuralDiffs) {
+  verify::Snapshot golden;
+  golden.set("kept", 1.0);
+  golden.set("missing_in_actual", 2.0);
+  golden.set_text("kind", "text_here");
+
+  verify::Snapshot actual;
+  actual.set("kept", 1.0);
+  actual.set("kind", 3.0);       // kind mismatch: golden has text
+  actual.set("new_field", 4.0);  // not in the golden file
+
+  const auto diffs = golden.check(actual);
+  ASSERT_EQ(diffs.size(), 3u);  // missing + kind mismatch + new field
+  bool saw_missing = false, saw_new = false;
+  for (const auto& d : diffs) {
+    if (d.key == "missing_in_actual") saw_missing = true;
+    if (d.key == "new_field") saw_new = true;
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(Golden, JsonRoundTripIsCanonical) {
+  verify::Snapshot snap;
+  snap.set("pi", 3.141592653589793, 1e-12);
+  snap.set("third", 1.0 / 3.0, 0.0, 1e-9);
+  snap.set("huge", 1e300);
+  snap.set("neg", -0.0);
+  snap.set_text("label", "line1\nline2 \"quoted\"");
+
+  const std::string json = snap.to_json();
+  const verify::Snapshot reparsed = verify::Snapshot::from_json(json);
+  EXPECT_EQ(reparsed.to_json(), json) << "to_json(from_json(x)) must be bit-identical";
+  EXPECT_TRUE(snap.check(reparsed).empty());
+  EXPECT_TRUE(reparsed.check(snap).empty());
+}
+
+TEST(Golden, FormatDoubleRoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e300, 2.2250738585072014e-308, -1.5,
+                         123456789.123456789, 0.0}) {
+    const std::string s = verify::format_double(v);
+    double back = 0.0;
+    ASSERT_EQ(std::sscanf(s.c_str(), "%lf", &back), 1) << s;
+    EXPECT_EQ(back, v) << "'" << s << "' must parse back to the exact double";
+  }
+}
+
+TEST(Golden, SaveLoadAndPerturbationFails) {
+  testutil::ScopedTempDir dir("golden_saveload");
+  verify::Snapshot snap;
+  snap.set("mape", 12.5, 0.0, 0.05);
+  snap.set_text("crc", "deadbeef");
+  const std::string path = dir.file("gate.json");
+  snap.save(path);
+
+  const verify::Snapshot loaded = verify::Snapshot::load(path);
+  EXPECT_TRUE(loaded.check(snap).empty());
+
+  verify::Snapshot perturbed;
+  perturbed.set("mape", 12.5 * 1.06);  // 6% off against a 5% band
+  perturbed.set_text("crc", "deadbeef");
+  EXPECT_EQ(loaded.check(perturbed).size(), 1u);
+}
+
+TEST(Golden, RejectsMalformedJsonWithPosition) {
+  EXPECT_THROW((void)verify::Snapshot::from_json("{\"a\": {\"value\": }}"),
+               std::runtime_error);
+  EXPECT_THROW((void)verify::Snapshot::from_json("not json"), std::runtime_error);
+  EXPECT_THROW((void)verify::Snapshot::from_json(""), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Differential GEMM: reference scalar kernels vs production blocked kernels
+
+// Positive operands on purpose: every dot product is a sum of positive terms,
+// so no cancellation and the ULP bound measures real kernel divergence (FMA
+// contraction / vectorization). With signed data a near-zero output can sit
+// thousands of ULPs from an absolutely-tiny difference (see verify/ulp.hpp).
+tensor::Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  tensor::Matrix m(rows, cols);
+  for (double& v : m.flat()) v = rng.uniform(0.5, 2.0);
+  return m;
+}
+
+TEST(DifferentialGemm, BlockedMatchesReferenceWithinBound) {
+  Rng rng(42);
+  for (const auto [m, k, n] : {std::array<std::size_t, 3>{1, 1, 1},
+                               {3, 5, 7},
+                               {17, 33, 9},
+                               {64, 64, 64},
+                               {120, 70, 50}}) {
+    const tensor::Matrix a = random_matrix(m, k, rng);
+    const tensor::Matrix b = random_matrix(k, n, rng);
+
+    tensor::Matrix blocked;
+    {
+      tensor::ScopedKernelMode mode(tensor::KernelMode::kBlocked);
+      blocked = tensor::matmul(a, b);
+    }
+    tensor::Matrix reference;
+    {
+      tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+      reference = tensor::matmul(a, b);
+    }
+    EXPECT_LE(verify::max_ulp_distance(blocked.flat(), reference.flat()),
+              verify::kGemmUlpBound)
+        << "matmul " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(DifferentialGemm, TransposedVariantsMatchReference) {
+  Rng rng(7);
+  const std::size_t m = 31, k = 45, n = 23;
+  const tensor::Matrix a = random_matrix(k, m, rng);   // used as A^T * B
+  const tensor::Matrix b = random_matrix(k, n, rng);
+  const tensor::Matrix c = random_matrix(m, k, rng);   // used as C * D^T
+  const tensor::Matrix d = random_matrix(n, k, rng);
+
+  tensor::Matrix atb_blocked(m, n), atb_reference(m, n);
+  tensor::Matrix abt_blocked(m, n), abt_reference(m, n);
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kBlocked);
+    tensor::matmul_at_b_into(a, b, atb_blocked);
+    tensor::matmul_a_bt_into(c, d, abt_blocked);
+  }
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    tensor::matmul_at_b_into(a, b, atb_reference);
+    tensor::matmul_a_bt_into(c, d, abt_reference);
+  }
+  EXPECT_LE(verify::max_ulp_distance(atb_blocked.flat(), atb_reference.flat()),
+            verify::kGemmUlpBound);
+  EXPECT_LE(verify::max_ulp_distance(abt_blocked.flat(), abt_reference.flat()),
+            verify::kGemmUlpBound);
+}
+
+TEST(DifferentialGemm, AccumulateVariantAgrees) {
+  Rng rng(11);
+  const tensor::Matrix a = random_matrix(19, 27, rng);
+  const tensor::Matrix b = random_matrix(27, 13, rng);
+  const tensor::Matrix seed = random_matrix(19, 13, rng);
+
+  tensor::Matrix blocked = seed, reference = seed;
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kBlocked);
+    tensor::matmul_into(a, b, blocked, /*accumulate=*/true);
+  }
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    tensor::matmul_into(a, b, reference, /*accumulate=*/true);
+  }
+  EXPECT_LE(verify::max_ulp_distance(blocked.flat(), reference.flat()),
+            verify::kGemmUlpBound);
+}
+
+TEST(DifferentialGemm, KernelModeIsThreadLocal) {
+  // Selecting the reference kernel on this thread must not leak into other
+  // threads: a fresh thread still runs the production blocked path. (A
+  // ThreadPool::submit would not prove this — it executes inline on the
+  // caller when the pool has no workers.)
+  Rng rng(3);
+  const tensor::Matrix a = random_matrix(40, 40, rng);
+  const tensor::Matrix b = random_matrix(40, 40, rng);
+  const tensor::Matrix blocked = tensor::matmul(a, b);
+
+  tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+  ASSERT_EQ(tensor::kernel_mode(), tensor::KernelMode::kReference);
+  tensor::KernelMode seen = tensor::KernelMode::kReference;
+  tensor::Matrix from_thread;
+  std::thread worker([&] {
+    seen = tensor::kernel_mode();
+    from_thread = tensor::matmul(a, b);
+  });
+  worker.join();
+  EXPECT_EQ(seen, tensor::KernelMode::kBlocked)
+      << "a fresh thread must default to the production blocked kernels";
+  EXPECT_EQ(verify::max_ulp_distance(from_thread.flat(), blocked.flat()), 0u)
+      << "cross-thread result must be bit-identical to the blocked path";
+}
+
+// ---------------------------------------------------------------------------
+// Differential LSTM + serving predict
+
+std::shared_ptr<core::TrainedModel> quick_model(const std::vector<double>& series) {
+  core::Hyperparameters hp;
+  hp.history_length = 8;
+  hp.cell_size = 6;
+  hp.num_layers = 2;
+  hp.batch_size = 16;
+  core::ModelTrainingConfig config;
+  config.trainer.max_epochs = 5;
+  const std::size_t split = series.size() * 3 / 4;
+  return std::make_shared<core::TrainedModel>(
+      std::span<const double>(series.data(), split),
+      std::span<const double>(series.data() + split, series.size() - split), hp, config,
+      99);
+}
+
+TEST(DifferentialLstm, ForwardPassWithinBound) {
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+
+  double blocked = 0.0, reference = 0.0;
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kBlocked);
+    blocked = model->predict_next(series);
+  }
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    reference = model->predict_next(series);
+  }
+  EXPECT_LE(verify::ulp_distance(blocked, reference), verify::kLstmUlpBound);
+}
+
+TEST(DifferentialLstm, WalkForwardSeriesWithinBound) {
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+
+  std::vector<double> blocked, reference;
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kBlocked);
+    blocked = model->predict_series(series, 120);
+  }
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    reference = model->predict_series(series, 120);
+  }
+  EXPECT_LE(verify::max_ulp_distance(blocked, reference), verify::kLstmUlpBound);
+}
+
+TEST(DifferentialLstm, RecursiveHorizonWithinPredictBound) {
+  // Recursive multi-step feeds rounding differences back into the input, so
+  // this path gets the wider serving bound.
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+
+  std::vector<double> blocked, reference;
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kBlocked);
+    blocked = model->predict_horizon(series, 12);
+  }
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    reference = model->predict_horizon(series, 12);
+  }
+  EXPECT_LE(verify::max_ulp_distance(blocked, reference), verify::kPredictUlpBound);
+}
+
+TEST(ServingDiff, LivePredictPassesDifferentialCheck) {
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+
+  serving::ServiceConfig config;
+  config.background_retrain = false;
+  serving::PredictionService service(config);
+  service.publish("diffcheck", *model);
+  service.observe_many("diffcheck", series);
+
+  const testutil::CounterDelta mismatches("ld_verify_diff_mismatch_total",
+                                          {{"workload", "diffcheck"}});
+  serving::set_verify_diff(true);
+  const auto result = service.predict_detailed("diffcheck", 6);
+  serving::set_verify_diff(false);
+
+  EXPECT_EQ(result.level, fault::DegradationLevel::kLive);
+  ASSERT_EQ(result.forecast.size(), 6u);
+  EXPECT_EQ(mismatches.delta(), 0u)
+      << "blocked and reference kernels diverged beyond kPredictUlpBound";
+}
+
+// ---------------------------------------------------------------------------
+// BO trajectories: the batched (constant-liar) search must retrace the
+// serial search exactly — zero ULP, not merely "close".
+
+TEST(DifferentialBo, BatchedTrajectoryMatchesSerialExactly) {
+  const std::vector<double> series = testutil::seasonal_series(220, 100.0, 15.0, 24.0, 9);
+  const std::span<const double> train(series.data(), 160);
+  const std::span<const double> validation(series.data() + 160, 60);
+
+  core::LoadDynamicsConfig cfg;
+  cfg.space = core::HyperparameterSpace::reduced();
+  cfg.max_iterations = 4;
+  cfg.initial_random = 2;
+  cfg.training.trainer.max_epochs = 3;
+  cfg.training.max_train_windows = 400;
+  cfg.seed = 31;
+
+  cfg.batch_size = 1;
+  const core::FitResult serial = core::LoadDynamics(cfg).fit(train, validation);
+  cfg.batch_size = 4;
+  const core::FitResult batched = core::LoadDynamics(cfg).fit(train, validation);
+
+  EXPECT_EQ(verify::max_ulp_distance(serial.incumbent_trace(), batched.incumbent_trace()),
+            0u);
+  EXPECT_EQ(serial.best_record().hyperparameters, batched.best_record().hyperparameters);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry isolation (test_util satellite)
+
+TEST(MetricsReset, RetiredCountersStopBeingScrapedButStayValid) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Counter& before = reg.counter("ld_test_reset_total");
+  before.inc(5);
+  EXPECT_EQ(testutil::counter_value("ld_test_reset_total"), 5u);
+
+  testutil::reset_metrics();
+  // A cached reference survives the reset (graveyard semantics)...
+  before.inc();  // must not crash
+  // ...but the registry starts over: a re-resolve sees a fresh instrument.
+  EXPECT_EQ(testutil::counter_value("ld_test_reset_total"), 0u);
+  EXPECT_EQ(reg.prometheus_text().find("ld_test_reset_total 6"), std::string::npos);
+}
+
+TEST(MetricsReset, CounterDeltaIgnoresPriorState) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("ld_test_delta_total").inc(17);
+  const testutil::CounterDelta delta("ld_test_delta_total");
+  EXPECT_EQ(delta.delta(), 0u);
+  reg.counter("ld_test_delta_total").inc(3);
+  EXPECT_EQ(delta.delta(), 3u);
+}
+
+}  // namespace

@@ -12,6 +12,7 @@
 #include "timeseries/fft.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/trace.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -79,12 +80,12 @@ TEST(Trace, ValidationCatchesBadTraces) {
 }
 
 TEST(Trace, CsvRoundTrip) {
-  const std::string path = std::filesystem::temp_directory_path() / "ld_trace_test.csv";
+  const ld::testutil::ScopedTempDir tmp("trace");
+  const std::string path = tmp.file("round_trip.csv");
   ld::csv::write_file(path, {"jar"}, {{10.0}, {20.0}, {30.0}});
   const Trace t = load_csv_trace(path, "csv_trace", 5);
   EXPECT_EQ(t.jars, (std::vector<double>{10.0, 20.0, 30.0}));
   EXPECT_EQ(t.interval_minutes, 5u);
-  std::remove(path.c_str());
 }
 
 class GeneratorDeterminism : public ::testing::TestWithParam<TraceKind> {};

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against the committed baseline.
+
+Usage:
+  # refresh the committed baseline from a fresh perf_micro run
+  ./build/bench/perf_micro --benchmark_format=json > /tmp/perf.json
+  tools/bench_check.py --current /tmp/perf.json --regen
+
+  # check a run against the baseline (exit 1 on any >25% regression)
+  tools/bench_check.py --current /tmp/perf.json
+
+The baseline (bench/BENCH_baseline.json) stores per-benchmark cpu_time in
+nanoseconds. Absolute times only transfer between identical machines, so CI
+passes --normalize BM_Gemm/32: every time is divided by that benchmark's time
+in the *same* run, and the gate compares the resulting machine-free ratios.
+The budget is deliberately loose (25%) — this catches "the blocked GEMM lost
+its blocking" or "the disabled fault point grew a lock", not 2% noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..", "bench", "BENCH_baseline.json")
+
+
+def load_run(path: str) -> dict[str, float]:
+    """Map benchmark name -> cpu_time (ns) from google-benchmark JSON output."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    times: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregate rows
+        # google-benchmark reports in the unit the bench requested; fold to ns.
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[bench["name"]] = float(bench["cpu_time"]) * scale
+    if not times:
+        sys.exit(f"error: no benchmarks found in {path}")
+    return times
+
+
+def normalize(times: dict[str, float], anchor: str) -> dict[str, float]:
+    if anchor not in times:
+        sys.exit(f"error: normalization anchor '{anchor}' missing from run")
+    base = times[anchor]
+    return {name: t / base for name, t in times.items()}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--current", required=True, help="perf_micro --benchmark_format=json output")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--budget", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25 = 25%%)")
+    parser.add_argument("--normalize", metavar="NAME", default=None,
+                        help="divide all times by this benchmark's time in the same run "
+                             "(makes the check machine-portable)")
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite the baseline from --current instead of checking")
+    args = parser.parse_args()
+
+    current = load_run(args.current)
+    if args.regen:
+        payload = {
+            "_comment": "cpu_time in ns per benchmark; regen via tools/bench_check.py --regen",
+            "benchmarks": {name: current[name] for name in sorted(current)},
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"[regen] wrote {len(current)} benchmarks to {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = {k: float(v) for k, v in json.load(fh)["benchmarks"].items()}
+    if args.normalize:
+        current = normalize(current, args.normalize)
+        baseline = normalize(baseline, args.normalize)
+
+    failures, missing = [], []
+    for name, base in sorted(baseline.items()):
+        if name == args.normalize:
+            continue
+        if name not in current:
+            missing.append(name)
+            continue
+        ratio = current[name] / base if base > 0 else float("inf")
+        status = "FAIL" if ratio > 1.0 + args.budget else "ok"
+        print(f"[{status:>4}] {name}: {ratio:6.2f}x baseline")
+        if status == "FAIL":
+            failures.append((name, ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"[ new] {name}: not in baseline (run --regen to adopt)")
+
+    if missing:
+        print(f"error: {len(missing)} baseline benchmarks missing from run: {', '.join(missing)}")
+        return 1
+    if failures:
+        print(f"error: {len(failures)} regression(s) beyond the {args.budget:.0%} budget")
+        return 1
+    print(f"bench_check: {len(baseline)} benchmarks within the {args.budget:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+// ld_golden — check or regenerate the golden paper-fidelity gates.
+//
+//   ld_golden --check  --dir tests/golden          (default mode)
+//   ld_golden --regen  --dir tests/golden
+//   ld_golden --list
+//   ld_golden --check --only fig9,checkpoint
+//
+// --check recomputes every gate under the pinned protocol (src/verify/
+// gates.cpp) and diffs it against <dir>/<gate>.json with the per-field
+// tolerances stored in the file; any mismatch prints a readable diff and
+// exits 1. --regen rewrites the files in canonical JSON — rerunning --regen
+// with no code change is bit-identical, so a diff in git is always a real
+// behavior change.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "verify/gates.hpp"
+#include "verify/golden.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(start, comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ld::cli::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: ld_golden [--check|--regen|--list] [--dir DIR] [--only g1,g2]\n"
+                 "  --check   diff recomputed gates against DIR/<gate>.json (default)\n"
+                 "  --regen   rewrite DIR/<gate>.json from the current build\n"
+                 "  --list    print gate names and exit\n"
+                 "  --dir     golden directory (default tests/golden)\n"
+                 "  --only    comma-separated subset of gates\n";
+    return 0;
+  }
+  if (args.get_bool("list")) {
+    for (const std::string& name : ld::verify::gate_names()) std::cout << name << '\n';
+    return 0;
+  }
+
+  const bool regen = args.get_bool("regen");
+  const std::string dir = args.get("dir", "tests/golden");
+  std::vector<std::string> gates = ld::verify::gate_names();
+  if (args.has("only")) gates = split_csv(args.get("only", ""));
+
+  // The metrics gate deliberately feeds the service a bad sample; keep its
+  // expected WARN out of the gate report.
+  ld::log::set_level(ld::log::Level::kError);
+  ld::verify::GateCache cache;
+  bool ok = true;
+  for (const std::string& name : gates) {
+    const std::string path = dir + "/" + name + ".json";
+    try {
+      const ld::verify::Snapshot actual = ld::verify::run_gate(name, cache);
+      if (regen) {
+        actual.save(path);
+        std::cout << "[regen] " << name << " -> " << path << " (" << actual.size()
+                  << " fields)\n";
+        continue;
+      }
+      const ld::verify::Snapshot expected = ld::verify::Snapshot::load(path);
+      const std::vector<ld::verify::GoldenDiff> diffs = expected.check(actual);
+      if (diffs.empty()) {
+        std::cout << "[ok]    " << name << " (" << actual.size()
+                  << " fields within tolerance)\n";
+      } else {
+        ok = false;
+        std::cout << "[FAIL]  " << name << " (" << diffs.size() << " mismatches vs " << path
+                  << ")\n";
+        ld::verify::print_diffs(std::cout, name, diffs);
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      std::cout << "[FAIL]  " << name << " error: " << e.what() << '\n';
+    }
+  }
+  if (!ok)
+    std::cout << "\ngolden check failed. If the change is intentional, run\n  ld_golden --regen --dir "
+              << dir << "\nand commit the diff.\n";
+  return ok ? 0 : 1;
+}
