@@ -39,6 +39,52 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(128)->Arg(256);
 
+void BM_GemmTiny(benchmark::State& state) {
+  // Pins the small-size crossover (simd::kSimdMinFlops): at n=4 (128 flops)
+  // the SIMD dispatcher must delegate to the scalar reference loop — packing
+  // overhead dwarfs the multiply — while n=8 (1024 flops) and up run the
+  // micro-kernels. A regression here means the crossover moved.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  tensor::Matrix a(n, n), b(n, n), c(n, n);
+  for (double& v : a.flat()) v = rng.uniform();
+  for (double& v : b.flat()) v = rng.uniform();
+  for (auto _ : state) {
+    tensor::matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTiny)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LstmStep(benchmark::State& state) {
+  // Single-window inference through a stacked network: the serving hot path.
+  // Arg0 = hidden size, Arg1 = 1 for the fused single-timestep kernel
+  // (forward_one), 0 for the layered per-step GEMM path pinned to the
+  // blocked tier — the pre-SIMD behavior the fused path must beat.
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  nn::LstmNetwork net({.input_size = 1, .hidden_size = hidden, .num_layers = 2}, 11);
+  Rng rng(12);
+  std::vector<double> window(35);
+  for (double& v : window) v = rng.uniform(0.5, 2.0);
+  tensor::Matrix x(1, window.size());
+  for (std::size_t t = 0; t < window.size(); ++t) x(0, t) = window[t];
+
+  const tensor::ScopedKernelMode mode(fused ? tensor::default_kernel_mode()
+                                            : tensor::KernelMode::kBlocked);
+  for (auto _ : state) {
+    if (fused) {
+      benchmark::DoNotOptimize(net.forward_one(window));
+    } else {
+      benchmark::DoNotOptimize(net.forward(x));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(window.size()));
+  state.SetLabel(std::string(fused ? "fused" : "layered/blocked") + " T=35 L=2");
+}
+BENCHMARK(BM_LstmStep)->Args({32, 0})->Args({32, 1})->Args({98, 0})->Args({98, 1});
+
 void BM_Cholesky(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(2);

@@ -18,6 +18,7 @@
 #include "common/thread_pool.hpp"
 #include "core/loaddynamics.hpp"
 #include "fault/injector.hpp"
+#include "nn/network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serving/protocol.hpp"
@@ -42,6 +43,7 @@ flags:
   --history N          per-workload history cap (default 4096)
   --threads N          resize the shared thread pool
   --no-retrain         disable drift-triggered background retraining
+  --quant              int8 row-quantized fused inference (LD_QUANT=1)
   --interval M         CSV trace interval minutes (default 30)
   --epochs E           quick-train epoch budget (default 20)
   --seed S             quick-train seed (default 2020)
@@ -63,7 +65,8 @@ protocol: LOAD OBSERVE INGEST PREDICT BATCH RETRAIN WAIT SAVE STATS
 
 env: LD_LOG_LEVEL=debug|info|warn|error|off, LD_TRACE=FILE,
      LD_TRACE_BUFFER=N (trace events per thread), LD_NUM_THREADS=N,
-     LD_FAULTS=SPEC, LD_FAULT_SEED=N (see docs/API.md, ld::fault)
+     LD_FAULTS=SPEC, LD_FAULT_SEED=N, LD_KERNEL=auto|avx512|avx2|blocked|
+     reference (GEMM tier), LD_QUANT=1 (see docs/API.md, ld::fault)
 )";
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -188,6 +191,7 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
     cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
     cfg.checkpoint_dir = args.get("checkpoint-dir", "");
     cfg.background_retrain = !args.get_bool("no-retrain");
+    if (args.get_bool("quant")) nn::set_quantized_inference(true);
     // Serving-scale warm retrains: a few cheap candidates on recent history.
     cfg.adaptive.base.space = core::HyperparameterSpace::reduced();
     cfg.adaptive.base.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));

@@ -113,17 +113,31 @@ std::shared_ptr<TrainedModel> TrainedModel::restore(const ModelSnapshot& snap) {
 double TrainedModel::predict_next(std::span<const double> history) const {
   if (history.empty()) throw std::invalid_argument("TrainedModel: empty history");
   const std::size_t w = effective_window_;
-  tensor::Matrix x(1, w);
+  std::vector<double> window(w);
   // Left-pad with the earliest available value when history is short.
   for (std::size_t j = 0; j < w; ++j) {
     const std::ptrdiff_t idx =
         static_cast<std::ptrdiff_t>(history.size()) - static_cast<std::ptrdiff_t>(w) +
         static_cast<std::ptrdiff_t>(j);
     const double v = idx >= 0 ? history[static_cast<std::size_t>(idx)] : history.front();
-    x(0, j) = scaler_.transform(v);
+    window[j] = scaler_.transform(v);
   }
-  const std::vector<double> out = network_->forward(x);
-  return std::max(0.0, scaler_.inverse(out[0]));
+  // The serving hot path: on a SIMD kernel tier, take the fused
+  // single-timestep fast path (DESIGN.md §12). Gated on the tier so
+  // LD_KERNEL=blocked|reference stays bit-identical to the pre-fused
+  // layered path (the golden gates pin that behavior), and the serving
+  // differential check — which shadows under ScopedKernelMode kReference —
+  // automatically compares fused against layered reference.
+  const tensor::KernelMode mode = tensor::kernel_mode();
+  double y;
+  if (mode == tensor::KernelMode::kAvx2 || mode == tensor::KernelMode::kAvx512) {
+    y = network_->forward_one(window);
+  } else {
+    tensor::Matrix x(1, w);
+    for (std::size_t j = 0; j < w; ++j) x(0, j) = window[j];
+    y = network_->forward(x)[0];
+  }
+  return std::max(0.0, scaler_.inverse(y));
 }
 
 std::vector<double> TrainedModel::predict_horizon(std::span<const double> history,

@@ -24,6 +24,13 @@ class DenseLayer {
   /// Given dL/dy, accumulate dW/db and return dL/dx.
   [[nodiscard]] tensor::Matrix backward(const tensor::Matrix& dy);
 
+  /// Read-only views for the fused inference path (nn/network.cpp), which
+  /// evaluates the head as a dot product without a Matrix temporary.
+  [[nodiscard]] const tensor::Matrix& weights() const noexcept { return w_; }
+  [[nodiscard]] std::span<const double> bias() const noexcept {
+    return {b_.data(), b_.size()};
+  }
+
   void zero_grad() noexcept;
   [[nodiscard]] std::vector<std::span<double>> parameters();
   [[nodiscard]] std::vector<std::span<double>> gradients();

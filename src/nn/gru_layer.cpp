@@ -2,11 +2,15 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
+
+#include "nn/packed_weights.hpp"
 
 namespace ld::nn {
 
 namespace {
 inline double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+inline float sigmoid(float x) noexcept { return 1.0f / (1.0f + std::exp(-x)); }
 }  // namespace
 
 GruLayer::GruLayer(std::size_t input_size, std::size_t hidden_size, Rng& rng,
@@ -235,8 +239,74 @@ void GruLayer::zero_grad() noexcept {
 }
 
 std::vector<std::span<double>> GruLayer::parameters() {
+  // Single invalidation point for the packed fused-step panels — every weight
+  // mutation path (optimizer steps, load_weights) writes through these views.
+  packed_dirty_ = true;
   return {w_.flat(), u_.flat(), {b_.data(), b_.size()}};
 }
+
+void GruLayer::ensure_packed() const {
+  if (!packed_dirty_) return;
+  pack_transposed(w_, wt_);
+  pack_transposed(u_, ut_);
+  quantize_rows_transposed(w_, wtq_);
+  quantize_rows_transposed(u_, utq_);
+  bq_.assign(b_.begin(), b_.end());
+  packed_dirty_ = false;
+}
+
+template <typename T>
+void GruLayer::step_fused(const T* x, T* h, T* /*c*/, T* scratch) const {
+  ensure_packed();
+  constexpr bool kQuant = std::is_same_v<T, float>;
+  const std::size_t H = hidden_size_;
+  const std::size_t h3 = 3 * H;
+  const auto* wt = [&] {
+    if constexpr (kQuant) return wtq_.data();
+    else return wt_.data();
+  }();
+  const auto* ut = [&] {
+    if constexpr (kQuant) return utq_.data();
+    else return ut_.data();
+  }();
+  T* pre = scratch;       // [z, r, g] pre-activations
+  T* rh = scratch + h3;   // r ⊙ h_{t-1}
+  for (std::size_t j = 0; j < h3; ++j) pre[j] = T(0);
+  for (std::size_t i = 0; i < input_size_; ++i) {
+    const T xv = x[i];
+    const auto* row = wt + i * h3;
+    for (std::size_t j = 0; j < h3; ++j) pre[j] += xv * static_cast<T>(row[j]);
+  }
+  // z and r take U h_{t-1}; the g block takes U (r ⊙ h), added once r is
+  // known — same two-phase structure as the batched forward.
+  for (std::size_t k = 0; k < H; ++k) {
+    const T hv = h[k];
+    const auto* row = ut + k * h3;
+    for (std::size_t j = 0; j < 2 * H; ++j) pre[j] += hv * static_cast<T>(row[j]);
+  }
+  for (std::size_t j = 0; j < H; ++j) {
+    const T bz = kQuant ? static_cast<T>(bq_[j]) : static_cast<T>(b_[j]);
+    const T br = kQuant ? static_cast<T>(bq_[H + j]) : static_cast<T>(b_[H + j]);
+    pre[j] = sigmoid(pre[j] + bz);                     // z (kept for the blend)
+    const T rv = sigmoid(pre[H + j] + br);             // r
+    rh[j] = rv * h[j];
+  }
+  for (std::size_t k = 0; k < H; ++k) {
+    const T rhv = rh[k];
+    const auto* row = ut + k * h3 + 2 * H;
+    for (std::size_t j = 0; j < H; ++j) pre[2 * H + j] += rhv * static_cast<T>(row[j]);
+  }
+  for (std::size_t j = 0; j < H; ++j) {
+    const T bg = kQuant ? static_cast<T>(bq_[2 * H + j]) : static_cast<T>(b_[2 * H + j]);
+    const T gv = activate(activation_, pre[2 * H + j] + bg);
+    const T zv = pre[j];
+    h[j] = (T(1) - zv) * h[j] + zv * gv;
+  }
+}
+
+template void GruLayer::step_fused<double>(const double*, double*, double*,
+                                           double*) const;
+template void GruLayer::step_fused<float>(const float*, float*, float*, float*) const;
 
 std::vector<std::span<double>> GruLayer::gradients() {
   return {dw_.flat(), du_.flat(), {db_.data(), db_.size()}};

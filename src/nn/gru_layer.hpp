@@ -33,7 +33,16 @@ class GruLayer {
   [[nodiscard]] std::vector<std::span<double>> gradients();
   [[nodiscard]] std::size_t parameter_count() const noexcept;
 
+  /// Fused single-sample inference step — same contract as
+  /// LstmLayer::step_fused. GRU has no cell state, so `c` is ignored (kept
+  /// for a uniform call shape); `scratch` must hold >= 4*hidden_size
+  /// elements (3H gate pre-activations + H for r ⊙ h).
+  template <typename T>
+  void step_fused(const T* x, T* h, T* c, T* scratch) const;
+
  private:
+  void ensure_packed() const;
+
   std::size_t input_size_, hidden_size_;
   Activation activation_;
   tensor::Matrix w_;       // (3H x I)
@@ -49,6 +58,12 @@ class GruLayer {
   std::vector<tensor::Matrix> cache_h_;
   std::size_t cached_batch_ = 0;
   std::size_t cached_steps_ = 0;
+
+  // Lazily packed weights for step_fused (see nn/packed_weights.hpp).
+  mutable bool packed_dirty_ = true;
+  mutable std::vector<double> wt_, ut_;    // transposed (I x 3H), (H x 3H)
+  mutable std::vector<float> wtq_, utq_;   // int8 row-quantized, dequantized
+  mutable std::vector<float> bq_;
 };
 
 }  // namespace ld::nn

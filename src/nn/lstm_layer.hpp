@@ -52,7 +52,22 @@ class LstmLayer {
   [[nodiscard]] std::vector<std::span<double>> gradients();
   [[nodiscard]] std::size_t parameter_count() const noexcept;
 
+  /// Fused single-sample inference step (DESIGN.md §12): advances the
+  /// recurrent state one timestep — all four gate GEMVs, biases and
+  /// activations in one pass over lazily packed transposed weights, with no
+  /// Matrix temporaries. `x` has input_size elements; `h` and `c` hold the
+  /// hidden/cell state (hidden_size each) and are updated in place;
+  /// `scratch` must hold >= 4*hidden_size elements. T=double computes on the
+  /// exact weights; T=float on the int8 row-quantized weights (LD_QUANT).
+  /// The packed panels are a cache of w_/u_/b_, invalidated whenever
+  /// parameters() hands out mutable views; like the forward caches, a layer
+  /// must be driven by one inference thread at a time.
+  template <typename T>
+  void step_fused(const T* x, T* h, T* c, T* scratch) const;
+
  private:
+  void ensure_packed() const;
+
   std::size_t input_size_, hidden_size_;
   Activation activation_ = Activation::kTanh;
   tensor::Matrix w_;          // (4H x I) input weights
@@ -68,6 +83,12 @@ class LstmLayer {
   std::vector<tensor::Matrix> cache_h_;      // hidden states
   std::size_t cached_batch_ = 0;
   std::size_t cached_steps_ = 0;
+
+  // Lazily packed weights for step_fused (see nn/packed_weights.hpp).
+  mutable bool packed_dirty_ = true;
+  mutable std::vector<double> wt_, ut_;    // transposed (I x 4H), (H x 4H)
+  mutable std::vector<float> wtq_, utq_;   // int8 row-quantized, dequantized
+  mutable std::vector<float> bq_;          // bias in float for the quant path
 };
 
 }  // namespace ld::nn

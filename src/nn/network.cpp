@@ -1,11 +1,33 @@
 #include "nn/network.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <type_traits>
 
 #include "obs/trace.hpp"
 
 namespace ld::nn {
+
+namespace {
+// -1 = consult LD_QUANT on first use (same tri-state pattern as the serving
+// layer's LD_VERIFY_DIFF toggle).
+std::atomic<int> g_quantized{-1};
+}  // namespace
+
+bool quantized_inference_enabled() {
+  int v = g_quantized.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("LD_QUANT");
+    v = (env != nullptr && env[0] == '1' && env[1] == '\0') ? 1 : 0;
+    g_quantized.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_quantized_inference(bool enabled) {
+  g_quantized.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 std::string cell_type_name(CellType cell) {
   return cell == CellType::kLstm ? "lstm" : "gru";
@@ -63,6 +85,50 @@ std::vector<double> LstmNetwork::forward(const tensor::Matrix& x) {
   std::vector<double> out(batch);
   for (std::size_t r = 0; r < batch; ++r) out[r] = y(r, 0);
   return out;
+}
+
+double LstmNetwork::forward_one(std::span<const double> window) {
+  LD_TRACE_SPAN("nn.forward_one");
+  if (config_.input_size != 1 || config_.output_size != 1)
+    throw std::logic_error("LstmNetwork::forward_one: requires 1-in/1-out");
+  if (window.empty())
+    throw std::invalid_argument("LstmNetwork::forward_one: empty window");
+  if (quantized_inference_enabled())
+    return forward_one_impl<float>(window, fused_hf_, fused_cf_, fused_sf_);
+  return forward_one_impl<double>(window, fused_hd_, fused_cd_, fused_sd_);
+}
+
+template <typename T>
+double LstmNetwork::forward_one_impl(std::span<const double> window,
+                                     std::vector<T>& hbuf, std::vector<T>& cbuf,
+                                     std::vector<T>& scratch) {
+  const std::size_t H = config_.hidden_size;
+  const std::size_t num_layers = layers_.size();
+  hbuf.assign(num_layers * H, T(0));
+  cbuf.assign(num_layers * H, T(0));
+  if (scratch.size() < 4 * H) scratch.resize(4 * H);
+  // One timestep through the whole stack before advancing t: layer l at time
+  // t consumes layer l-1's h_t, which was just written in place.
+  for (const double xt : window) {
+    T x0 = static_cast<T>(xt);
+    const T* xin = &x0;
+    for (std::size_t li = 0; li < num_layers; ++li) {
+      T* h = hbuf.data() + li * H;
+      T* c = cbuf.data() + li * H;
+      std::visit(
+          [&](auto& layer) { layer.template step_fused<T>(xin, h, c, scratch.data()); },
+          layers_[li]);
+      xin = h;
+    }
+  }
+  // Dense head as a dot product (fp64 even in quantized mode — one O(H)
+  // reduction contributes nothing to latency but keeps the output scale
+  // exact).
+  const tensor::Matrix& hw = head_.weights();
+  const T* hlast = hbuf.data() + (num_layers - 1) * H;
+  double y = head_.bias()[0];
+  for (std::size_t i = 0; i < H; ++i) y += static_cast<double>(hlast[i]) * hw(i, 0);
+  return y;
 }
 
 tensor::Matrix LstmNetwork::forward_sequence(const std::vector<tensor::Matrix>& sequence) {

@@ -41,7 +41,20 @@ class LstmNetwork {
   /// Forward a batch of univariate windows: x is (B x T) where each row is a
   /// window <J_{i-n}..J_{i-1}>. Returns B scalar predictions. Requires
   /// input_size == 1 and output_size == 1 (the paper's configuration).
+  /// Always runs the layered path and populates the caches backward() needs;
+  /// latency-critical single-window inference goes through forward_one.
   [[nodiscard]] std::vector<double> forward(const tensor::Matrix& x);
+
+  /// Fused single-window inference (DESIGN.md §12): advances every layer one
+  /// timestep at a time via step_fused — no Matrix temporaries, no per-step
+  /// GEMM dispatch — then applies the dense head as a dot product. Honors
+  /// quantized_inference_enabled() by running the recurrent stack in float
+  /// over int8 row-quantized weights (the head stays fp64). Does NOT
+  /// populate backward caches — callers that need backward() must use
+  /// forward(). TrainedModel::predict_next dispatches here when a SIMD
+  /// kernel tier is selected, so LD_KERNEL=blocked|reference keeps the
+  /// layered path bit-identical to pre-fused behavior. Requires 1-in/1-out.
+  [[nodiscard]] double forward_one(std::span<const double> window);
 
   /// General form: `sequence[t]` is a (B x input_size) feature matrix —
   /// supports exogenous features (multivariate forecasting) and multi-step
@@ -75,6 +88,10 @@ class LstmNetwork {
  private:
   using RecurrentLayer = std::variant<LstmLayer, GruLayer>;
 
+  template <typename T>
+  double forward_one_impl(std::span<const double> window, std::vector<T>& hbuf,
+                          std::vector<T>& cbuf, std::vector<T>& scratch);
+
   LstmNetworkConfig config_;
   std::vector<RecurrentLayer> layers_;
   DenseLayer head_;
@@ -86,6 +103,16 @@ class LstmNetwork {
   // One mask per non-final layer, shared across timesteps (variational
   // dropout style), shape (B x H); empty when dropout is inactive.
   std::vector<tensor::Matrix> dropout_masks_;
+  // Reused state/scratch buffers for forward_one (per precision).
+  std::vector<double> fused_hd_, fused_cd_, fused_sd_;
+  std::vector<float> fused_hf_, fused_cf_, fused_sf_;
 };
+
+/// Process-wide toggle for int8 row-quantized fused inference. Resolved from
+/// LD_QUANT=1 on first query; `ld_serve --quant` and tests override it
+/// explicitly. Only affects forward_one — training and batched forward
+/// always run fp64.
+[[nodiscard]] bool quantized_inference_enabled();
+void set_quantized_inference(bool enabled);
 
 }  // namespace ld::nn

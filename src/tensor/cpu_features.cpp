@@ -1,0 +1,98 @@
+#include "tensor/cpu_features.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "tensor/simd_gemm.hpp"
+
+namespace ld::tensor {
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+    f.avx2 = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+std::string kernel_mode_name(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kReference: return "reference";
+    case KernelMode::kBlocked: return "blocked";
+    case KernelMode::kAvx2: return "avx2";
+    case KernelMode::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool kernel_mode_supported(KernelMode mode) noexcept {
+  switch (mode) {
+    case KernelMode::kReference:
+    case KernelMode::kBlocked: return true;
+    case KernelMode::kAvx2: return simd::avx2_kernels_compiled() && cpu_features().avx2;
+    case KernelMode::kAvx512:
+      // The zmm kernels also use AVX2/FMA instructions in their scalar tails.
+      return simd::avx512_kernels_compiled() && cpu_features().avx512f &&
+             cpu_features().avx2;
+  }
+  return false;
+}
+
+namespace {
+
+KernelMode best_supported_tier() noexcept {
+  if (kernel_mode_supported(KernelMode::kAvx512)) return KernelMode::kAvx512;
+  if (kernel_mode_supported(KernelMode::kAvx2)) return KernelMode::kAvx2;
+  return KernelMode::kBlocked;
+}
+
+KernelMode resolve() {
+  const char* env = std::getenv("LD_KERNEL");
+  std::string want = env ? env : "auto";
+  for (char& c : want) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+  KernelMode mode;
+  if (want.empty() || want == "auto") {
+    mode = best_supported_tier();
+  } else if (want == "reference") {
+    mode = KernelMode::kReference;
+  } else if (want == "blocked") {
+    mode = KernelMode::kBlocked;
+  } else if (want == "avx2") {
+    mode = KernelMode::kAvx2;
+  } else if (want == "avx512") {
+    mode = KernelMode::kAvx512;
+  } else {
+    log::warn("LD_KERNEL='" + want + "' not recognized; using auto dispatch");
+    mode = best_supported_tier();
+  }
+  if (!kernel_mode_supported(mode)) {
+    const KernelMode fallback = best_supported_tier();
+    log::warn("LD_KERNEL=" + kernel_mode_name(mode) +
+              " not available on this host/build; falling back to " +
+              kernel_mode_name(fallback));
+    mode = fallback;
+  }
+  // Info metric: ld_kernel_dispatch{tier="..."} 1 — lets an operator confirm
+  // which GEMM tier a serving process selected without attaching a debugger.
+  obs::MetricsRegistry::global()
+      .gauge("ld_kernel_dispatch", {{"tier", kernel_mode_name(mode)}})
+      .set(1.0);
+  return mode;
+}
+
+}  // namespace
+
+KernelMode default_kernel_mode() noexcept {
+  static const KernelMode mode = resolve();
+  return mode;
+}
+
+}  // namespace ld::tensor

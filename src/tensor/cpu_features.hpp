@@ -1,0 +1,34 @@
+// Runtime CPU feature probe and kernel-tier resolution (DESIGN.md §12).
+//
+// The SIMD GEMM tiers (KernelMode::kAvx2 / kAvx512) are compiled into
+// per-ISA translation units whenever the compiler supports the flags, but a
+// binary built on one machine may run on another — so the tier that actually
+// executes is chosen once per process from CPUID, overridable with
+// LD_KERNEL=auto|avx512|avx2|blocked|reference.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace ld::tensor {
+
+struct CpuFeatures {
+  bool avx2 = false;     ///< AVX2 + FMA (checked together; kAvx2 needs both)
+  bool avx512f = false;  ///< AVX-512 Foundation
+};
+
+/// CPUID probe, cached after the first call.
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+/// Human-readable tier name ("avx512", "avx2", "blocked", "reference") —
+/// the same strings LD_KERNEL accepts and the ld_kernel_dispatch metric
+/// reports.
+[[nodiscard]] std::string kernel_mode_name(KernelMode mode);
+
+/// True when `mode` can execute in this process: the reference/blocked tiers
+/// always can; a SIMD tier needs both its kernels compiled in (LD_ENABLE_SIMD
+/// + compiler support) and the CPU feature present.
+[[nodiscard]] bool kernel_mode_supported(KernelMode mode) noexcept;
+
+}  // namespace ld::tensor

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/cpu_features.hpp"
+#include "tensor/simd_gemm.hpp"
+
 namespace ld::tensor {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -60,7 +63,7 @@ Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 
 namespace {
-thread_local KernelMode t_kernel_mode = KernelMode::kBlocked;
+thread_local KernelMode t_kernel_mode = default_kernel_mode();
 
 // Reference kernels: the textbook serial loops the blocked/packed kernels
 // are differentially tested against. Deliberately free of packing, tiling
@@ -202,6 +205,24 @@ void gemm_at_b(const double* a, const double* b, double* c, std::size_t m, std::
     gemm_panel_edge(mi, pack.data(), b, c + i0 * n, k, n);
   }
 }
+
+bool is_simd_tier(KernelMode mode) noexcept {
+  return mode == KernelMode::kAvx2 || mode == KernelMode::kAvx512;
+}
+
+// Tier that actually runs for a problem of m*n*k multiply-adds. A SIMD tier
+// requested on a host/build that cannot execute it (e.g. ScopedKernelMode in
+// a portable test) degrades to kBlocked instead of faulting; below the
+// crossover size the SIMD tiers delegate to the reference loop, whose lack
+// of packing/dispatch overhead wins on tiny shapes (pinned by BM_GemmTiny).
+KernelMode effective_mode(std::size_t flops) {
+  const KernelMode mode = t_kernel_mode;
+  if (is_simd_tier(mode)) {
+    if (!kernel_mode_supported(mode)) return KernelMode::kBlocked;
+    if (flops < simd::kSimdMinFlops) return KernelMode::kReference;
+  }
+  return mode;
+}
 }  // namespace
 
 KernelMode kernel_mode() noexcept { return t_kernel_mode; }
@@ -218,10 +239,18 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
   if (c.rows() != a.rows() || c.cols() != b.cols())
     throw std::invalid_argument("matmul: output shape mismatch");
   if (!accumulate) c.fill(0.0);
-  if (t_kernel_mode == KernelMode::kReference)
-    gemm_reference(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
-  else
-    gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  switch (effective_mode(m * k * n)) {
+    case KernelMode::kReference:
+      gemm_reference(a.data(), b.data(), c.data(), m, k, n);
+      break;
+    case KernelMode::kBlocked:
+      gemm(a.data(), b.data(), c.data(), m, k, n);
+      break;
+    default:
+      simd::gemm(a.data(), b.data(), c.data(), m, k, n, t_kernel_mode);
+      break;
+  }
 }
 
 void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -229,10 +258,18 @@ void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumula
   if (c.rows() != a.cols() || c.cols() != b.cols())
     throw std::invalid_argument("matmul_at_b: output shape mismatch");
   if (!accumulate) c.fill(0.0);
-  if (t_kernel_mode == KernelMode::kReference)
-    gemm_at_b_reference(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
-  else
-    gemm_at_b(a.data(), b.data(), c.data(), a.cols(), a.rows(), b.cols());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  switch (effective_mode(m * k * n)) {
+    case KernelMode::kReference:
+      gemm_at_b_reference(a.data(), b.data(), c.data(), m, k, n);
+      break;
+    case KernelMode::kBlocked:
+      gemm_at_b(a.data(), b.data(), c.data(), m, k, n);
+      break;
+    default:
+      simd::gemm_at_b(a.data(), b.data(), c.data(), m, k, n, t_kernel_mode);
+      break;
+  }
 }
 
 void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumulate) {
@@ -241,9 +278,15 @@ void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c, bool accumula
     throw std::invalid_argument("matmul_a_bt: output shape mismatch");
   if (!accumulate) c.fill(0.0);
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (t_kernel_mode == KernelMode::kReference) {
-    gemm_a_bt_reference(a.data(), b.data(), c.data(), m, k, n);
-    return;
+  switch (effective_mode(m * k * n)) {
+    case KernelMode::kReference:
+      gemm_a_bt_reference(a.data(), b.data(), c.data(), m, k, n);
+      return;
+    case KernelMode::kBlocked:
+      break;  // inline blocked loops below (pre-SIMD production path)
+    default:
+      simd::gemm_a_bt(a.data(), b.data(), c.data(), m, k, n, t_kernel_mode);
+      return;
   }
 #pragma omp parallel for if (m * n * k > 1u << 16)
   for (std::size_t i = 0; i < m; ++i) {

@@ -59,18 +59,31 @@ class Matrix {
 [[nodiscard]] Matrix operator-(Matrix a, const Matrix& b);
 [[nodiscard]] Matrix operator*(Matrix a, double s);
 
-/// Which GEMM implementation the matmul entry points dispatch to. The
-/// blocked/packed kernels are the production path; the reference path is a
-/// plain serial triple loop (no packing, no OpenMP, no register tiling) kept
-/// as the oracle for differential testing (src/verify/). Both paths sum each
-/// C element over k in ascending order, so they agree to within a few ULP —
-/// the bound is pinned by verify::kGemmUlpBound and enforced in verify_test.
-enum class KernelMode { kBlocked, kReference };
+/// Which GEMM implementation the matmul entry points dispatch to
+/// (DESIGN.md §12). Tiers, fastest first:
+///  - kAvx512 / kAvx2: explicit-intrinsic micro-tile kernels over packed
+///    panels (src/tensor/simd_gemm.*), ThreadPool-parallel above a size
+///    threshold, falling back to the reference loop below a crossover size.
+///    Only selectable when compiled in (LD_ENABLE_SIMD) and CPUID agrees.
+///  - kBlocked: the portable register-blocked + OpenMP kernels — the
+///    pre-SIMD production path, kept bit-identical so golden gates pin it.
+///  - kReference: plain serial triple loop (no packing, no OpenMP, no
+///    tiling), the oracle for differential testing (src/verify/).
+/// Every tier sums each C element over k in ascending order in one pass, so
+/// tiers agree within a few ULP — bounds are pinned in verify/ulp.hpp and
+/// enforced in verify_test — and each tier is bit-identical to itself for
+/// any thread count.
+enum class KernelMode { kBlocked, kReference, kAvx2, kAvx512 };
 
 /// Per-thread kernel selection (dispatch happens on the calling thread,
-/// before any OpenMP region, so the mode never races with worker threads).
+/// before any OpenMP/ThreadPool region, so the mode never races with worker
+/// threads). New threads start at default_kernel_mode().
 [[nodiscard]] KernelMode kernel_mode() noexcept;
 void set_kernel_mode(KernelMode mode) noexcept;
+
+/// Process-wide default tier, resolved once from LD_KERNEL
+/// (auto|avx512|avx2|blocked|reference) and CPUID (src/tensor/cpu_features.*).
+[[nodiscard]] KernelMode default_kernel_mode() noexcept;
 
 /// RAII kernel-mode switch for differential tests and LD_VERIFY_DIFF.
 class ScopedKernelMode {

@@ -1,0 +1,180 @@
+// Driver for the SIMD GEMM tiers: packs operands into the panel layout
+// described in simd_gemm.hpp, walks row panels (optionally over the global
+// ThreadPool) and hands micro-tiles to the per-ISA kernel TUs.
+#include "tensor/simd_gemm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace ld::tensor::simd {
+
+bool avx2_kernels_compiled() noexcept {
+#if defined(LD_HAVE_AVX2_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx512_kernels_compiled() noexcept {
+#if defined(LD_HAVE_AVX512_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+struct Tier {
+  std::size_t mr;         // C rows per micro-tile
+  std::size_t tile_cols;  // C cols per micro-tile (1 or 2 packed panels)
+  void (*tile)(const double*, const double*, double*, std::size_t, std::size_t,
+               std::size_t, std::size_t);
+};
+
+Tier tier_desc([[maybe_unused]] KernelMode tier) {
+#if defined(LD_HAVE_AVX512_KERNELS)
+  if (tier == KernelMode::kAvx512)
+    return {kMrAvx512, 2 * kPanelWidth, &gemm_tile_avx512};
+#endif
+#if defined(LD_HAVE_AVX2_KERNELS)
+  if (tier == KernelMode::kAvx2) return {kMrAvx2, kPanelWidth, &gemm_tile_avx2};
+#endif
+  // matrix.cpp only dispatches here after kernel_mode_supported() passed, so
+  // this is unreachable in a correct build.
+  std::abort();
+}
+
+// Per-thread pack scratch. The B pack belongs to the thread that dispatched
+// the GEMM (workers read it through a captured pointer); the A pack is
+// per-row-panel and lives on whichever thread runs that panel. Two distinct
+// slots so a dispatching thread that also executes panels never aliases.
+thread_local std::vector<double> t_bpack;
+thread_local std::vector<double> t_apack;
+
+// B (k x n row-major) -> zero-padded 8-wide panels.
+void pack_b_rows(const double* b, double* dst, std::size_t k, std::size_t n) {
+  const std::size_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  for (std::size_t pj = 0; pj < panels; ++pj) {
+    const std::size_t j0 = pj * kPanelWidth;
+    const std::size_t jw = std::min(kPanelWidth, n - j0);
+    double* panel = dst + pj * k * kPanelWidth;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* src = b + p * n + j0;
+      double* prow = panel + p * kPanelWidth;
+      for (std::size_t jj = 0; jj < jw; ++jj) prow[jj] = src[jj];
+      for (std::size_t jj = jw; jj < kPanelWidth; ++jj) prow[jj] = 0.0;
+    }
+  }
+}
+
+// B stored transposed (n x k; logical B = store^T) -> same panel layout.
+void pack_b_cols(const double* b, double* dst, std::size_t k, std::size_t n) {
+  const std::size_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  for (std::size_t pj = 0; pj < panels; ++pj) {
+    const std::size_t j0 = pj * kPanelWidth;
+    const std::size_t jw = std::min(kPanelWidth, n - j0);
+    double* panel = dst + pj * k * kPanelWidth;
+    for (std::size_t jj = 0; jj < jw; ++jj) {
+      const double* brow = b + (j0 + jj) * k;  // contiguous in the store
+      for (std::size_t p = 0; p < k; ++p) panel[p * kPanelWidth + jj] = brow[p];
+    }
+    for (std::size_t jj = jw; jj < kPanelWidth; ++jj)
+      for (std::size_t p = 0; p < k; ++p) panel[p * kPanelWidth + jj] = 0.0;
+  }
+}
+
+// A (m x k row-major) rows [i0, i0+mi) -> p-major panel zero-padded to mr
+// rows, so the micro-tile always computes a full register block and the
+// padding rows are simply never stored.
+void pack_a_rows(const double* a, double* ap, std::size_t i0, std::size_t mi,
+                 std::size_t mr, std::size_t k) {
+  for (std::size_t ii = 0; ii < mi; ++ii) {
+    const double* arow = a + (i0 + ii) * k;
+    for (std::size_t p = 0; p < k; ++p) ap[p * mr + ii] = arow[p];
+  }
+  for (std::size_t ii = mi; ii < mr; ++ii)
+    for (std::size_t p = 0; p < k; ++p) ap[p * mr + ii] = 0.0;
+}
+
+// A stored transposed (k x m; logical A = store^T): the panel source is
+// already column-contiguous, so packing is a strided row copy.
+void pack_a_cols(const double* a, double* ap, std::size_t i0, std::size_t mi,
+                 std::size_t mr, std::size_t k, std::size_t m) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* acol = a + p * m + i0;
+    double* prow = ap + p * mr;
+    for (std::size_t ii = 0; ii < mi; ++ii) prow[ii] = acol[ii];
+    for (std::size_t ii = mi; ii < mr; ++ii) prow[ii] = 0.0;
+  }
+}
+
+enum class AForm { kRows, kCols };
+
+// Shared panel walk. B is already packed (pointer valid for the whole call);
+// each row panel packs its own A slice into the executing thread's scratch
+// and sweeps the packed B panels. Row panels are independent — each C element
+// belongs to exactly one panel and accumulates in ascending-p order inside
+// the micro-tile — so distributing them over the pool cannot change results.
+void drive(const double* a, double* c, std::size_t m, std::size_t k, std::size_t n,
+           KernelMode tier, AForm aform, const double* bpack) {
+  const Tier td = tier_desc(tier);
+  const std::size_t row_panels = (m + td.mr - 1) / td.mr;
+  const auto run_panel = [&](std::size_t rp) {
+    std::vector<double>& apack = t_apack;
+    if (apack.size() < k * td.mr) apack.resize(k * td.mr);
+    const std::size_t i0 = rp * td.mr;
+    const std::size_t mi = std::min(td.mr, m - i0);
+    if (aform == AForm::kRows)
+      pack_a_rows(a, apack.data(), i0, mi, td.mr, k);
+    else
+      pack_a_cols(a, apack.data(), i0, mi, td.mr, k, m);
+    for (std::size_t j0 = 0; j0 < n; j0 += td.tile_cols) {
+      const std::size_t jw = std::min(td.tile_cols, n - j0);
+      td.tile(apack.data(), bpack + (j0 / kPanelWidth) * k * kPanelWidth,
+              c + i0 * n + j0, n, k, mi, jw);
+    }
+  };
+  ThreadPool& pool = ThreadPool::global();
+  if (m * n * k >= kParallelMinFlops && pool.concurrency() > 1 &&
+      !ThreadPool::in_worker()) {
+    pool.parallel_for(0, row_panels, run_panel);
+  } else {
+    for (std::size_t rp = 0; rp < row_panels; ++rp) run_panel(rp);
+  }
+}
+
+double* bpack_for(std::size_t k, std::size_t n) {
+  const std::size_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  if (t_bpack.size() < panels * k * kPanelWidth) t_bpack.resize(panels * k * kPanelWidth);
+  return t_bpack.data();
+}
+
+}  // namespace
+
+void gemm(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+          std::size_t n, KernelMode tier) {
+  double* bp = bpack_for(k, n);
+  pack_b_rows(b, bp, k, n);
+  drive(a, c, m, k, n, tier, AForm::kRows, bp);
+}
+
+void gemm_at_b(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+               std::size_t n, KernelMode tier) {
+  double* bp = bpack_for(k, n);
+  pack_b_rows(b, bp, k, n);
+  drive(a, c, m, k, n, tier, AForm::kCols, bp);
+}
+
+void gemm_a_bt(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+               std::size_t n, KernelMode tier) {
+  double* bp = bpack_for(k, n);
+  pack_b_cols(b, bp, k, n);
+  drive(a, c, m, k, n, tier, AForm::kRows, bp);
+}
+
+}  // namespace ld::tensor::simd

@@ -1,0 +1,53 @@
+// AVX2/FMA micro-tile: 4 C rows x 8 C cols in 8 ymm accumulators over one
+// packed B panel. Compiled with -mavx2 -mfma in its own TU (see
+// src/tensor/CMakeLists.txt); the driver only calls it after a CPUID check.
+#include <immintrin.h>
+
+#include "tensor/simd_gemm.hpp"
+
+namespace ld::tensor::simd {
+
+void gemm_tile_avx2(const double* ap, const double* bp, double* c, std::size_t ldc,
+                    std::size_t k, std::size_t mi, std::size_t jw) {
+  constexpr std::size_t kMr = kMrAvx2;
+  __m256d acc0[kMr], acc1[kMr];
+  for (std::size_t i = 0; i < kMr; ++i) acc0[i] = acc1[i] = _mm256_setzero_pd();
+  const auto step = [&](std::size_t p) {
+    const __m256d bv0 = _mm256_loadu_pd(bp + p * kPanelWidth);
+    const __m256d bv1 = _mm256_loadu_pd(bp + p * kPanelWidth + 4);
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const __m256d av = _mm256_broadcast_sd(ap + p * kMr + i);
+      acc0[i] = _mm256_fmadd_pd(av, bv0, acc0[i]);
+      acc1[i] = _mm256_fmadd_pd(av, bv1, acc1[i]);
+    }
+  };
+  std::size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    _mm_prefetch(reinterpret_cast<const char*>(bp + (p + 16) * kPanelWidth),
+                 _MM_HINT_T0);
+    step(p);
+    step(p + 1);
+    step(p + 2);
+    step(p + 3);
+  }
+  for (; p < k; ++p) step(p);
+  if (jw == kPanelWidth) {
+    for (std::size_t i = 0; i < mi; ++i) {
+      double* crow = c + i * ldc;
+      _mm256_storeu_pd(crow, _mm256_add_pd(_mm256_loadu_pd(crow), acc0[i]));
+      _mm256_storeu_pd(crow + 4, _mm256_add_pd(_mm256_loadu_pd(crow + 4), acc1[i]));
+    }
+  } else {
+    // Edge columns: spill the (zero-padded) accumulators and add the live
+    // lanes scalar-wise — AVX2 lacks the cheap masked double stores.
+    alignas(32) double tmp[kPanelWidth];
+    for (std::size_t i = 0; i < mi; ++i) {
+      _mm256_store_pd(tmp, acc0[i]);
+      _mm256_store_pd(tmp + 4, acc1[i]);
+      double* crow = c + i * ldc;
+      for (std::size_t jj = 0; jj < jw; ++jj) crow[jj] += tmp[jj];
+    }
+  }
+}
+
+}  // namespace ld::tensor::simd

@@ -1,0 +1,84 @@
+// AVX-512 micro-tile: 8 C rows x 16 C cols held in 16 zmm accumulators, fed
+// by one broadcast per packed-A element and two contiguous panel loads per
+// reduction step. Compiled with -mavx512f in its own TU (see
+// src/tensor/CMakeLists.txt); the driver only calls it after a CPUID check.
+#include <immintrin.h>
+
+#include "tensor/simd_gemm.hpp"
+
+namespace ld::tensor::simd {
+
+void gemm_tile_avx512(const double* ap, const double* bp, double* c, std::size_t ldc,
+                      std::size_t k, std::size_t mi, std::size_t jw) {
+  constexpr std::size_t kMr = kMrAvx512;
+  if (jw > kPanelWidth) {
+    // Two-panel (up to 8x16) path. The second panel is zero-padded past jw,
+    // so the accumulators stay clean and only the store needs a mask.
+    const double* bp1 = bp + k * kPanelWidth;
+    __m512d acc0[kMr], acc1[kMr];
+    for (std::size_t i = 0; i < kMr; ++i) acc0[i] = acc1[i] = _mm512_setzero_pd();
+    const auto step = [&](std::size_t p) {
+      const __m512d bv0 = _mm512_loadu_pd(bp + p * kPanelWidth);
+      const __m512d bv1 = _mm512_loadu_pd(bp1 + p * kPanelWidth);
+      for (std::size_t i = 0; i < kMr; ++i) {
+        const __m512d av = _mm512_set1_pd(ap[p * kMr + i]);
+        acc0[i] = _mm512_fmadd_pd(av, bv0, acc0[i]);
+        acc1[i] = _mm512_fmadd_pd(av, bv1, acc1[i]);
+      }
+    };
+    std::size_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      // Prefetching never faults, so reading past the packed extent is fine.
+      _mm_prefetch(reinterpret_cast<const char*>(bp + (p + 16) * kPanelWidth),
+                   _MM_HINT_T0);
+      _mm_prefetch(reinterpret_cast<const char*>(bp1 + (p + 16) * kPanelWidth),
+                   _MM_HINT_T0);
+      step(p);
+      step(p + 1);
+      step(p + 2);
+      step(p + 3);
+    }
+    for (; p < k; ++p) step(p);
+    if (jw == 2 * kPanelWidth) {
+      for (std::size_t i = 0; i < mi; ++i) {
+        double* crow = c + i * ldc;
+        _mm512_storeu_pd(crow, _mm512_add_pd(_mm512_loadu_pd(crow), acc0[i]));
+        _mm512_storeu_pd(crow + kPanelWidth,
+                         _mm512_add_pd(_mm512_loadu_pd(crow + kPanelWidth), acc1[i]));
+      }
+    } else {
+      const __mmask8 mask = static_cast<__mmask8>((1u << (jw - kPanelWidth)) - 1u);
+      for (std::size_t i = 0; i < mi; ++i) {
+        double* crow = c + i * ldc;
+        _mm512_storeu_pd(crow, _mm512_add_pd(_mm512_loadu_pd(crow), acc0[i]));
+        double* ctail = crow + kPanelWidth;
+        _mm512_mask_storeu_pd(
+            ctail, mask, _mm512_add_pd(_mm512_maskz_loadu_pd(mask, ctail), acc1[i]));
+      }
+    }
+  } else {
+    // Single-panel (up to 8x8) path with a masked write-back for jw < 8.
+    __m512d acc[kMr];
+    for (std::size_t i = 0; i < kMr; ++i) acc[i] = _mm512_setzero_pd();
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m512d bv = _mm512_loadu_pd(bp + p * kPanelWidth);
+      for (std::size_t i = 0; i < kMr; ++i)
+        acc[i] = _mm512_fmadd_pd(_mm512_set1_pd(ap[p * kMr + i]), bv, acc[i]);
+    }
+    if (jw == kPanelWidth) {
+      for (std::size_t i = 0; i < mi; ++i) {
+        double* crow = c + i * ldc;
+        _mm512_storeu_pd(crow, _mm512_add_pd(_mm512_loadu_pd(crow), acc[i]));
+      }
+    } else {
+      const __mmask8 mask = static_cast<__mmask8>((1u << jw) - 1u);
+      for (std::size_t i = 0; i < mi; ++i) {
+        double* crow = c + i * ldc;
+        _mm512_mask_storeu_pd(
+            crow, mask, _mm512_add_pd(_mm512_maskz_loadu_pd(mask, crow), acc[i]));
+      }
+    }
+  }
+}
+
+}  // namespace ld::tensor::simd

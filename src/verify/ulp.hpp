@@ -34,6 +34,30 @@ inline constexpr std::uint64_t kGemmUlpBound = 16;    ///< one GEMM call
 inline constexpr std::uint64_t kLstmUlpBound = 1024;  ///< a full recurrent forward pass
 inline constexpr std::uint64_t kPredictUlpBound = 4096;  ///< multi-step serving forecast
 
+/// One SIMD-tier GEMM call (kAvx2/kAvx512, serial or ThreadPool-parallel) vs
+/// the scalar reference. The micro-tiles keep the ascending-k single-pass
+/// order, so divergence is still just FMA contraction — but the explicit
+/// intrinsic FMAs can differ from whatever the compiler contracted in the
+/// reference loop, so the bound gets headroom over kGemmUlpBound.
+inline constexpr std::uint64_t kSimdGemmUlpBound = 64;
+
+/// Fused single-timestep inference (LstmNetwork::forward_one) vs the layered
+/// reference forward, end to end through a serving predict. The fused step
+/// accumulates the W and U contributions into one running sum instead of two
+/// separately-summed GEMV results added once, and that regrouping compounds
+/// through T recurrent steps of squashing nonlinearities — hence a larger
+/// bound than kPredictUlpBound. Only meaningful on well-scaled (trained,
+/// positive) predictions, like the other bounds.
+inline constexpr std::uint64_t kFusedPredictUlpBound = 65536;
+
+/// Accuracy guardrail for int8 row-quantized inference (LD_QUANT): the
+/// fig9-style test MAPE under quantization may exceed the fp64 MAPE by at
+/// most this many percentage points on the golden workloads. Quantization is
+/// a deliberate approximation, so it is bounded in model-quality units, not
+/// ULPs. Pinned from measurement: observed deltas are < 0.2 pp (see
+/// verify_test QuantizedInference).
+inline constexpr double kQuantMapeTolerancePp = 1.0;
+
 /// Distance in representable doubles between a and b. 0 means bit-identical
 /// (or +0.0 vs -0.0). NaN against a number, or mismatched infinities, is
 /// UINT64_MAX; two NaNs count as agreement (both paths failed identically).

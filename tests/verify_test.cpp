@@ -1,6 +1,9 @@
-// Tests for the verification harness (DESIGN.md §11): the golden-file
+// Tests for the verification harness (DESIGN.md §11/§12): the golden-file
 // framework, ULP helpers, and the differential kernel suite that enforces
-// the documented reference-vs-blocked agreement bounds.
+// the documented agreement bounds — reference vs blocked, reference vs the
+// AVX2/AVX-512 SIMD tiers (serial and ThreadPool-parallel), and the fused
+// single-timestep inference path (fp64 and int8-quantized).
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -12,11 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/loaddynamics.hpp"
 #include "core/model.hpp"
+#include "nn/network.hpp"
 #include "serving/service.hpp"
+#include "tensor/cpu_features.hpp"
 #include "tensor/matrix.hpp"
 #include "test_util.hpp"
 #include "verify/golden.hpp"
@@ -240,13 +246,18 @@ TEST(DifferentialGemm, AccumulateVariantAgrees) {
 
 TEST(DifferentialGemm, KernelModeIsThreadLocal) {
   // Selecting the reference kernel on this thread must not leak into other
-  // threads: a fresh thread still runs the production blocked path. (A
-  // ThreadPool::submit would not prove this — it executes inline on the
-  // caller when the pool has no workers.)
+  // threads: a fresh thread still starts at the dispatched production tier
+  // (default_kernel_mode() — LD_KERNEL/CPUID). (A ThreadPool::submit would
+  // not prove this — it executes inline on the caller when the pool has no
+  // workers.)
   Rng rng(3);
   const tensor::Matrix a = random_matrix(40, 40, rng);
   const tensor::Matrix b = random_matrix(40, 40, rng);
-  const tensor::Matrix blocked = tensor::matmul(a, b);
+  tensor::Matrix dispatched;
+  {
+    tensor::ScopedKernelMode pin(tensor::default_kernel_mode());
+    dispatched = tensor::matmul(a, b);
+  }
 
   tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
   ASSERT_EQ(tensor::kernel_mode(), tensor::KernelMode::kReference);
@@ -257,10 +268,132 @@ TEST(DifferentialGemm, KernelModeIsThreadLocal) {
     from_thread = tensor::matmul(a, b);
   });
   worker.join();
-  EXPECT_EQ(seen, tensor::KernelMode::kBlocked)
-      << "a fresh thread must default to the production blocked kernels";
-  EXPECT_EQ(verify::max_ulp_distance(from_thread.flat(), blocked.flat()), 0u)
-      << "cross-thread result must be bit-identical to the blocked path";
+  EXPECT_EQ(seen, tensor::default_kernel_mode())
+      << "a fresh thread must default to the dispatched production tier";
+  EXPECT_EQ(verify::max_ulp_distance(from_thread.flat(), dispatched.flat()), 0u)
+      << "cross-thread result must be bit-identical to the dispatched tier";
+}
+
+// ---------------------------------------------------------------------------
+// SIMD tiers (DESIGN.md §12): AVX2/AVX-512 micro-kernels, serial and
+// ThreadPool-parallel, against the scalar reference. Skipped (not failed)
+// when the host or build lacks the ISA — the LD_ENABLE_SIMD=OFF CI job
+// exercises exactly that fallback.
+
+std::vector<tensor::KernelMode> supported_simd_tiers() {
+  std::vector<tensor::KernelMode> tiers;
+  for (const tensor::KernelMode mode :
+       {tensor::KernelMode::kAvx2, tensor::KernelMode::kAvx512})
+    if (tensor::kernel_mode_supported(mode)) tiers.push_back(mode);
+  return tiers;
+}
+
+TEST(DifferentialGemm, SimdTiersMatchReferenceWithinBound) {
+  const auto tiers = supported_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "no SIMD kernel tier available on this host";
+  Rng rng(42);
+  // Shapes straddle the micro-tile geometry (MR=4/8, 8/16-wide panels) and
+  // the small-size crossover: remainder rows, masked tail columns, and one
+  // sub-crossover case that must delegate to the reference loop.
+  for (const auto [m, k, n] : {std::array<std::size_t, 3>{1, 1, 1},
+                               {3, 5, 7},
+                               {8, 8, 8},
+                               {17, 33, 9},
+                               {64, 64, 64},
+                               {120, 70, 50},
+                               {65, 31, 97}}) {
+    const tensor::Matrix a = random_matrix(m, k, rng);
+    const tensor::Matrix b = random_matrix(k, n, rng);
+    tensor::Matrix reference;
+    {
+      tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+      reference = tensor::matmul(a, b);
+    }
+    for (const tensor::KernelMode tier : tiers) {
+      tensor::ScopedKernelMode mode(tier);
+      const tensor::Matrix simd = tensor::matmul(a, b);
+      EXPECT_LE(verify::max_ulp_distance(simd.flat(), reference.flat()),
+                verify::kSimdGemmUlpBound)
+          << tensor::kernel_mode_name(tier) << " matmul " << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+TEST(DifferentialGemm, SimdTransposedAndAccumulateVariantsMatchReference) {
+  const auto tiers = supported_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "no SIMD kernel tier available on this host";
+  Rng rng(7);
+  const std::size_t m = 31, k = 45, n = 23;
+  const tensor::Matrix a = random_matrix(k, m, rng);  // used as A^T * B
+  const tensor::Matrix b = random_matrix(k, n, rng);
+  const tensor::Matrix c = random_matrix(m, k, rng);  // used as C * D^T
+  const tensor::Matrix d = random_matrix(n, k, rng);
+  const tensor::Matrix e = random_matrix(k, n, rng);  // accumulate multiplicand
+  const tensor::Matrix seed = random_matrix(m, n, rng);  // accumulate seed
+
+  tensor::Matrix atb_ref(m, n), abt_ref(m, n);
+  tensor::Matrix acc_ref = seed;
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    tensor::matmul_at_b_into(a, b, atb_ref);
+    tensor::matmul_a_bt_into(c, d, abt_ref);
+    tensor::matmul_into(c, e, acc_ref, /*accumulate=*/true);
+  }
+  for (const tensor::KernelMode tier : tiers) {
+    tensor::Matrix atb(m, n), abt(m, n);
+    tensor::Matrix acc = seed;
+    tensor::ScopedKernelMode mode(tier);
+    tensor::matmul_at_b_into(a, b, atb);
+    tensor::matmul_a_bt_into(c, d, abt);
+    tensor::matmul_into(c, e, acc, /*accumulate=*/true);
+    const std::string name = tensor::kernel_mode_name(tier);
+    EXPECT_LE(verify::max_ulp_distance(atb.flat(), atb_ref.flat()),
+              verify::kSimdGemmUlpBound)
+        << name << " matmul_at_b";
+    EXPECT_LE(verify::max_ulp_distance(abt.flat(), abt_ref.flat()),
+              verify::kSimdGemmUlpBound)
+        << name << " matmul_a_bt";
+    EXPECT_LE(verify::max_ulp_distance(acc.flat(), acc_ref.flat()),
+              verify::kSimdGemmUlpBound)
+        << name << " matmul_into(accumulate)";
+  }
+}
+
+TEST(ParallelGemm, BitIdenticalAcrossPoolSizes) {
+  // The row-panel partitioning gives every C element exactly one owning
+  // micro-tile with a single ascending-k accumulation pass, so a parallel
+  // GEMM is bit-identical to the serial one — for any pool size. This is the
+  // determinism contract DESIGN.md §12 documents; the TSan job runs this
+  // same test for data races.
+  const auto tiers = supported_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "no SIMD kernel tier available on this host";
+  Rng rng(17);
+  // Big enough to clear kParallelMinFlops (2^22): 180*160*170 ≈ 4.9M flops.
+  const tensor::Matrix a = random_matrix(180, 160, rng);
+  const tensor::Matrix b = random_matrix(160, 170, rng);
+
+  tensor::Matrix reference;
+  {
+    tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    reference = tensor::matmul(a, b);
+  }
+
+  const std::size_t original_size = ThreadPool::global().size();
+  for (const tensor::KernelMode tier : tiers) {
+    tensor::ScopedKernelMode mode(tier);
+    ThreadPool::set_global_size(1);
+    const tensor::Matrix serial = tensor::matmul(a, b);
+    for (const std::size_t workers : {4u, 3u}) {
+      ThreadPool::set_global_size(workers);
+      const tensor::Matrix parallel = tensor::matmul(a, b);
+      EXPECT_EQ(verify::max_ulp_distance(parallel.flat(), serial.flat()), 0u)
+          << tensor::kernel_mode_name(tier) << " with " << workers << " workers";
+    }
+    EXPECT_LE(verify::max_ulp_distance(serial.flat(), reference.flat()),
+              verify::kSimdGemmUlpBound)
+        << tensor::kernel_mode_name(tier);
+  }
+  ThreadPool::set_global_size(original_size);
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +484,139 @@ TEST(ServingDiff, LivePredictPassesDifferentialCheck) {
   ASSERT_EQ(result.forecast.size(), 6u);
   EXPECT_EQ(mismatches.delta(), 0u)
       << "blocked and reference kernels diverged beyond kPredictUlpBound";
+}
+
+TEST(ServingDiff, FusedLivePredictPassesDifferentialCheck) {
+  // Same differential check with a SIMD tier live: the service predict takes
+  // the fused single-timestep path while the shadow recompute runs the
+  // layered reference — so LD_VERIFY_DIFF exercises exactly the fused-vs-
+  // layered comparison, against the wider kFusedPredictUlpBound.
+  const auto tiers = supported_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "no SIMD kernel tier available on this host";
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+
+  serving::ServiceConfig config;
+  config.background_retrain = false;
+  serving::PredictionService service(config);
+  service.publish("fuseddiff", *model);
+  service.observe_many("fuseddiff", series);
+
+  for (const tensor::KernelMode tier : tiers) {
+    const tensor::ScopedKernelMode mode(tier);
+    const testutil::CounterDelta mismatches("ld_verify_diff_mismatch_total",
+                                            {{"workload", "fuseddiff"}});
+    serving::set_verify_diff(true);
+    const auto result = service.predict_detailed("fuseddiff", 6);
+    serving::set_verify_diff(false);
+
+    EXPECT_EQ(result.level, fault::DegradationLevel::kLive);
+    ASSERT_EQ(result.forecast.size(), 6u);
+    EXPECT_EQ(mismatches.delta(), 0u)
+        << tensor::kernel_mode_name(tier)
+        << " fused predict diverged from the layered reference beyond "
+           "kFusedPredictUlpBound";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused single-timestep inference (DESIGN.md §12): forward_one vs the
+// layered forward, unit-level for both cell types and end-to-end through the
+// trained predict path.
+
+TEST(DifferentialFused, ForwardOneMatchesLayeredForwardBothCells) {
+  // Unit-level, host-independent: forward_one is scalar code, so it runs
+  // (and must agree) even when no SIMD GEMM tier exists. Untrained-network
+  // outputs can sit near zero where ULP distances blow up, so this test uses
+  // a relative tolerance instead (the regrouped accumulation agrees to
+  // ~1e-13 relative in practice).
+  nn::set_quantized_inference(false);
+  for (const nn::CellType cell : {nn::CellType::kLstm, nn::CellType::kGru}) {
+    nn::LstmNetworkConfig cfg;
+    cfg.hidden_size = 16;
+    cfg.num_layers = 2;
+    cfg.cell = cell;
+    nn::LstmNetwork net(cfg, 7);
+    Rng rng(5);
+    std::vector<double> window(24);
+    for (double& v : window) v = rng.uniform(0.5, 2.0);
+    tensor::Matrix x(1, window.size());
+    for (std::size_t t = 0; t < window.size(); ++t) x(0, t) = window[t];
+
+    double layered = 0.0;
+    {
+      // kReference keeps forward() on the layered path regardless of host.
+      const tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+      layered = net.forward(x)[0];
+    }
+    const double fused = net.forward_one(window);
+    EXPECT_NEAR(fused, layered, 1e-9 * std::max(1.0, std::abs(layered)))
+        << nn::cell_type_name(cell);
+  }
+}
+
+TEST(DifferentialFused, TrainedPredictWithinFusedBound) {
+  const auto tiers = supported_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "no SIMD kernel tier available on this host";
+  nn::set_quantized_inference(false);
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+
+  double reference = 0.0;
+  std::vector<double> horizon_ref;
+  {
+    const tensor::ScopedKernelMode mode(tensor::KernelMode::kReference);
+    reference = model->predict_next(series);
+    horizon_ref = model->predict_horizon(series, 12);
+  }
+  for (const tensor::KernelMode tier : tiers) {
+    const tensor::ScopedKernelMode mode(tier);
+    const double fused = model->predict_next(series);
+    const std::vector<double> horizon = model->predict_horizon(series, 12);
+    const std::string name = tensor::kernel_mode_name(tier);
+    EXPECT_LE(verify::ulp_distance(fused, reference), verify::kFusedPredictUlpBound)
+        << name << " predict_next";
+    EXPECT_LE(verify::max_ulp_distance(horizon, horizon_ref),
+              verify::kFusedPredictUlpBound)
+        << name << " predict_horizon";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization guardrail (ISSUE satellite): int8 row-quantized inference is
+// a deliberate approximation, so it is bounded in model-quality units — the
+// fig9-style walk-forward test MAPE may exceed the fp64 MAPE by at most
+// verify::kQuantMapeTolerancePp percentage points.
+
+TEST(QuantizedInference, WalkForwardMapeWithinGuardrail) {
+  const auto tiers = supported_simd_tiers();
+  if (tiers.empty()) GTEST_SKIP() << "quantized path needs the fused (SIMD-tier) predict";
+  const std::vector<double> series = testutil::seasonal_series(160, 100.0, 15.0, 24.0, 5);
+  const auto model = quick_model(series);
+  const std::size_t test_start = 120;
+
+  const tensor::ScopedKernelMode mode(tiers.back());
+  const auto walk_forward = [&](bool quantized) {
+    nn::set_quantized_inference(quantized);
+    std::vector<double> preds;
+    preds.reserve(series.size() - test_start);
+    for (std::size_t i = test_start; i < series.size(); ++i)
+      preds.push_back(model->predict_next({series.data(), i}));
+    return preds;
+  };
+  const std::vector<double> fp64_preds = walk_forward(false);
+  const std::vector<double> int8_preds = walk_forward(true);
+  nn::set_quantized_inference(false);
+
+  const std::span<const double> actual(series.data() + test_start,
+                                       series.size() - test_start);
+  const double fp64_mape = metrics::mape(actual, fp64_preds);
+  const double int8_mape = metrics::mape(actual, int8_preds);
+  EXPECT_NE(fp64_preds, int8_preds)
+      << "quantized inference produced bit-identical forecasts — the int8 "
+         "path did not engage";
+  EXPECT_LE(std::abs(int8_mape - fp64_mape), verify::kQuantMapeTolerancePp)
+      << "fp64 MAPE " << fp64_mape << "% vs int8 MAPE " << int8_mape << "%";
 }
 
 // ---------------------------------------------------------------------------
