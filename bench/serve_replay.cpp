@@ -8,6 +8,16 @@
 //                [--workloads 2|3] [--epochs 12] [--no-retrain] [--seed 2020]
 //                [--trace out.json] [--faults SPEC] [--fault-seed 42]
 //                [--retrain-timeout S] [--checkpoint-dir D]
+//   serve_replay --connect [--curve 1000,5000,10000] [--threads 4]
+//                [--requests 2000] [--horizon 4] [--shards N] [--epochs 12]
+//
+// --connect mode is the fleet-scale benchmark (DESIGN.md §13): it starts an
+// in-process net::Server on an ephemeral port, registers the requested
+// workload counts (one small shared model fanned out under distinct names,
+// each with a short warm history), and drives binary-framed BPREDICT /
+// BOBSERVE traffic through real client sockets. For every point on the
+// curve it prints client-observed p50/p95/p99 latency and throughput, so
+// the output is a latency-vs-workload-count curve over TCP.
 //
 // Chaos mode (--faults / LD_FAULTS, see docs/API.md): injects checkpoint
 // failures, retrain hangs, NaN forecasts, etc. The exit code asserts the
@@ -27,6 +37,7 @@
 #include <array>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +48,8 @@
 #include "common/thread_pool.hpp"
 #include "fault/fallback.hpp"
 #include "fault/injector.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serving/service.hpp"
@@ -50,10 +63,190 @@ struct WorkloadSetup {
   workloads::TraceKind kind;
 };
 
+std::vector<std::size_t> parse_curve(const std::string& spec) {
+  std::vector<std::size_t> counts;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token = spec.substr(pos, comma == std::string::npos
+                                                   ? std::string::npos
+                                                   : comma - pos);
+    if (!token.empty()) counts.push_back(static_cast<std::size_t>(std::stoull(token)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (counts.empty()) throw std::invalid_argument("serve_replay: empty --curve");
+  for (std::size_t i = 1; i < counts.size(); ++i)
+    if (counts[i] <= counts[i - 1])
+      throw std::invalid_argument("serve_replay: --curve must be strictly increasing");
+  return counts;
+}
+
+/// Fleet-scale TCP benchmark: register `--curve` workload counts against an
+/// in-process server and measure client-observed binary-frame latency.
+int run_connect_mode(const cli::Args& args) {
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 4));
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 2000));
+  const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
+  const std::vector<std::size_t> curve = parse_curve(args.get("curve", "1000,5000,10000"));
+
+  fault::init_from_env();
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty())
+    fault::Injector::instance().configure(
+        faults, static_cast<std::uint64_t>(args.get_int("fault-seed", 42)));
+  // Under chaos, dropped connections and shed requests are the point, not a
+  // contract violation: the pass criterion degrades to "the server survives
+  // and a fresh client still gets a finite forecast afterwards".
+  const bool chaos = fault::Injector::enabled();
+
+  // Registration dominates setup at 10k tenants, so the fleet shares one
+  // small trained model under distinct names; the latency being measured is
+  // the serving path (socket -> frame -> shard lookup -> forecast), which is
+  // identical whether the snapshots are distinct or shared.
+  serving::ServiceConfig cfg;
+  cfg.replicas = 1;
+  cfg.background_retrain = false;  // keep the curve free of retrain noise
+  cfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  cfg.adaptive.base.seed = seed;
+  serving::PredictionService service(cfg);
+
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kWikipedia, 30, {.days = 10.0, .seed = seed});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  core::LoadDynamicsConfig ld_cfg;
+  ld_cfg.training.trainer.max_epochs = epochs;
+  ld_cfg.training.trainer.min_updates = 200;
+  ld_cfg.seed = seed;
+  const core::Hyperparameters hp{.history_length = 16, .cell_size = 12, .num_layers = 1,
+                                 .batch_size = 32};
+  std::printf("training one shared model (%zu epochs)...\n", epochs);
+  const auto model = core::LoadDynamics(ld_cfg).train_one(split.train, split.validation, hp);
+  const std::vector<double>& warm_src = split.train;
+  const std::size_t warm_len = std::min<std::size_t>(32, warm_src.size());
+  const std::vector<double> warm(warm_src.end() - static_cast<std::ptrdiff_t>(warm_len),
+                                 warm_src.end());
+
+  net::ServerConfig server_cfg;
+  server_cfg.port = 0;  // ephemeral
+  server_cfg.max_connections = std::max<std::size_t>(64, threads * 2);
+  net::Server server(service, server_cfg);
+  std::thread server_thread([&server] { server.run(); });
+  std::printf("fleet server on 127.0.0.1:%u, %zu shards, curve:", server.port(),
+              service.config().shards);
+  for (const std::size_t c : curve) std::printf(" %zu", c);
+  std::printf("\n\n%10s %10s %10s %12s %10s %10s %10s %10s\n", "workloads", "requests",
+              "elapsed", "req/s", "p50(us)", "p95(us)", "p99(us)", "max(us)");
+
+  std::size_t registered = 0;
+  std::atomic<std::size_t> errors{0};      ///< bad replies on a live connection
+  std::atomic<std::size_t> shed{0};        ///< 503 SHED replies
+  std::atomic<std::size_t> disconnects{0}; ///< connections lost mid-request
+  for (const std::size_t target : curve) {
+    const Stopwatch reg_clock;
+    for (; registered < target; ++registered) {
+      char name[16];
+      std::snprintf(name, sizeof name, "w%05zu", registered);
+      service.publish(name, *model);
+      service.observe_many(name, warm);
+    }
+    const double reg_seconds = reg_clock.seconds();
+
+    // Client threads each own a socket and stride deterministically across
+    // the whole fleet; every 8th request also ships a BOBSERVE so ingest
+    // shares the connections like a real tenant mix.
+    std::vector<metrics::LatencyHistogram> lat(threads,
+                                               metrics::LatencyHistogram(1e-7, 10.0));
+    const std::size_t per_thread = (requests + threads - 1) / threads;
+    const Stopwatch clock;
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        std::unique_ptr<net::Client> client;
+        const double value = warm.back();
+        for (std::size_t r = 0; r < per_thread; ++r) {
+          const std::size_t wi = (t * per_thread * 7919 + r * 31) % target;
+          char name[16];
+          std::snprintf(name, sizeof name, "w%05zu", wi);
+          try {
+            if (!client) client = std::make_unique<net::Client>("127.0.0.1", server.port());
+            Stopwatch request_clock;
+            const net::Client::PredictReply reply = client->predict(name, horizon);
+            lat[t].record(request_clock.seconds());
+            if (reply.shed)
+              shed.fetch_add(1, std::memory_order_relaxed);
+            else if (!reply.error.empty() || reply.forecast.size() != horizon ||
+                     !fault::all_finite(reply.forecast))
+              errors.fetch_add(1, std::memory_order_relaxed);
+            if (r % 8 == 7) {
+              const net::Client::ObserveReply obs =
+                  client->observe(name, std::vector<double>{value});
+              if (obs.shed)
+                shed.fetch_add(1, std::memory_order_relaxed);
+              else if (!obs.error.empty())
+                errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          } catch (const std::exception&) {
+            // Connection refused or killed (net.accept / net.read under
+            // chaos): drop the socket and reconnect on the next request.
+            disconnects.fetch_add(1, std::memory_order_relaxed);
+            client.reset();
+          }
+        }
+      });
+    }
+    for (auto& th : clients) th.join();
+    const double elapsed = clock.seconds();
+
+    const metrics::LatencyHistogram merged = metrics::LatencyHistogram::merged(lat);
+    std::printf("%10zu %10zu %9.2fs %12.0f %10.1f %10.1f %10.1f %10.1f"
+                "   (+%zu registered in %.2fs)\n",
+                target, merged.count(), elapsed,
+                static_cast<double>(merged.count()) / elapsed, merged.percentile(50) * 1e6,
+                merged.percentile(95) * 1e6, merged.percentile(99) * 1e6,
+                merged.max() * 1e6, registered, reg_seconds);
+  }
+
+  // Survival probe: whatever the chaos did, a fresh client against the still
+  // running server must get a finite forecast.
+  bool probe_ok = false;
+  try {
+    net::Client probe("127.0.0.1", server.port());
+    const net::Client::PredictReply reply = probe.predict("w00000", horizon);
+    probe_ok = reply.error.empty() && !reply.shed &&
+               reply.forecast.size() == horizon && fault::all_finite(reply.forecast);
+  } catch (const std::exception& e) {
+    std::printf("survival probe failed: %s\n", e.what());
+  }
+
+  server.stop();
+  server_thread.join();
+  service.wait_idle();
+  if (chaos || errors.load() > 0 || shed.load() > 0 || disconnects.load() > 0)
+    std::printf("\nchaos summary: faults=%s injected=%llu bad_replies=%zu shed=%zu "
+                "disconnects=%zu probe=%s\n",
+                chaos ? fault::Injector::instance().status().c_str() : "off",
+                static_cast<unsigned long long>(fault::Injector::instance().total_fires()),
+                errors.load(), shed.load(), disconnects.load(),
+                probe_ok ? "ok" : "FAILED");
+  const bool ok =
+      probe_ok && (chaos || (errors.load() == 0 && shed.load() == 0 &&
+                             disconnects.load() == 0));
+  if (!ok) {
+    std::printf("serve_replay --connect: FLEET SERVING CONTRACT VIOLATED\n");
+    return 1;
+  }
+  std::printf("\nOK fleet curve complete (%zu workloads registered)\n", registered);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
+  if (args.get_bool("connect")) return run_connect_mode(args);
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 4));
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 2000));
   const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 4));

@@ -13,11 +13,15 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <csignal>
+
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "core/loaddynamics.hpp"
 #include "fault/injector.hpp"
+#include "net/server.hpp"
 #include "nn/network.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -38,6 +42,18 @@ positional: each NAME=PATH registers a workload; .ldm loads a tuned model,
 
 flags:
   --replay FILE        read protocol commands from FILE instead of stdin
+  --listen PORT        serve over TCP instead of stdin: poll/epoll event
+                       loop, line protocol + binary frames on one socket
+                       (PORT 0 picks an ephemeral port; the bound port is
+                       announced as "LISTENING <port>" on stdout)
+  --host ADDR          listen address (default 127.0.0.1)
+  --shards N           registry/retrain-queue shard count
+                       (default LD_SHARDS, else hardware concurrency)
+  --idle-timeout S     close connections idle for S seconds (default 300)
+  --max-conns N        concurrent connection cap (default 1024)
+  --shed-observe N     pending-queue depth at which OBSERVE/INGEST shed
+                       with "503 SHED" (default 512)
+  --shed-predict N     depth at which PREDICT/BATCH shed too (default 2048)
   --checkpoint-dir D   persist models on publish; warm-start from D
   --replicas N         inference replicas per snapshot (default 2)
   --history N          per-workload history cap (default 4096)
@@ -160,6 +176,15 @@ class MetricsDumper {
   std::thread thread_;
 };
 
+/// SIGINT/SIGTERM land here while --listen is up: stop() is signal-safe
+/// (an atomic store plus a self-pipe write).
+std::atomic<net::Server*> g_listen_server{nullptr};
+
+void stop_listen_server(int) {
+  if (net::Server* server = g_listen_server.load(std::memory_order_acquire))
+    server->stop();
+}
+
 }  // namespace
 
 int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream& out,
@@ -187,6 +212,7 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
       ThreadPool::set_global_size(static_cast<std::size_t>(args.get_int("threads", 0)));
 
     serving::ServiceConfig cfg;
+    cfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
     cfg.max_history = static_cast<std::size_t>(args.get_int("history", 4096));
     cfg.replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
     cfg.checkpoint_dir = args.get("checkpoint-dir", "");
@@ -240,15 +266,42 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
       }
     }
 
-    serving::LineProtocol protocol(service);
     std::size_t commands = 0;
-    const std::string replay = args.get("replay", "");
-    if (!replay.empty()) {
-      std::ifstream file(replay);
-      if (!file) throw std::runtime_error("cannot open replay file '" + replay + "'");
-      commands = protocol.run(file, out);
+    if (args.has("listen")) {
+      if (args.has("replay"))
+        throw std::invalid_argument("--listen and --replay are mutually exclusive");
+      net::ServerConfig net_cfg;
+      net_cfg.host = args.get("host", "127.0.0.1");
+      net_cfg.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+      net_cfg.idle_timeout_seconds = args.get_double("idle-timeout", 300.0);
+      net_cfg.max_connections = static_cast<std::size_t>(args.get_int("max-conns", 1024));
+      net_cfg.shed_observe_depth =
+          static_cast<std::size_t>(args.get_int("shed-observe", 512));
+      net_cfg.shed_predict_depth =
+          static_cast<std::size_t>(args.get_int("shed-predict", 2048));
+      net::Server server(service, net_cfg);
+      // Announced on stdout before the loop starts so scripts driving an
+      // ephemeral port (--listen 0) can wait for this line.
+      out << "LISTENING " << server.port() << "\n" << std::flush;
+      err << "ld_serve: listening on " << net_cfg.host << ":" << server.port()
+          << " (shards=" << service.shard_count() << ")\n";
+      g_listen_server.store(&server, std::memory_order_release);
+      std::signal(SIGINT, stop_listen_server);
+      std::signal(SIGTERM, stop_listen_server);
+      server.run();
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      g_listen_server.store(nullptr, std::memory_order_release);
     } else {
-      commands = protocol.run(in, out);
+      serving::LineProtocol protocol(service);
+      const std::string replay = args.get("replay", "");
+      if (!replay.empty()) {
+        std::ifstream file(replay);
+        if (!file) throw std::runtime_error("cannot open replay file '" + replay + "'");
+        commands = protocol.run(file, out);
+      } else {
+        commands = protocol.run(in, out);
+      }
     }
     service.wait_idle();
 

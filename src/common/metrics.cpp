@@ -103,6 +103,13 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   total_ += other.total_;
 }
 
+LatencyHistogram LatencyHistogram::merged(std::span<const LatencyHistogram> parts) {
+  if (parts.empty()) return LatencyHistogram();
+  LatencyHistogram out(parts.front().min_value_, parts.front().max_value_);
+  for (const LatencyHistogram& part : parts) out.merge(part);
+  return out;
+}
+
 double LatencyHistogram::mean() const {
   return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
 }

@@ -45,6 +45,13 @@ class LatencyHistogram {
   /// Fold another histogram in; both must share (min_value, max_value).
   void merge(const LatencyHistogram& other);
 
+  /// Cross-shard aggregation: merge `parts` (all sharing the same bounds)
+  /// into one histogram. Bounds come from the first element; an empty span
+  /// yields a default-constructed histogram. This is how per-shard latency
+  /// series roll up into a fleet-wide tail without losing the per-shard
+  /// outliers (each part keeps its own series).
+  [[nodiscard]] static LatencyHistogram merged(std::span<const LatencyHistogram> parts);
+
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
   [[nodiscard]] double total() const noexcept { return total_; }
   [[nodiscard]] double mean() const;

@@ -1,0 +1,168 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/frame.hpp"
+
+namespace ld::net {
+
+struct Client::RawFrame {
+  Op op = Op::kError;
+  std::string payload;
+};
+
+Client::Client(const std::string& host, std::uint16_t port, double timeout_seconds) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("net: client socket() failed");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net: bad client address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("net: cannot connect to " + host + ":" +
+                             std::to_string(port) + " (" + reason + ")");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_all(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("net: client send failed (" +
+                             std::string(std::strerror(errno)) + ")");
+  }
+}
+
+void Client::fill(std::size_t min_bytes) {
+  char chunk[16 * 1024];
+  while (buf_.size() < min_bytes) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) throw std::runtime_error("net: server closed the connection");
+    if (errno == EINTR) continue;
+    throw std::runtime_error("net: client recv failed (" +
+                             std::string(std::strerror(errno)) + ")");
+  }
+}
+
+std::string Client::read_line() {
+  std::size_t nl;
+  while ((nl = buf_.find('\n')) == std::string::npos) fill(buf_.size() + 1);
+  std::string line = buf_.substr(0, nl);
+  buf_.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+Client::RawFrame Client::read_frame() {
+  fill(kFrameHeaderSize);
+  for (;;) {
+    const Decoded decoded = decode_frame(buf_);
+    if (decoded.status == DecodeStatus::kBad)
+      throw std::runtime_error("net: client framing error: " + decoded.error);
+    if (decoded.status == DecodeStatus::kFrame) {
+      buf_.erase(0, decoded.consumed);
+      return {decoded.op, decoded.payload};
+    }
+    fill(buf_.size() + 1);
+  }
+}
+
+std::string Client::send_line(const std::string& line) {
+  send_all(line + "\n");
+  return read_line();
+}
+
+std::vector<std::string> Client::metrics_text() {
+  send_all("METRICS\n");
+  std::vector<std::string> lines;
+  for (;;) {
+    lines.push_back(read_line());
+    if (lines.back() == "OK metrics") return lines;
+  }
+}
+
+Client::PredictReply Client::predict(const std::string& workload, std::uint32_t horizon) {
+  std::string req;
+  append_predict_request(req, workload, horizon);
+  send_all(req);
+  const RawFrame frame = read_frame();
+  PredictReply reply;
+  switch (frame.op) {
+    case Op::kPredictOk: {
+      PredictOkPayload p = parse_predict_ok(frame.payload);
+      reply.level = p.level;
+      reply.forecast = std::move(p.forecast);
+      break;
+    }
+    case Op::kShed:
+      reply.shed = true;
+      break;
+    case Op::kError:
+      reply.error = frame.payload;
+      break;
+    default:
+      throw std::runtime_error("net: unexpected reply opcode to BPREDICT");
+  }
+  return reply;
+}
+
+Client::ObserveReply Client::observe(const std::string& workload,
+                                     std::span<const double> values) {
+  std::string req;
+  append_observe_request(req, workload, values);
+  send_all(req);
+  const RawFrame frame = read_frame();
+  ObserveReply reply;
+  switch (frame.op) {
+    case Op::kObserveOk:
+      reply.accepted = parse_observe_ok(frame.payload);
+      break;
+    case Op::kShed:
+      reply.shed = true;
+      break;
+    case Op::kError:
+      reply.error = frame.payload;
+      break;
+    default:
+      throw std::runtime_error("net: unexpected reply opcode to BOBSERVE");
+  }
+  return reply;
+}
+
+}  // namespace ld::net

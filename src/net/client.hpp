@@ -1,0 +1,61 @@
+// Minimal blocking TCP client for the ld_serve front-end: the test/bench
+// side of net/server.hpp. One connection, synchronous request/response, both
+// transports (text lines and binary frames) on the same socket.
+//
+// Not a production SDK — it exists so the TCP smoke test, the shard
+// determinism test, and `serve_replay --connect` can drive a real socket
+// without each reimplementing framing and line reassembly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ld::net {
+
+class Client {
+ public:
+  /// Connect (blocking, with timeout) or throw std::runtime_error.
+  Client(const std::string& host, std::uint16_t port, double timeout_seconds = 10.0);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one text command and read one response line (without the '\n').
+  /// METRICS has a multi-line response — use metrics_text() for it.
+  std::string send_line(const std::string& line);
+
+  /// Send "METRICS" and read the full Prometheus exposition up to and
+  /// including the "OK metrics" terminator line.
+  std::vector<std::string> metrics_text();
+
+  /// Binary-framed prediction round trip.
+  struct PredictReply {
+    std::vector<double> forecast;  ///< empty when shed or error
+    std::uint8_t level = 0;        ///< fault::DegradationLevel as integer
+    bool shed = false;
+    std::string error;  ///< nonempty when the server answered kError
+  };
+  PredictReply predict(const std::string& workload, std::uint32_t horizon);
+
+  /// Binary-framed observation round trip.
+  struct ObserveReply {
+    std::uint32_t accepted = 0;
+    bool shed = false;
+    std::string error;
+  };
+  ObserveReply observe(const std::string& workload, std::span<const double> values);
+
+ private:
+  void send_all(const std::string& bytes);
+  [[nodiscard]] std::string read_line();
+  struct RawFrame;
+  [[nodiscard]] RawFrame read_frame();
+  void fill(std::size_t min_bytes);  ///< grow buf_ to at least min_bytes
+
+  int fd_ = -1;
+  std::string buf_;  ///< unconsumed response bytes
+};
+
+}  // namespace ld::net

@@ -1,0 +1,220 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace ld::net {
+
+namespace {
+
+// Byte-at-a-time little-endian writers: bit-exact and endian-independent
+// (no reliance on host memcpy order).
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    need(2);
+    const auto v = static_cast<std::uint16_t>(byte(0) | (byte(1) << 8));
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(byte(i)) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] double f64() {
+    need(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(byte(i)) << (8 * i);
+    pos_ += 8;
+    return std::bit_cast<double>(bits);
+  }
+  [[nodiscard]] std::string str(std::size_t n) {
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] std::string rest() { return str(data_.size() - pos_); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  void expect_drained() const {
+    if (pos_ != data_.size())
+      throw std::invalid_argument("net: trailing bytes in frame payload");
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t byte(int i) const {
+    return static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]);
+  }
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+      throw std::invalid_argument("net: truncated frame payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void put_header(std::string& out, Op op, std::size_t payload_size) {
+  if (payload_size > kMaxFramePayload)
+    throw std::invalid_argument("net: frame payload exceeds kMaxFramePayload");
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(op));
+  put_u32(out, static_cast<std::uint32_t>(payload_size));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint16_t>::max())
+    throw std::invalid_argument("net: string field exceeds 64 KiB");
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+}  // namespace
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kPredictReq: return "BPREDICT";
+    case Op::kObserveReq: return "BOBSERVE";
+    case Op::kPredictOk: return "BPREDICT_OK";
+    case Op::kObserveOk: return "BOBSERVE_OK";
+    case Op::kError: return "BERROR";
+    case Op::kShed: return "BSHED";
+  }
+  return "BUNKNOWN";
+}
+
+void append_predict_request(std::string& out, std::string_view workload,
+                            std::uint32_t horizon) {
+  put_header(out, Op::kPredictReq, 2 + workload.size() + 4);
+  put_str(out, workload);
+  put_u32(out, horizon);
+}
+
+void append_observe_request(std::string& out, std::string_view workload,
+                            std::span<const double> values) {
+  put_header(out, Op::kObserveReq, 2 + workload.size() + 4 + 8 * values.size());
+  put_str(out, workload);
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) put_f64(out, v);
+}
+
+void append_predict_ok(std::string& out, std::uint8_t level,
+                       std::span<const double> forecast) {
+  put_header(out, Op::kPredictOk, 1 + 4 + 8 * forecast.size());
+  out.push_back(static_cast<char>(level));
+  put_u32(out, static_cast<std::uint32_t>(forecast.size()));
+  for (const double v : forecast) put_f64(out, v);
+}
+
+void append_observe_ok(std::string& out, std::uint32_t accepted) {
+  put_header(out, Op::kObserveOk, 4);
+  put_u32(out, accepted);
+}
+
+void append_error(std::string& out, std::string_view message) {
+  // An error bigger than the payload cap is itself a bug; clamp defensively.
+  if (message.size() > kMaxFramePayload) message = message.substr(0, kMaxFramePayload);
+  put_header(out, Op::kError, message.size());
+  out.append(message);
+}
+
+void append_shed(std::string& out, std::string_view verb) {
+  put_header(out, Op::kShed, verb.size());
+  out.append(verb);
+}
+
+Decoded decode_frame(std::string_view buffer) {
+  Decoded out;
+  if (buffer.empty()) return out;
+  if (static_cast<std::uint8_t>(buffer[0]) != kFrameMagic) {
+    out.status = DecodeStatus::kBad;
+    out.error = "bad frame magic";
+    return out;
+  }
+  if (buffer.size() < kFrameHeaderSize) return out;  // kNeedMore
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer[2 + i]))
+              << (8 * i);
+  if (length > kMaxFramePayload) {
+    out.status = DecodeStatus::kBad;
+    out.error = "frame payload length " + std::to_string(length) + " exceeds cap";
+    return out;
+  }
+  if (buffer.size() < kFrameHeaderSize + length) return out;  // kNeedMore
+  out.status = DecodeStatus::kFrame;
+  out.op = static_cast<Op>(static_cast<std::uint8_t>(buffer[1]));
+  out.payload.assign(buffer.substr(kFrameHeaderSize, length));
+  out.consumed = kFrameHeaderSize + length;
+  return out;
+}
+
+PredictRequestPayload parse_predict_request(std::string_view payload) {
+  Reader r(payload);
+  PredictRequestPayload out;
+  out.workload = r.str(r.u16());
+  out.horizon = r.u32();
+  r.expect_drained();
+  return out;
+}
+
+ObserveRequestPayload parse_observe_request(std::string_view payload) {
+  Reader r(payload);
+  ObserveRequestPayload out;
+  out.workload = r.str(r.u16());
+  const std::uint32_t count = r.u32();
+  if (static_cast<std::size_t>(count) * 8 != r.remaining())
+    throw std::invalid_argument("net: observe value count disagrees with payload size");
+  out.values.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.values.push_back(r.f64());
+  r.expect_drained();
+  return out;
+}
+
+PredictOkPayload parse_predict_ok(std::string_view payload) {
+  Reader r(payload);
+  PredictOkPayload out;
+  out.level = r.u8();
+  const std::uint32_t count = r.u32();
+  if (static_cast<std::size_t>(count) * 8 != r.remaining())
+    throw std::invalid_argument("net: forecast count disagrees with payload size");
+  out.forecast.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.forecast.push_back(r.f64());
+  r.expect_drained();
+  return out;
+}
+
+std::uint32_t parse_observe_ok(std::string_view payload) {
+  Reader r(payload);
+  const std::uint32_t accepted = r.u32();
+  r.expect_drained();
+  return accepted;
+}
+
+}  // namespace ld::net

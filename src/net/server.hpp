@@ -1,0 +1,86 @@
+// TCP front-end for the prediction service: a single-threaded poll/epoll
+// event loop speaking the existing line protocol unchanged, plus the binary
+// framing of net/frame.hpp, multiplexed on the same connection (the first
+// byte of each inbound unit discriminates: 0xB7 = frame, anything else =
+// text line).
+//
+// Event-loop shape (DESIGN.md §13):
+//  1. wait for readiness (epoll on Linux, poll elsewhere; a self-pipe wakes
+//     the loop for stop()),
+//  2. drain readable sockets into per-connection input buffers,
+//  3. extract complete units (lines / frames) into one pending-request
+//     queue — admission control runs HERE, before any work is queued:
+//     when the queue is deeper than `shed_observe_depth`, ingest-class
+//     requests (OBSERVE/INGEST/BOBSERVE) are answered "503 SHED" (text) or
+//     a kShed frame (binary) without executing; past `shed_predict_depth`,
+//     predict-class requests (PREDICT/BATCH/BPREDICT) shed too. Dropping
+//     observations degrades future accuracy a little; dropping predictions
+//     breaks the caller's control loop now — so observations go first.
+//     Sheds are counted in ld_shed_total{verb=}.
+//  4. execute the queue in arrival order against the PredictionService
+//     (predictions run on the loop thread; BATCH fans out on the pool),
+//  5. flush output buffers; EPOLLOUT interest only while a buffer is
+//     nonempty.
+//
+// Connections idle longer than `idle_timeout_seconds` are closed
+// (ld_net_idle_closed_total). Framing violations (bad magic, oversized
+// length, an over-long text line) close the connection: a corrupt length
+// prefix cannot be resynchronized.
+//
+// Fault sites (chaos drills, fault/injector.hpp): `net.accept` drops a
+// freshly accepted connection, `net.read` fails a socket read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serving/service.hpp"
+
+namespace ld::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound port via port()
+  double idle_timeout_seconds = 300.0;
+  std::size_t max_connections = 1024;
+  /// Pending-queue depth past which ingest-class requests shed.
+  std::size_t shed_observe_depth = 512;
+  /// Pending-queue depth past which predict-class requests shed too
+  /// (> shed_observe_depth: predictions are the last thing to drop).
+  std::size_t shed_predict_depth = 2048;
+  /// A text line longer than this is a protocol violation (mirrors the
+  /// binary payload cap).
+  std::size_t max_line_bytes = 1u << 20;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid before run()).
+  /// Throws std::runtime_error when the socket cannot be bound.
+  Server(serving::PredictionService& service, ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The locally bound port (resolves ephemeral port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Run the event loop on the calling thread until stop().
+  void run();
+
+  /// Request shutdown from any thread; run() returns after the current
+  /// cycle. Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_;  ///< pimpl: keeps socket/epoll headers out of this header
+
+  serving::PredictionService& service_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ld::net

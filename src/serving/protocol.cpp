@@ -6,8 +6,10 @@
 #include <limits>
 #include <ostream>
 #include <map>
+#include <queue>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "common/stopwatch.hpp"
 #include "fault/injector.hpp"
@@ -101,6 +103,23 @@ void write_forecast(std::ostream& out, const std::string& workload,
   out.precision(precision);
 }
 
+/// The single-tenant STATS line, sans terminator — shared by the one-workload
+/// and fleet forms so their per-workload fields can never drift apart. New
+/// fields go at the END of the line: clients (and our own tests) prefix-match
+/// it, and the fleet form appends its own shard= suffix after these.
+void write_stats_fields(std::ostream& out, const std::string& name,
+                        const WorkloadStats& s) {
+  out << "STATS " << name << " version=" << s.version << " observed=" << s.observations
+      << " predictions=" << s.predictions << " retrains=" << s.retrains
+      << " history=" << s.history_size << " baseline_mape=" << s.baseline_mape
+      << " retrain_pending=" << (s.retrain_pending ? 1 : 0)
+      << " rejected=" << s.rejected << " degraded=" << s.degraded
+      << " retrain_failures=" << s.retrain_failures
+      << " retrain_retries=" << s.retrain_retries
+      << " retrain_timeouts=" << s.retrain_timeouts
+      << " degradation=" << fault::to_string(s.last_level);
+}
+
 }  // namespace
 
 bool LineProtocol::handle(const std::string& line, std::ostream& out) {
@@ -171,22 +190,47 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
       service_.save_workload(name, path);
       out << "OK saved " << path << '\n';
     } else if (verb == "STATS") {
-      const std::string name = next_token(is, "workload");
-      const WorkloadStats s = service_.stats(name);
-      // New fields go at the END of the line: clients (and our own tests)
-      // prefix-match it.
-      out << "STATS " << name << " version=" << s.version << " observed=" << s.observations
-          << " predictions=" << s.predictions << " retrains=" << s.retrains
-          << " history=" << s.history_size << " baseline_mape=" << s.baseline_mape
-          << " retrain_pending=" << (s.retrain_pending ? 1 : 0)
-          << " rejected=" << s.rejected << " degraded=" << s.degraded
-          << " retrain_failures=" << s.retrain_failures
-          << " retrain_retries=" << s.retrain_retries
-          << " retrain_timeouts=" << s.retrain_timeouts
-          << " degradation=" << fault::to_string(s.last_level) << '\n';
+      std::string name;
+      if (is >> name) {
+        write_stats_fields(out, name, service_.stats(name));
+        out << '\n';
+      } else {
+        // Fleet form: one line per workload, streamed shard-by-shard (each
+        // line is written as its shard is visited — no fleet-wide string or
+        // name list is ever materialized), terminated by an OK summary.
+        std::size_t count = 0;
+        for (std::size_t shard = 0; shard < service_.shard_count(); ++shard) {
+          for (const std::string& n : service_.shard_workload_names(shard)) {
+            write_stats_fields(out, n, service_.stats(n));
+            out << " shard=" << shard << '\n';
+            ++count;
+          }
+        }
+        out << "OK stats " << count << " workloads " << service_.shard_count()
+            << " shards\n";
+      }
     } else if (verb == "WORKLOADS") {
       out << "WORKLOADS";
-      for (const std::string& name : service_.workload_names()) out << ' ' << name;
+      // Stream shard-by-shard: per-shard sorted snapshots, k-way merged on
+      // the fly. The line stays globally sorted (bit-identical to the
+      // pre-sharding output) without ever building the fleet-wide list.
+      std::vector<std::vector<std::string>> runs(service_.shard_count());
+      for (std::size_t i = 0; i < runs.size(); ++i)
+        runs[i] = service_.shard_workload_names(i);
+      std::vector<std::size_t> pos(runs.size(), 0);
+      const auto later = [&](std::size_t a, std::size_t b) {
+        return runs[a][pos[a]] > runs[b][pos[b]];
+      };
+      std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(later)> heads(
+          later);
+      for (std::size_t i = 0; i < runs.size(); ++i)
+        if (!runs[i].empty()) heads.push(i);
+      while (!heads.empty()) {
+        const std::size_t i = heads.top();
+        heads.pop();
+        out << ' ' << runs[i][pos[i]];
+        if (++pos[i] < runs[i].size()) heads.push(i);
+      }
       out << '\n';
     } else if (verb == "METRICS") {
       std::string mode;

@@ -1,7 +1,10 @@
 #include "serving/registry.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <queue>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/log.hpp"
@@ -16,6 +19,27 @@ obs::Counter& drop_errors_counter() {
   return counter;
 }
 }  // namespace
+
+std::size_t workload_shard(std::string_view name, std::size_t shards) noexcept {
+  if (shards <= 1) return 0;
+  // 64-bit FNV-1a: stable across processes/platforms, unlike std::hash.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h % shards);
+}
+
+std::size_t default_shards() {
+  if (const char* env = std::getenv("LD_SHARDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return std::min<std::size_t>(static_cast<std::size_t>(v), 256);
+    log::warn("serving: ignoring invalid LD_SHARDS='", env, "'");
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, 256);
+}
 
 std::function<void()> PublishedModel::destroy_hook_for_test;
 
@@ -78,10 +102,18 @@ std::vector<double> PublishedModel::predict_horizon(std::span<const double> hist
       [&](const core::TrainedModel& m) { return m.predict_horizon(history, steps); });
 }
 
-ModelRegistry::ModelRegistry() { map_.store(std::make_shared<const Map>()); }
+ModelRegistry::ModelRegistry(std::size_t shards) {
+  if (shards == 0) shards = default_shards();
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->map.store(std::make_shared<const Map>());
+    shards_.push_back(std::move(shard));
+  }
+}
 
 std::shared_ptr<const PublishedModel> ModelRegistry::current(const std::string& name) const {
-  const std::shared_ptr<const Map> map = map_.load(std::memory_order_acquire);
+  const std::shared_ptr<const Map> map = shard_for(name).map.load(std::memory_order_acquire);
   const auto it = map->find(name);
   return it == map->end() ? nullptr : it->second;
 }
@@ -89,29 +121,68 @@ std::shared_ptr<const PublishedModel> ModelRegistry::current(const std::string& 
 void ModelRegistry::publish(const std::string& name,
                             std::shared_ptr<const PublishedModel> model) {
   if (!model) throw std::invalid_argument("ModelRegistry::publish: null model");
+  Shard& shard = shard_for(name);
   std::shared_ptr<const Map> old;
   {
-    std::scoped_lock lock(write_mu_);
-    auto next = std::make_shared<Map>(*map_.load(std::memory_order_acquire));
+    std::scoped_lock lock(shard.write_mu);
+    auto next = std::make_shared<Map>(*shard.map.load(std::memory_order_acquire));
     (*next)[name] = std::move(model);
-    old = map_.exchange(std::shared_ptr<const Map>(std::move(next)),
-                        std::memory_order_acq_rel);
+    old = shard.map.exchange(std::shared_ptr<const Map>(std::move(next)),
+                             std::memory_order_acq_rel);
   }
   // The displaced model version (when no reader still holds it) is dropped
-  // here, outside write_mu_; models built via make() guard a throwing
-  // destructor in their deleter, so a bad teardown costs a counter bump,
-  // not the process.
+  // here, outside the shard's write_mu; models built via make() guard a
+  // throwing destructor in their deleter, so a bad teardown costs a counter
+  // bump, not the process.
   old.reset();
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  const std::shared_ptr<const Map> map = map_.load(std::memory_order_acquire);
+  // Snapshot every shard once, then k-way merge the (disjoint) sorted maps,
+  // so the result is globally sorted without building one fleet-wide map.
+  std::vector<std::shared_ptr<const Map>> maps;
+  maps.reserve(shards_.size());
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    maps.push_back(shard->map.load(std::memory_order_acquire));
+    total += maps.back()->size();
+  }
+  using Cursor = std::pair<Map::const_iterator, Map::const_iterator>;  // (pos, end)
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    return a.first->first > b.first->first;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heads(later);
+  for (const auto& map : maps)
+    if (!map->empty()) heads.push({map->begin(), map->end()});
+  std::vector<std::string> out;
+  out.reserve(total);
+  while (!heads.empty()) {
+    Cursor head = heads.top();
+    heads.pop();
+    out.push_back(head.first->first);
+    if (++head.first != head.second) heads.push(head);
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_)
+    total += shard->map.load(std::memory_order_acquire)->size();
+  return total;
+}
+
+std::vector<std::string> ModelRegistry::shard_names(std::size_t shard) const {
+  const std::shared_ptr<const Map> map =
+      shards_.at(shard)->map.load(std::memory_order_acquire);
   std::vector<std::string> out;
   out.reserve(map->size());
   for (const auto& [name, _] : *map) out.push_back(name);
   return out;
 }
 
-std::size_t ModelRegistry::size() const { return map_.load(std::memory_order_acquire)->size(); }
+std::size_t ModelRegistry::shard_size(std::size_t shard) const {
+  return shards_.at(shard)->map.load(std::memory_order_acquire)->size();
+}
 
 }  // namespace ld::serving

@@ -7,9 +7,15 @@
 // restored from the same snapshot and therefore bit-identical).
 //
 // The ModelRegistry maps workload names to their current PublishedModel with
-// RCU-style copy-on-write semantics: readers load an atomic shared_ptr to an
-// immutable map and never take a lock; writers (model publishes — rare) copy
-// the map under a writer mutex and atomically swap the new version in.
+// RCU-style copy-on-write semantics, sharded so a fleet of independent
+// tenants never contends on one map: each workload hashes (stable FNV-1a, so
+// placement is identical across processes and platforms) to one of N shards,
+// and each shard is its own atomic shared_ptr to an immutable map. Readers
+// load the shard pointer and never take a lock; writers (model publishes —
+// rare) copy that one shard's map under the shard's writer mutex and
+// atomically swap the new version in. A publish on shard 3 is invisible to
+// traffic on shard 5: registration, drift tracking, and snapshot swaps scale
+// with the shard count instead of serializing on a single RCU map.
 // In-flight predictions keep the snapshot they started with alive through
 // shared ownership, so a concurrent publish can never invalidate them.
 #pragma once
@@ -22,11 +28,22 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/model.hpp"
 
 namespace ld::serving {
+
+/// Stable workload -> shard placement (64-bit FNV-1a, reduced mod `shards`).
+/// Deliberately not std::hash: the same workload set must land on the same
+/// shards in every process, so shard-local artifacts (queues, metrics) are
+/// comparable across runs and the LD_SHARDS determinism tests are exact.
+[[nodiscard]] std::size_t workload_shard(std::string_view name, std::size_t shards) noexcept;
+
+/// Shard count from LD_SHARDS (clamped to [1, 256]), falling back to
+/// std::thread::hardware_concurrency(). Mirrors ThreadPool::default_threads.
+[[nodiscard]] std::size_t default_shards();
 
 /// One immutable published model version.
 class PublishedModel {
@@ -84,26 +101,49 @@ class PublishedModel {
   mutable std::atomic<std::size_t> next_{0};  ///< round-robin replica cursor
 };
 
-/// Copy-on-write name -> PublishedModel map. Reads are wait-free with respect
-/// to writers: `current()` never blocks on a publish, and a publish never
-/// blocks on readers.
+/// Sharded copy-on-write name -> PublishedModel map. Reads are wait-free
+/// with respect to writers: `current()` never blocks on a publish, and a
+/// publish never blocks on readers — or on publishes to other shards.
 class ModelRegistry {
  public:
-  ModelRegistry();
+  /// `shards` = 0 resolves default_shards() (LD_SHARDS / hardware threads).
+  explicit ModelRegistry(std::size_t shards = 1);
 
   /// The workload's current model, or nullptr when none is published yet.
   [[nodiscard]] std::shared_ptr<const PublishedModel> current(const std::string& name) const;
 
   /// Atomically swap in a new model version for `name` (insert or replace).
+  /// Only publishes to the same shard serialize with each other.
   void publish(const std::string& name, std::shared_ptr<const PublishedModel> model);
 
+  /// All names, globally sorted (k-way merge of the per-shard sorted maps —
+  /// no full-fleet intermediate map is ever materialized).
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const;
 
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(std::string_view name) const noexcept {
+    return workload_shard(name, shards_.size());
+  }
+  /// Names registered on one shard, sorted (shard-local snapshot; O(shard)).
+  [[nodiscard]] std::vector<std::string> shard_names(std::size_t shard) const;
+  [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
+
  private:
   using Map = std::map<std::string, std::shared_ptr<const PublishedModel>>;
-  std::atomic<std::shared_ptr<const Map>> map_;
-  std::mutex write_mu_;  ///< serializes writers only; readers never touch it
+  struct Shard {
+    std::atomic<std::shared_ptr<const Map>> map;
+    std::mutex write_mu;  ///< serializes this shard's writers only
+  };
+
+  [[nodiscard]] const Shard& shard_for(std::string_view name) const noexcept {
+    return *shards_[workload_shard(name, shards_.size())];
+  }
+  [[nodiscard]] Shard& shard_for(std::string_view name) noexcept {
+    return *shards_[workload_shard(name, shards_.size())];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ld::serving

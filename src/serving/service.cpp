@@ -108,40 +108,62 @@ PredictionService::Workload::Workload(const core::DriftConfig& drift,
 }
 
 PredictionService::PredictionService(ServiceConfig config)
-    : config_(std::move(config)), backoff_rng_(config_.adaptive.base.seed + 0xbac0ff) {
+    : config_(std::move(config)),
+      registry_(config_.shards == 0 ? default_shards() : config_.shards) {
   if (config_.max_history < 16)
     throw std::invalid_argument("serving: max_history must be >= 16");
   if (!config_.checkpoint_dir.empty())
     std::filesystem::create_directories(config_.checkpoint_dir);
-  worker_ = std::thread([this] { worker_loop(); });
+  const std::size_t n = registry_.shard_count();
+  config_.shards = n;
+  shards_.reserve(n);
+  auto& reg = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Per-shard RNG streams keep retry jitter deterministic per shard no
+    // matter how drain tasks interleave across shards.
+    shard->backoff_rng = Rng(config_.adaptive.base.seed + 0xbac0ff + i);
+    const obs::Labels labels{{"shard", std::to_string(i)}};
+    shard->predict_latency = &reg.histogram("ld_predict_latency", labels, 1e-7, 1e2);
+    shard->queue_depth = &reg.gauge("ld_shard_queue_depth", labels);
+    shards_.push_back(std::move(shard));
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 PredictionService::~PredictionService() {
   {
-    std::scoped_lock lock(queue_mu_);
+    std::scoped_lock lock(sched_mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  sched_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Drain tasks run on the shared pool and hold `this`: wait them out.
+  // Each exits at its next between-jobs stop check (queued jobs are
+  // abandoned on shutdown, as the single worker did).
+  std::unique_lock lock(sched_mu_);
+  idle_cv_.wait(lock, [this] { return active_drains_ == 0; });
 }
 
 PredictionService::Workload& PredictionService::ensure_workload(const std::string& name) {
+  Shard& shard = *shards_[registry_.shard_of(name)];
   {
-    std::scoped_lock lock(workloads_mu_);
-    const auto it = workloads_.find(name);
-    if (it != workloads_.end()) return *it->second;
+    std::scoped_lock lock(shard.map_mu);
+    const auto it = shard.workloads.find(name);
+    if (it != shard.workloads.end()) return *it->second;
   }
   validate_name(name);
-  std::scoped_lock lock(workloads_mu_);
-  auto& slot = workloads_[name];
+  std::scoped_lock lock(shard.map_mu);
+  auto& slot = shard.workloads[name];
   if (!slot) slot = std::make_unique<Workload>(config_.adaptive.drift_config(), name);
   return *slot;
 }
 
 PredictionService::Workload& PredictionService::workload(const std::string& name) const {
-  std::scoped_lock lock(workloads_mu_);
-  const auto it = workloads_.find(name);
-  if (it == workloads_.end())
+  const Shard& shard = *shards_[registry_.shard_of(name)];
+  std::scoped_lock lock(shard.map_mu);
+  const auto it = shard.workloads.find(name);
+  if (it == shard.workloads.end())
     throw std::runtime_error("serving: unknown workload '" + name + "'");
   return *it->second;
 }
@@ -250,6 +272,7 @@ void PredictionService::observe_many(const std::string& name,
   if (clean.empty()) return;
   w.obs.observations->inc(clean.size());
   bool queue_retrain = false;
+  double priority = 0.0;
   {
     std::scoped_lock lock(w.mu);
     w.history.insert(w.history.end(), clean.begin(), clean.end());
@@ -265,6 +288,14 @@ void PredictionService::observe_many(const std::string& name,
       if (drift.should_retrain) {
         w.retrain_pending = true;
         queue_retrain = true;
+        // Shard-queue priority: drift severity (how far past baseline the
+        // recent error is; changepoints jump the line) × observed traffic
+        // (busy tenants amortize a retrain over more forecasts).
+        double severity = 1.0;
+        if (drift.recent_mape > 0.0 && w.baseline_mape > 0.0)
+          severity = drift.recent_mape / w.baseline_mape;
+        if (drift.changepoint) severity = std::max(severity, 2.0);
+        priority = severity * (1.0 + static_cast<double>(w.predictions));
         w.obs.drift->inc();
         LD_TRACE_INSTANT("serve.drift");
         log::info("serving: drift on '", name, "' (recent MAPE ", drift.recent_mape,
@@ -273,7 +304,7 @@ void PredictionService::observe_many(const std::string& name,
       }
     }
   }
-  if (queue_retrain) enqueue_retrain(name);
+  if (queue_retrain) enqueue_retrain(name, priority);
 }
 
 std::vector<double> PredictionService::predict(const std::string& name,
@@ -355,7 +386,9 @@ PredictResult PredictionService::predict_detailed(const std::string& name,
               ")");
   }
   w.obs.predictions->inc();
-  w.obs.predict_latency->observe(clock.seconds());
+  const double seconds = clock.seconds();
+  w.obs.predict_latency->observe(seconds);
+  shards_[registry_.shard_of(name)]->predict_latency->observe(seconds);
   return result;
 }
 
@@ -377,57 +410,97 @@ std::vector<PredictResponse> PredictionService::predict_batch(
 bool PredictionService::request_retrain(const std::string& name) {
   if (!registry_.current(name)) return false;
   Workload& w = workload(name);
+  double priority = 0.0;
   {
     std::scoped_lock lock(w.mu);
     if (w.retrain_pending) return false;
     w.retrain_pending = true;
+    // Manual request: neutral severity, still traffic-weighted.
+    priority = 1.0 + static_cast<double>(w.predictions);
   }
-  enqueue_retrain(name);
+  enqueue_retrain(name, priority);
   return true;
 }
 
-void PredictionService::enqueue_retrain(const std::string& name) {
-  std::size_t depth = 0;
+void PredictionService::enqueue_retrain(const std::string& name, double priority) {
+  // Chaos site: a stalled shard queue delays scheduling, never drops work
+  // (delay-only — observe() must not unwind).
+  LD_FAULT_DELAY("shard.queue");
+  const std::size_t si = registry_.shard_of(name);
+  Shard& shard = *shards_[si];
   {
-    std::scoped_lock lock(queue_mu_);
-    queue_.push_back(name);
-    depth = queue_.size();
+    std::scoped_lock lock(sched_mu_);
+    shard.queue.push_back({priority, ++job_seq_, name});
+    std::push_heap(shard.queue.begin(), shard.queue.end());
+    ++pending_jobs_;
+    shard.queue_depth->set(static_cast<double>(shard.queue.size()));
+    retrain_queue_gauge().set(static_cast<double>(pending_jobs_));
   }
-  retrain_queue_gauge().set(static_cast<double>(depth));
-  work_cv_.notify_one();
+  sched_cv_.notify_all();
 }
 
 void PredictionService::wait_idle() {
-  std::unique_lock lock(queue_mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+  std::unique_lock lock(sched_mu_);
+  idle_cv_.wait(lock, [this] { return pending_jobs_ == 0 && active_drains_ == 0; });
 }
 
-void PredictionService::worker_loop() {
+void PredictionService::dispatcher_loop() {
+  std::vector<std::size_t> to_start;
   for (;;) {
-    std::string name;
     {
-      std::unique_lock lock(queue_mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;  // pending retrains are abandoned on shutdown
-      name = std::move(queue_.front());
-      queue_.pop_front();
-      worker_busy_ = true;
-      retrain_queue_gauge().set(static_cast<double>(queue_.size()));
+      std::unique_lock lock(sched_mu_);
+      sched_cv_.wait(lock, [this] {
+        if (stop_) return true;
+        for (const auto& shard : shards_)
+          if (!shard->queue.empty() && !shard->drain_active) return true;
+        return false;
+      });
+      if (stop_) return;
+      to_start.clear();
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[i];
+        if (!shard.queue.empty() && !shard.drain_active) {
+          shard.drain_active = true;
+          ++active_drains_;
+          to_start.push_back(i);
+        }
+      }
     }
-    try {
-      run_retrain(name);
-    } catch (const std::exception& e) {
-      log::warn("serving: retrain of '", name, "' failed: ", e.what());
-    }
-    {
-      std::scoped_lock lock(queue_mu_);
-      worker_busy_ = false;
-    }
-    idle_cv_.notify_all();
+    // Submit outside sched_mu_: on a worker-less pool (single-core hosts)
+    // submit() executes inline on this thread, and the drain locks sched_mu_.
+    for (const std::size_t i : to_start)
+      (void)ThreadPool::global().submit([this, i] { drain_shard(i); });
   }
 }
 
-void PredictionService::run_retrain(const std::string& name) {
+void PredictionService::drain_shard(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    std::string name;
+    {
+      std::scoped_lock lock(sched_mu_);
+      if (stop_ || shard.queue.empty()) {
+        shard.drain_active = false;
+        --active_drains_;
+        idle_cv_.notify_all();
+        break;
+      }
+      std::pop_heap(shard.queue.begin(), shard.queue.end());
+      name = std::move(shard.queue.back().name);
+      shard.queue.pop_back();
+      --pending_jobs_;
+      shard.queue_depth->set(static_cast<double>(shard.queue.size()));
+      retrain_queue_gauge().set(static_cast<double>(pending_jobs_));
+    }
+    try {
+      run_retrain(name, shard.backoff_rng);
+    } catch (const std::exception& e) {
+      log::warn("serving: retrain of '", name, "' failed: ", e.what());
+    }
+  }
+}
+
+void PredictionService::run_retrain(const std::string& name, Rng& backoff_rng) {
   LD_TRACE_SPAN("serve.retrain");
   Workload& w = workload(name);
   const Stopwatch clock;
@@ -456,7 +529,7 @@ void PredictionService::run_retrain(const std::string& name) {
           std::scoped_lock lock(w.mu);
           ++w.retrain_retries;
         }
-        const double wait = fault::backoff_seconds(policy, attempt - 1, backoff_rng_);
+        const double wait = fault::backoff_seconds(policy, attempt - 1, backoff_rng);
         log::info("serving: retrain of '", name, "' retry ", attempt, " in ", wait, "s");
         fault::cancellable_sleep(wait);
       }
@@ -552,11 +625,36 @@ WorkloadStats PredictionService::stats(const std::string& name) const {
 }
 
 std::vector<std::string> PredictionService::workload_names() const {
-  std::scoped_lock lock(workloads_mu_);
+  // Per-shard sorted snapshots merged into one globally sorted list (shards
+  // partition the namespace, so merging sorted runs preserves total order).
+  std::vector<std::vector<std::string>> runs(shards_.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    runs[i] = shard_workload_names(i);
+    total += runs[i].size();
+  }
   std::vector<std::string> out;
-  out.reserve(workloads_.size());
-  for (const auto& [name, _] : workloads_) out.push_back(name);
+  out.reserve(total);
+  for (auto& run : runs) out.insert(out.end(), std::make_move_iterator(run.begin()),
+                                    std::make_move_iterator(run.end()));
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::string> PredictionService::shard_workload_names(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::scoped_lock lock(s.map_mu);
+  std::vector<std::string> out;
+  out.reserve(s.workloads.size());
+  for (const auto& [name, _] : s.workloads) out.push_back(name);
+  return out;
+}
+
+metrics::LatencyHistogram PredictionService::fleet_predict_latency() const {
+  std::vector<metrics::LatencyHistogram> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) parts.push_back(shard->predict_latency->snapshot());
+  return metrics::LatencyHistogram::merged(parts);
 }
 
 void PredictionService::save_workload(const std::string& name,

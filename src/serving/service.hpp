@@ -1,22 +1,30 @@
 // PredictionService: a long-lived, multi-tenant serving front end for
 // LoadDynamics models — the deployment mode of the paper's Section IV case
-// study (predictor feeding a live auto-scaler).
+// study (predictor feeding a live auto-scaler), grown to fleet scale.
 //
-// Concurrency model (see DESIGN.md §8):
-//  - predict() reads the workload's current model via the lock-free
+// Concurrency model (see DESIGN.md §8 and §13):
+//  - The registry and the per-workload state maps are sharded by a stable
+//    hash of the workload id (ServiceConfig::shards, default LD_SHARDS /
+//    hardware concurrency). Traffic on different shards never touches a
+//    common mutex or RCU map.
+//  - predict() reads the workload's current model via the lock-free sharded
 //    ModelRegistry and copies the (capped) history under a per-workload
 //    mutex held for microseconds. It never blocks on retraining.
 //  - observe() appends under the same brief mutex and feeds the workload's
-//    DriftMonitor; a drift decision enqueues a background retrain.
-//  - The single background worker copies the history, runs
+//    DriftMonitor; a drift decision enqueues a background retrain into the
+//    workload's *shard* queue, a priority queue ordered by drift severity ×
+//    observed traffic (the worst, busiest tenants retrain first).
+//  - A dispatcher thread submits one drain task per backlogged shard to the
+//    shared ThreadPool; each drain pops jobs in priority order and runs
 //    core::warm_retrain entirely lock-free, then atomically swaps the new
 //    PublishedModel into the registry and persists it as a checkpoint.
-//    In-flight predictions finish on the old snapshot.
+//    Retrains on different shards run concurrently (bounded by the pool);
+//    within a shard they stay serialized. In-flight predictions finish on
+//    the old snapshot.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/adaptive.hpp"
 #include "fault/fallback.hpp"
@@ -35,6 +44,9 @@
 namespace ld::serving {
 
 struct ServiceConfig {
+  /// Registry/workload-map/retrain-queue shard count. 0 resolves
+  /// default_shards() (LD_SHARDS, falling back to hardware concurrency).
+  std::size_t shards = 0;
   /// Per-workload history cap (ring semantics: oldest samples are dropped).
   std::size_t max_history = 4096;
   /// Inference replicas per published snapshot; same-workload predictions
@@ -51,7 +63,7 @@ struct ServiceConfig {
   /// request_retrain() works regardless.
   bool background_retrain = true;
   /// Watchdog deadline for one background retrain attempt. <= 0 (the
-  /// default) runs attempts unsupervised on the worker thread — the pre-PR-4
+  /// default) runs attempts unsupervised on the drain task — the pre-PR-4
   /// behavior. > 0 runs each attempt on a helper thread, cancelling (and, if
   /// it won't yield, orphaning) attempts that exceed the deadline while the
   /// old model keeps serving.
@@ -157,7 +169,7 @@ class PredictionService {
   /// published model yet or a retrain is already pending.
   bool request_retrain(const std::string& name);
 
-  /// Block until the retrain queue is drained and the worker is idle.
+  /// Block until every shard's retrain queue is drained and idle.
   void wait_idle();
 
   /// Persist the workload's current model to `path` (independent of the
@@ -165,12 +177,28 @@ class PredictionService {
   void save_workload(const std::string& name, const std::string& path) const;
 
   [[nodiscard]] WorkloadStats stats(const std::string& name) const;
+  /// All registered workloads, globally sorted (k-way shard merge).
   [[nodiscard]] std::vector<std::string> workload_names() const;
   [[nodiscard]] std::shared_ptr<const PublishedModel> current_model(
       const std::string& name) const {
     return registry_.current(name);
   }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return registry_.shard_count(); }
+  [[nodiscard]] std::size_t shard_of(const std::string& name) const noexcept {
+    return registry_.shard_of(name);
+  }
+  /// Workloads registered on one shard, sorted. The shard-streaming form of
+  /// workload_names(): WORKLOADS/STATS iterate shards instead of
+  /// materializing one fleet-wide list.
+  [[nodiscard]] std::vector<std::string> shard_workload_names(std::size_t shard) const;
+
+  /// Cross-shard aggregate of the per-shard prediction-latency histograms
+  /// (ld_predict_latency{shard=}), merged via LatencyHistogram::merged() —
+  /// the fleet-wide tail with the per-shard outliers still visible in the
+  /// per-shard series.
+  [[nodiscard]] metrics::LatencyHistogram fleet_predict_latency() const;
 
  private:
   /// Per-workload registry instruments, resolved once at workload creation
@@ -214,32 +242,61 @@ class PredictionService {
     Instruments obs;  ///< lock-free; safe to touch without holding mu
   };
 
+  /// One scheduled retrain. Ordered by priority (drift severity × observed
+  /// traffic) descending, FIFO (seq) within equal priority.
+  struct RetrainJob {
+    double priority = 0.0;
+    std::uint64_t seq = 0;
+    std::string name;
+    [[nodiscard]] bool operator<(const RetrainJob& other) const noexcept {
+      if (priority != other.priority) return priority < other.priority;
+      return seq > other.seq;  // earlier enqueue wins ties
+    }
+  };
+
+  /// Per-shard workload map + retrain queue. The map mutex shards what used
+  /// to be one service-wide workloads_mu_; the queue fields are guarded by
+  /// the service-wide sched_mu_ (scheduling metadata only — enqueues happen
+  /// at drift-event rate, orders of magnitude below the predict/observe hot
+  /// path).
+  struct Shard {
+    mutable std::mutex map_mu;
+    std::map<std::string, std::unique_ptr<Workload>> workloads;
+
+    std::vector<RetrainJob> queue;  ///< binary heap (std::push/pop_heap)
+    bool drain_active = false;      ///< one drain task per shard at a time
+    Rng backoff_rng{0};             ///< jitters retry backoff; drain-task-only
+    obs::Histogram* predict_latency = nullptr;  ///< ld_predict_latency{shard=}
+    obs::Gauge* queue_depth = nullptr;          ///< ld_shard_queue_depth{shard=}
+  };
+
   Workload& ensure_workload(const std::string& name);
   [[nodiscard]] Workload& workload(const std::string& name) const;
   void publish_model(const std::string& name, const core::TrainedModel& model,
                      bool count_retrain, bool write_checkpoint);
   [[nodiscard]] std::string checkpoint_path(const std::string& name) const;
-  void enqueue_retrain(const std::string& name);
-  void worker_loop();
-  void run_retrain(const std::string& name);
+  void enqueue_retrain(const std::string& name, double priority);
+  void dispatcher_loop();
+  void drain_shard(std::size_t shard);
+  void run_retrain(const std::string& name, Rng& backoff_rng);
 
   ServiceConfig config_;
   ModelRegistry registry_;
-
-  mutable std::mutex workloads_mu_;  ///< guards the map only, not the states
-  std::map<std::string, std::unique_ptr<Workload>> workloads_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   std::mutex publish_mu_;  ///< serializes publishes (never on the predict path)
 
-  std::mutex queue_mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::string> queue_;
-  bool worker_busy_ = false;
+  /// Retrain scheduling: dispatcher submits one drain task per backlogged
+  /// shard to the shared ThreadPool; wait_idle() watches the counters.
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;  ///< wakes the dispatcher
+  std::condition_variable idle_cv_;   ///< wakes wait_idle / the destructor
+  std::size_t pending_jobs_ = 0;      ///< queued, not yet started
+  std::size_t active_drains_ = 0;     ///< drain tasks in flight on the pool
+  std::uint64_t job_seq_ = 0;         ///< FIFO tiebreak for equal priorities
   bool stop_ = false;
-  std::thread worker_;
+  std::thread dispatcher_;
 
-  Rng backoff_rng_;  ///< jitters retry backoff; touched only by the worker
   /// Deadline supervision for retrain attempts. Last member: destroyed
   /// first, joining any orphaned attempt before the rest of the service
   /// tears down (attempt closures are self-contained regardless).

@@ -12,6 +12,7 @@
 #include "core/model.hpp"
 #include "core/serialization.hpp"
 #include "fault/injector.hpp"
+#include "net/frame.hpp"
 #include "serving/protocol.hpp"
 #include "serving/service.hpp"
 
@@ -283,6 +284,61 @@ FuzzTarget make_checkpoint_target() {
   };
 }
 
+FuzzTarget make_frame_target() {
+  return [](const std::string& input) {
+    std::string_view rest(input);
+    while (!rest.empty()) {
+      net::Decoded decoded;
+      try {
+        decoded = net::decode_frame(rest);
+      } catch (const std::exception& e) {
+        // decode_frame documents "never throws" — hostile bytes included.
+        throw InvariantViolation(std::string("decode_frame threw: ") + e.what());
+      }
+      if (decoded.status != net::DecodeStatus::kFrame) break;
+      // kNeedMore / kBad are clean terminal outcomes (wait / close); a
+      // decoded frame must account for its bytes exactly.
+      if (decoded.consumed < net::kFrameHeaderSize || decoded.consumed > rest.size())
+        throw InvariantViolation("decode_frame reported impossible consumed count");
+      if (decoded.payload.size() + net::kFrameHeaderSize != decoded.consumed)
+        throw InvariantViolation("payload size disagrees with consumed bytes");
+      try {
+        // Typed payloads that parse must re-encode bit-identically — the
+        // codec cannot silently canonicalize (NaN payloads and negative
+        // zeros ride through predict/observe byte-exact).
+        std::string reencoded;
+        switch (decoded.op) {
+          case net::Op::kPredictReq: {
+            const net::PredictRequestPayload p = net::parse_predict_request(decoded.payload);
+            net::append_predict_request(reencoded, p.workload, p.horizon);
+            break;
+          }
+          case net::Op::kObserveReq: {
+            const net::ObserveRequestPayload p = net::parse_observe_request(decoded.payload);
+            net::append_observe_request(reencoded, p.workload, p.values);
+            break;
+          }
+          case net::Op::kPredictOk: {
+            const net::PredictOkPayload p = net::parse_predict_ok(decoded.payload);
+            net::append_predict_ok(reencoded, p.level, p.forecast);
+            break;
+          }
+          case net::Op::kObserveOk:
+            net::append_observe_ok(reencoded, net::parse_observe_ok(decoded.payload));
+            break;
+          default:
+            break;  // kError / kShed / unknown ops carry free-form payloads
+        }
+        if (!reencoded.empty() && reencoded != rest.substr(0, decoded.consumed))
+          throw InvariantViolation("frame re-encode is not bit-identical");
+      } catch (const std::invalid_argument&) {
+        // the documented reject for a malformed typed payload
+      }
+      rest.remove_prefix(decoded.consumed);
+    }
+  };
+}
+
 // ---------------------------------------------------------------------------
 // Seed corpora
 
@@ -342,6 +398,29 @@ std::vector<std::string> checkpoint_seeds() {
     std::string body = v1.substr(nl, footer + 1 - nl);
     return std::vector<std::string>{v2.str(), header + body};
   }();
+  return seeds;
+}
+
+std::vector<std::string> frame_seeds() {
+  std::vector<std::string> seeds;
+  std::string bytes;
+  net::append_predict_request(bytes, "wiki", 4);
+  seeds.push_back(bytes);
+  bytes.clear();
+  const double loads[] = {120.5, 98.25, 143.0, 0.0};
+  net::append_observe_request(bytes, "az-vm-2017", loads);
+  seeds.push_back(bytes);
+  bytes.clear();
+  // Two frames back to back: the stream loop (and mid-stream truncation by
+  // the mutator) is part of the attack surface.
+  const double forecast[] = {101.5, 99.75};
+  net::append_predict_ok(bytes, 0, forecast);
+  net::append_observe_ok(bytes, 4);
+  seeds.push_back(bytes);
+  bytes.clear();
+  net::append_error(bytes, "serving: unknown workload 'nope'");
+  net::append_shed(bytes, "BOBSERVE");
+  seeds.push_back(bytes);
   return seeds;
 }
 

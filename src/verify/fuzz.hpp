@@ -93,10 +93,14 @@ std::vector<std::string> replay_corpus(const std::string& corpus_dir,
 [[nodiscard]] FuzzTarget make_csv_target();
 /// core::load_model over mutated .ldm v1/v2 checkpoint bytes.
 [[nodiscard]] FuzzTarget make_checkpoint_target();
+/// net::decode_frame + typed payload parse + bit-exact re-encode round trip
+/// over mutated binary frame streams.
+[[nodiscard]] FuzzTarget make_frame_target();
 
 /// Seed corpora the mutator starts from (valid, structure-rich inputs).
 [[nodiscard]] std::vector<std::string> protocol_seeds();
 [[nodiscard]] std::vector<std::string> csv_seeds();
 [[nodiscard]] std::vector<std::string> checkpoint_seeds();
+[[nodiscard]] std::vector<std::string> frame_seeds();
 
 }  // namespace ld::verify

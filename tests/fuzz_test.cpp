@@ -81,6 +81,16 @@ TEST_F(FuzzDrivers, CheckpointLoaderSurvivesBudget) {
   EXPECT_GT(report.rejected, kBudget / 2) << report.summary();
 }
 
+TEST_F(FuzzDrivers, BinaryFrameCodecSurvivesBudget) {
+  const verify::FuzzReport report = verify::run_fuzz(
+      verify::frame_seeds(), verify::make_frame_target(), /*seed=*/0xF00D04, kBudget);
+  EXPECT_EQ(report.iterations, kBudget);
+  EXPECT_TRUE(report.ok()) << describe(report);
+  // The decoder never throws: every mutation either decodes (round-trip
+  // checked) or terminates the stream cleanly, so nothing counts as a reject.
+  EXPECT_EQ(report.rejected, 0u) << report.summary();
+}
+
 TEST_F(FuzzDrivers, CorpusReplaysClean) {
   const struct {
     const char* prefix;
@@ -89,6 +99,7 @@ TEST_F(FuzzDrivers, CorpusReplaysClean) {
       {"protocol_", verify::make_protocol_target()},
       {"csv_", verify::make_csv_target()},
       {"checkpoint_", verify::make_checkpoint_target()},
+      {"frame_", verify::make_frame_target()},
   };
   std::size_t total = 0;
   for (const auto& d : drivers) {
@@ -96,7 +107,7 @@ TEST_F(FuzzDrivers, CorpusReplaysClean) {
         verify::replay_corpus(LD_CORPUS_DIR, d.prefix, d.target);
     total += files.size();
   }
-  EXPECT_GE(total, 6u) << "crash corpus went missing from " << LD_CORPUS_DIR;
+  EXPECT_GE(total, 9u) << "crash corpus went missing from " << LD_CORPUS_DIR;
 }
 
 TEST_F(FuzzDrivers, RunFuzzRejectsEmptyCorpus) {
