@@ -219,6 +219,18 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsHistogramObserve);
 
+void BM_ObsTouchWorkloadDisabled(benchmark::State& state) {
+  // The acceptance-criterion case: with no LD_METRICS_MAX_SERIES cap the
+  // per-request touch hook must be a single relaxed load (~1-2 ns).
+  obs::MetricsRegistry::global().set_max_series(0);
+  for (auto _ : state) {
+    obs::touch_workload("bench-workload");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTouchWorkloadDisabled);
+
 void BM_TraceSpanDisabled(benchmark::State& state) {
   // The acceptance-criterion case: tracing off, spans must be ~free.
   obs::Tracer::instance().stop();

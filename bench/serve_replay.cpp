@@ -10,6 +10,7 @@
 //                [--retrain-timeout S] [--checkpoint-dir D]
 //   serve_replay --connect [--curve 1000,5000,10000] [--threads 4]
 //                [--requests 2000] [--horizon 4] [--shards N] [--epochs 12]
+//                [--bench-out bench/BENCH_fleet.json] [--trace out.json]
 //
 // --connect mode is the fleet-scale benchmark (DESIGN.md §13): it starts an
 // in-process net::Server on an ephemeral port, registers the requested
@@ -37,6 +38,7 @@
 #include <array>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -91,6 +93,10 @@ int run_connect_mode(const cli::Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
   const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
   const std::vector<std::size_t> curve = parse_curve(args.get("curve", "1000,5000,10000"));
+  // Scope-bound: LD_TRACE_SAMPLE-governed request flows land in this file
+  // when the function unwinds (--connect --trace is the stitching testbed
+  // for tools/check_trace.py).
+  const ld::obs::TraceSession trace_session(args.get("trace", ""));
 
   fault::init_from_env();
   const std::string faults = args.get("faults", "");
@@ -144,7 +150,16 @@ int run_connect_mode(const cli::Args& args) {
   std::atomic<std::size_t> errors{0};      ///< bad replies on a live connection
   std::atomic<std::size_t> shed{0};        ///< 503 SHED replies
   std::atomic<std::size_t> disconnects{0}; ///< connections lost mid-request
+  struct FleetPoint {
+    std::size_t workloads = 0;
+    std::size_t requests = 0;
+    double elapsed = 0, req_per_s = 0, p50_us = 0, p95_us = 0, p99_us = 0,
+           max_us = 0, reg_seconds = 0;
+    std::size_t shed = 0;
+  };
+  std::vector<FleetPoint> points;
   for (const std::size_t target : curve) {
+    const std::size_t shed_before = shed.load();
     const Stopwatch reg_clock;
     for (; registered < target; ++registered) {
       char name[16];
@@ -207,6 +222,11 @@ int run_connect_mode(const cli::Args& args) {
                 static_cast<double>(merged.count()) / elapsed, merged.percentile(50) * 1e6,
                 merged.percentile(95) * 1e6, merged.percentile(99) * 1e6,
                 merged.max() * 1e6, registered, reg_seconds);
+    points.push_back({target, merged.count(), elapsed,
+                      static_cast<double>(merged.count()) / elapsed,
+                      merged.percentile(50) * 1e6, merged.percentile(95) * 1e6,
+                      merged.percentile(99) * 1e6, merged.max() * 1e6, reg_seconds,
+                      shed.load() - shed_before});
   }
 
   // Survival probe: whatever the chaos did, a fresh client against the still
@@ -224,6 +244,29 @@ int run_connect_mode(const cli::Args& args) {
   server.stop();
   server_thread.join();
   service.wait_idle();
+
+  // Machine-readable curve for tools/bench_check.py --fleet: per-point
+  // percentiles plus the shed count, which the gate treats as a hard failure.
+  const std::string bench_out = args.get("bench-out", "");
+  if (!bench_out.empty()) {
+    std::ofstream out(bench_out);
+    if (!out) {
+      std::printf("serve_replay: cannot write --bench-out '%s'\n", bench_out.c_str());
+      return 1;
+    }
+    out << "{\"fleet\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const FleetPoint& p = points[i];
+      out << (i == 0 ? "" : ",") << "{\"workloads\":" << p.workloads
+          << ",\"requests\":" << p.requests << ",\"elapsed_s\":" << p.elapsed
+          << ",\"req_per_s\":" << p.req_per_s << ",\"p50_us\":" << p.p50_us
+          << ",\"p95_us\":" << p.p95_us << ",\"p99_us\":" << p.p99_us
+          << ",\"max_us\":" << p.max_us << ",\"reg_seconds\":" << p.reg_seconds
+          << ",\"shed\":" << p.shed << "}";
+    }
+    out << "]}\n";
+    std::printf("wrote fleet curve to %s\n", bench_out.c_str());
+  }
   if (chaos || errors.load() > 0 || shed.load() > 0 || disconnects.load() > 0)
     std::printf("\nchaos summary: faults=%s injected=%llu bad_replies=%zu shed=%zu "
                 "disconnects=%zu probe=%s\n",

@@ -43,7 +43,8 @@ positional: each NAME=PATH registers a workload; .ldm loads a tuned model,
 flags:
   --replay FILE        read protocol commands from FILE instead of stdin
   --listen PORT        serve over TCP instead of stdin: poll/epoll event
-                       loop, line protocol + binary frames on one socket
+                       loop, line protocol + binary frames + HTTP ops plane
+                       (GET /metrics, /healthz, /statusz) on one socket
                        (PORT 0 picks an ephemeral port; the bound port is
                        announced as "LISTENING <port>" on stdout)
   --host ADDR          listen address (default 127.0.0.1)
@@ -80,9 +81,12 @@ protocol: LOAD OBSERVE INGEST PREDICT BATCH RETRAIN WAIT SAVE STATS
           WORKLOADS METRICS FAULTS QUIT   (see docs/API.md)
 
 env: LD_LOG_LEVEL=debug|info|warn|error|off, LD_TRACE=FILE,
-     LD_TRACE_BUFFER=N (trace events per thread), LD_NUM_THREADS=N,
-     LD_FAULTS=SPEC, LD_FAULT_SEED=N, LD_KERNEL=auto|avx512|avx2|blocked|
-     reference (GEMM tier), LD_QUANT=1 (see docs/API.md, ld::fault)
+     LD_TRACE_BUFFER=N (trace events per thread), LD_TRACE_SAMPLE=N (trace
+     every Nth request's flow), LD_METRICS_MAX_SERIES=N (cardinality
+     governor: cap exposed series, roll the long tail into
+     workload="__other"), LD_NUM_THREADS=N, LD_FAULTS=SPEC, LD_FAULT_SEED=N,
+     LD_KERNEL=auto|avx512|avx2|blocked|reference (GEMM tier), LD_QUANT=1
+     (see docs/API.md, ld::fault)
 )";
 
 bool ends_with(const std::string& s, const std::string& suffix) {

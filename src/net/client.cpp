@@ -117,6 +117,25 @@ std::vector<std::string> Client::metrics_text() {
   }
 }
 
+std::string Client::http_get(const std::string& path) {
+  send_all("GET " + path + " HTTP/1.0\r\n\r\n");
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // close-delimited response: EOF ends the body
+    if (errno == EINTR) continue;
+    throw std::runtime_error("net: client recv failed (" +
+                             std::string(std::strerror(errno)) + ")");
+  }
+  std::string response = std::move(buf_);
+  buf_.clear();
+  return response;
+}
+
 Client::PredictReply Client::predict(const std::string& workload, std::uint32_t horizon) {
   std::string req;
   append_predict_request(req, workload, horizon);

@@ -30,6 +30,12 @@ class Client {
   /// including the "OK metrics" terminator line.
   std::vector<std::string> metrics_text();
 
+  /// Ops-plane HTTP GET on the same port (the server sniffs "GET " and
+  /// switches protocols). Returns the full raw response — status line,
+  /// headers, and body — read to EOF; the connection is then closed by the
+  /// server, so this must be the connection's only request.
+  std::string http_get(const std::string& path);
+
   /// Binary-framed prediction round trip.
   struct PredictReply {
     std::vector<double> forecast;  ///< empty when shed or error

@@ -23,12 +23,16 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/log.hpp"
+#include "fault/fallback.hpp"
 #include "fault/injector.hpp"
 #include "net/frame.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "serving/protocol.hpp"
 
 namespace ld::net {
@@ -97,6 +101,7 @@ struct Server::Impl {
     Clock::time_point last_active;
     std::uint32_t events = 0;       ///< currently registered interest mask
     bool close_after_flush = false; ///< QUIT or peer EOF: flush, then close
+    bool http = false;              ///< sniffed as HTTP: one request, then close
   };
   std::map<int, Connection> conns;
 
@@ -104,9 +109,13 @@ struct Server::Impl {
     int fd = -1;
     bool binary = false;
     Op op = Op::kError;
-    std::string payload;  ///< frame payload (binary) or command line (text)
+    std::string payload;     ///< frame payload (binary), command line (text),
+                             ///< or URL path (http)
+    bool http = false;       ///< ops-plane GET: never shed, close after reply
+    std::uint64_t id = 0;    ///< request id for trace flow stitching (0 = none)
   };
   std::deque<Request> pending;
+  std::uint64_t next_request_id = 0;  ///< minted at the front-end door
 
   // Instruments (resolved once; the registry outlives the server).
   obs::Gauge* connections_open;
@@ -118,6 +127,10 @@ struct Server::Impl {
   obs::Counter* idle_closed;
   obs::Counter* requests_text;
   obs::Counter* requests_binary;
+  obs::Counter* requests_http;
+  obs::Counter* epoll_wakeups;
+  obs::Gauge* conn_buffer_bytes;
+  obs::SloTracker* shed_slo;
   std::map<std::string, obs::Counter*> shed;
 
   Impl(serving::PredictionService& svc, const ServerConfig& cfg, std::atomic<bool>& stop)
@@ -132,6 +145,12 @@ struct Server::Impl {
     idle_closed = &reg.counter("ld_net_idle_closed_total");
     requests_text = &reg.counter("ld_net_requests_total", {{"transport", "text"}});
     requests_binary = &reg.counter("ld_net_requests_total", {{"transport", "binary"}});
+    requests_http = &reg.counter("ld_net_requests_total", {{"transport", "http"}});
+    epoll_wakeups = &reg.counter("ld_net_epoll_wakeups_total");
+    conn_buffer_bytes = &reg.gauge("ld_net_conn_buffer_bytes");
+    // Shed-rate SLO: every admission decision is a good/bad event, so the
+    // burn rate tracks "fraction of requests shed" over the dual windows.
+    shed_slo = &obs::slo_tracker("shed_rate", {0.01, 60, 3600});
     // Eagerly register every sheddable verb at zero so a scrape can assert
     // "nothing shed" without special-casing absent series.
     for (const char* verb : {"OBSERVE", "INGEST", "PREDICT", "BATCH", "BOBSERVE",
@@ -250,6 +269,11 @@ struct Server::Impl {
 #if defined(__linux__)
     ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
 #endif
+    // Drain anything still unread (e.g. trailing HTTP headers that landed in
+    // a second segment): closing with bytes in the receive queue makes the
+    // kernel send RST, which can discard a flushed-but-unacked response.
+    char sink[1024];
+    while (::recv(fd, sink, sizeof sink, MSG_DONTWAIT) > 0) {}
     ::close(fd);
     conns.erase(fd);
     connections_open->set(static_cast<double>(conns.size()));
@@ -341,12 +365,31 @@ struct Server::Impl {
     return true;
   }
 
+  /// Mint a request id and open its trace flow at the front-end door. The
+  /// id stitches frame decode -> shard dispatch -> predict -> retrain enqueue
+  /// into one flow when the deterministic sampler (LD_TRACE_SAMPLE) picks it.
+  void stamp_request(Request& req) {
+    req.id = ++next_request_id;
+    if (obs::Tracer::sampled(req.id))
+      obs::Tracer::instance().record_flow("req.frontend", 's', req.id,
+                                          static_cast<double>(req.fd));
+  }
+
   /// Extract complete units from `conn.inbuf` into the pending queue, with
   /// admission control at the door. Returns false on a framing violation
   /// (the connection must close — the stream cannot be resynchronized).
+  /// The ops plane multiplexes here by first-bytes sniffing: 0xB7 is a binary
+  /// frame, "GET " is an HTTP scrape, anything else is a text command line.
   bool extract_requests(int fd, Connection& conn) {
+    constexpr std::string_view kHttpVerb = "GET ";
     for (;;) {
       if (conn.inbuf.empty()) return true;
+      if (conn.http) {
+        // The request line was already queued; discard trailing headers —
+        // the connection closes once the response flushes.
+        conn.inbuf.clear();
+        return true;
+      }
       if (static_cast<std::uint8_t>(conn.inbuf.front()) == kFrameMagic) {
         Decoded decoded = decode_frame(conn.inbuf);
         if (decoded.status == DecodeStatus::kNeedMore) return true;
@@ -358,26 +401,57 @@ struct Server::Impl {
         conn.inbuf.erase(0, decoded.consumed);
         requests_binary->inc();
         if (admit(classify_frame(decoded.op), conn, /*binary=*/true)) {
-          pending.push_back({fd, true, decoded.op, std::move(decoded.payload)});
+          Request req{fd, true, decoded.op, std::move(decoded.payload)};
+          stamp_request(req);
+          pending.push_back(std::move(req));
         }
-      } else {
+        continue;
+      }
+      const std::size_t probe = std::min(conn.inbuf.size(), kHttpVerb.size());
+      if (std::string_view(conn.inbuf).substr(0, probe) == kHttpVerb.substr(0, probe)) {
+        if (conn.inbuf.size() < kHttpVerb.size()) return true;  // may be HTTP
         const std::size_t nl = conn.inbuf.find('\n');
         if (nl == std::string::npos) {
           if (conn.inbuf.size() > config.max_line_bytes) {
             protocol_errors->inc();
-            log::warn("net: text line exceeds ", config.max_line_bytes, " bytes");
+            log::warn("net: http request line exceeds ", config.max_line_bytes,
+                      " bytes");
             return false;
           }
           return true;
         }
-        std::string line = conn.inbuf.substr(0, nl);
-        conn.inbuf.erase(0, nl + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.find_first_not_of(" \t") == std::string::npos) continue;
-        requests_text->inc();
-        if (admit(classify_text(line), conn, /*binary=*/false)) {
-          pending.push_back({fd, false, Op::kError, std::move(line)});
+        // "GET <path> HTTP/1.x" — keep the path, drop version and query.
+        std::string target = conn.inbuf.substr(kHttpVerb.size(),
+                                               nl - kHttpVerb.size());
+        conn.inbuf.clear();
+        conn.http = true;
+        target = target.substr(0, target.find_first_of(" \r?"));
+        requests_http->inc();
+        // Deliberately bypasses admit(): the ops plane must answer while the
+        // data plane is shedding, or overload becomes unobservable.
+        Request req{fd, false, Op::kError, std::move(target)};
+        req.http = true;
+        pending.push_back(std::move(req));
+        continue;
+      }
+      const std::size_t nl = conn.inbuf.find('\n');
+      if (nl == std::string::npos) {
+        if (conn.inbuf.size() > config.max_line_bytes) {
+          protocol_errors->inc();
+          log::warn("net: text line exceeds ", config.max_line_bytes, " bytes");
+          return false;
         }
+        return true;
+      }
+      std::string line = conn.inbuf.substr(0, nl);
+      conn.inbuf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      requests_text->inc();
+      if (admit(classify_text(line), conn, /*binary=*/false)) {
+        Request req{fd, false, Op::kError, std::move(line)};
+        stamp_request(req);
+        pending.push_back(std::move(req));
       }
     }
   }
@@ -390,6 +464,7 @@ struct Server::Impl {
     const bool over =
         (c.cls == ShedClass::kIngest && depth >= config.shed_observe_depth) ||
         (c.cls == ShedClass::kPredict && depth >= config.shed_predict_depth);
+    shed_slo->record(over);
     if (!over) return true;
     shed.at(c.verb)->inc();
     if (binary)
@@ -409,6 +484,15 @@ struct Server::Impl {
       const auto it = conns.find(req.fd);
       if (it == conns.end()) continue;
       Connection& conn = it->second;
+      if (req.http) {
+        execute_http(req, conn);
+        continue;
+      }
+      // Propagate the front-end request id through the execution: downstream
+      // layers (shard dispatch, predict, retrain enqueue) read it via
+      // RequestScope::current() and add their own flow steps.
+      const bool sampled = req.id != 0 && obs::Tracer::sampled(req.id);
+      const obs::RequestScope scope(sampled ? req.id : 0);
       if (req.binary) {
         execute_frame(req, conn);
       } else {
@@ -416,8 +500,76 @@ struct Server::Impl {
         if (!protocol.handle(req.payload, oss)) conn.close_after_flush = true;
         conn.outbuf.append(oss.str());
       }
+      if (sampled) obs::Tracer::instance().record_flow("req.done", 'f', req.id);
     }
     pending_requests->set(0.0);
+  }
+
+  /// Ops-plane endpoints, served straight off the event loop. Responses are
+  /// HTTP/1.0 close-delimited, so any scraper (curl, Prometheus, /dev/tcp)
+  /// can read to EOF without chunked-encoding support.
+  void execute_http(const Request& req, Connection& conn) {
+    const char* status = "200 OK";
+    const char* type = "text/plain; charset=utf-8";
+    std::string body;
+    if (req.payload == "/metrics") {
+      body = obs::MetricsRegistry::global().prometheus_text();
+      type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (req.payload == "/healthz") {
+      body = "ok\n";
+    } else if (req.payload == "/statusz") {
+      body = statusz_json();
+      body.push_back('\n');
+      type = "application/json";
+    } else {
+      status = "404 Not Found";
+      body = "not found\n";
+    }
+    conn.outbuf.append("HTTP/1.0 ").append(status)
+        .append("\r\nContent-Type: ").append(type)
+        .append("\r\nContent-Length: ").append(std::to_string(body.size()))
+        .append("\r\nConnection: close\r\n\r\n")
+        .append(body);
+    conn.close_after_flush = true;
+  }
+
+  /// One-line JSON fleet snapshot: queue depths per shard, degradation mix,
+  /// connection/buffer/wakeup numbers, SLO burn rates, series budget.
+  std::string statusz_json() {
+    auto& reg = obs::MetricsRegistry::global();
+    std::ostringstream out;
+    std::size_t buf_bytes = 0;
+    for (const auto& [fd, conn] : conns)
+      buf_bytes += conn.inbuf.capacity() + conn.outbuf.capacity();
+    out << "{\"connections\":" << conns.size()
+        << ",\"pending_requests\":" << pending.size()
+        << ",\"conn_buffer_bytes\":" << buf_bytes
+        << ",\"epoll_wakeups\":" << epoll_wakeups->value()
+        << ",\"accepted_total\":" << accepted_total->value()
+        << ",\"shard_queue_depths\":[";
+    const std::vector<std::size_t> depths = service.shard_queue_depths();
+    for (std::size_t i = 0; i < depths.size(); ++i)
+      out << (i == 0 ? "" : ",") << depths[i];
+    out << "],\"degradation\":{";
+    bool first = true;
+    for (const auto level :
+         {fault::DegradationLevel::kLive, fault::DegradationLevel::kSnapshot,
+          fault::DegradationLevel::kBaseline}) {
+      const char* name = fault::to_string(level);
+      out << (first ? "" : ",") << '"' << name << "\":"
+          << reg.counter("ld_predictions_by_level_total", {{"level", name}}).value();
+      first = false;
+    }
+    const obs::SloTracker::Rates predict_burn =
+        obs::slo_tracker("predict_p99").rates();
+    const obs::SloTracker::Rates shed_burn = obs::slo_tracker("shed_rate").rates();
+    out << "},\"slo\":{\"predict_p99\":{\"fast\":" << predict_burn.fast
+        << ",\"slow\":" << predict_burn.slow
+        << "},\"shed_rate\":{\"fast\":" << shed_burn.fast
+        << ",\"slow\":" << shed_burn.slow
+        << "}},\"series\":{\"exposed\":" << reg.exposed_series_count()
+        << ",\"max\":" << reg.max_series() << "}}";
+    return out.str();
   }
 
   void execute_frame(const Request& req, Connection& conn) {
@@ -451,7 +603,9 @@ struct Server::Impl {
     log::info("net: serving on ", config.host, " (", conns.size(), " connections)");
     std::vector<int> doomed;
     while (!stop_flag.load(std::memory_order_relaxed)) {
-      for (const Ready& ready : wait_ready(250)) {
+      const std::vector<Ready> ready_set = wait_ready(250);
+      epoll_wakeups->inc();
+      for (const Ready& ready : ready_set) {
         if (ready.fd == listen_fd) {
           accept_new();
           continue;
@@ -477,7 +631,9 @@ struct Server::Impl {
       const auto idle_limit =
           std::chrono::duration<double>(config.idle_timeout_seconds);
       doomed.clear();
+      std::size_t buf_bytes = 0;
       for (auto& [fd, conn] : conns) {
+        buf_bytes += conn.inbuf.capacity() + conn.outbuf.capacity();
         if (!conn.outbuf.empty() && !flush_conn(fd, conn)) {
           doomed.push_back(fd);
           continue;
@@ -493,6 +649,7 @@ struct Server::Impl {
         }
         update_interest(fd, conn);
       }
+      conn_buffer_bytes->set(static_cast<double>(buf_bytes));
       for (const int fd : doomed) close_conn(fd);
     }
     log::info("net: event loop stopped (", conns.size(), " connections open)");

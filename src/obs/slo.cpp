@@ -1,0 +1,106 @@
+#include "obs/slo.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "obs/registry.hpp"
+
+namespace ld::obs {
+
+namespace {
+
+// Named trackers, process-wide and intentionally leaked (same lifetime
+// contract as the MetricsRegistry: cached references never dangle).
+std::mutex& trackers_mu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, std::unique_ptr<SloTracker>>& trackers() {
+  static auto* map = new std::map<std::string, std::unique_ptr<SloTracker>>();
+  return *map;
+}
+
+void publish_all() {
+  const std::scoped_lock lock(trackers_mu());
+  for (const auto& [name, tracker] : trackers()) tracker->publish();
+}
+
+}  // namespace
+
+std::uint64_t slo_now_s() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+SloTracker::Window::Window(std::uint64_t span, std::uint64_t bucket)
+    : span_s(span), bucket_s(bucket), ring(span / bucket) {}
+
+void SloTracker::Window::add(std::uint64_t now_s, bool breach) {
+  const std::uint64_t aligned = now_s - now_s % bucket_s;
+  Bucket& b = ring[(aligned / bucket_s) % ring.size()];
+  if (b.start != aligned) b = Bucket{aligned, 0, 0};  // reclaim a stale slot
+  if (breach)
+    ++b.bad;
+  else
+    ++b.good;
+}
+
+double SloTracker::Window::breach_fraction(std::uint64_t now_s) const {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  for (const Bucket& b : ring) {
+    if (b.start == 0 || b.start > now_s) continue;   // empty or stale-future
+    if (b.start + span_s <= now_s) continue;         // aged out of the window
+    good += b.good;
+    bad += b.bad;
+  }
+  const std::uint64_t total = good + bad;
+  return total == 0 ? 0.0 : static_cast<double>(bad) / static_cast<double>(total);
+}
+
+SloTracker::SloTracker(std::string name, Config cfg)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      fast_(cfg.fast_window_s, std::max<std::uint64_t>(1, cfg.fast_window_s / 60)),
+      slow_(cfg.slow_window_s, std::max<std::uint64_t>(1, cfg.slow_window_s / 60)) {}
+
+void SloTracker::record(bool breach) { record_at(slo_now_s(), breach); }
+
+void SloTracker::record_at(std::uint64_t now_s, bool breach) {
+  const std::scoped_lock lock(mu_);
+  fast_.add(now_s, breach);
+  slow_.add(now_s, breach);
+}
+
+SloTracker::Rates SloTracker::rates() const { return rates_at(slo_now_s()); }
+
+SloTracker::Rates SloTracker::rates_at(std::uint64_t now_s) const {
+  const std::scoped_lock lock(mu_);
+  Rates r;
+  r.fast = fast_.breach_fraction(now_s) / cfg_.budget;
+  r.slow = slow_.breach_fraction(now_s) / cfg_.budget;
+  return r;
+}
+
+void SloTracker::publish() {
+  const Rates r = rates();
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("ld_slo_burn_rate", {{"slo", name_}, {"window", "fast"}}).set(r.fast);
+  reg.gauge("ld_slo_burn_rate", {{"slo", name_}, {"window", "slow"}}).set(r.slow);
+}
+
+SloTracker& slo_tracker(const std::string& name, SloTracker::Config cfg) {
+  const std::scoped_lock lock(trackers_mu());
+  auto& map = trackers();
+  const auto it = map.find(name);
+  if (it != map.end()) return *it->second;
+  if (map.empty())  // one hook serves every tracker created later
+    MetricsRegistry::global().add_scrape_hook(publish_all);
+  auto [inserted, ok] = map.emplace(name, std::make_unique<SloTracker>(name, cfg));
+  return *inserted->second;
+}
+
+}  // namespace ld::obs

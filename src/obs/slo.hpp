@@ -1,0 +1,93 @@
+// SLO burn-rate tracking (Google SRE style dual-window alerts).
+//
+// A SloTracker counts good/bad events over two rolling windows — a fast
+// window (seconds, catches sharp regressions) and a slow window (an hour,
+// catches slow burns) — and reports each window's burn rate:
+//
+//     burn = breach_fraction / error_budget
+//
+// burn == 1 means the service is consuming its error budget exactly at the
+// rate that exhausts it by the end of the SLO period; burn >> 1 means the
+// budget is burning faster. Recording is O(1) (one ring bucket under a
+// mutex); rate queries walk the ring (fast: 60 buckets, slow: 60 buckets).
+//
+// Trackers are process-wide and named (slo_tracker("predict_p99")); the
+// first creation registers a MetricsRegistry scrape hook that publishes
+// every tracker as ld_slo_burn_rate{slo=<name>,window="fast"|"slow"}
+// gauges, so /metrics, STATS, and /statusz all see fresh values.
+//
+// All record/query entry points have _at(now_s) variants taking an explicit
+// monotonic-seconds timestamp, so tests are deterministic without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ld::obs {
+
+class SloTracker {
+ public:
+  struct Config {
+    double budget = 0.01;  ///< error budget as a fraction (0.01 = "99% good")
+    std::uint64_t fast_window_s = 60;     ///< 1-second buckets
+    std::uint64_t slow_window_s = 3600;   ///< 60-second buckets
+  };
+
+  struct Rates {
+    double fast = 0.0;
+    double slow = 0.0;
+  };
+
+  SloTracker(std::string name, Config cfg);
+
+  /// Record one event at the current monotonic time. `breach` = the event
+  /// violated the SLO (slow request, shed request, ...).
+  void record(bool breach);
+  void record_at(std::uint64_t now_s, bool breach);
+
+  [[nodiscard]] Rates rates() const;
+  [[nodiscard]] Rates rates_at(std::uint64_t now_s) const;
+
+  /// Refresh this tracker's ld_slo_burn_rate gauges. Re-resolves the gauges
+  /// through the registry on every call (scrape-frequency, not hot), so a
+  /// reset_for_testing() never leaves the tracker publishing to a graveyard.
+  void publish();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t start = 0;  ///< bucket-aligned start second (0 = empty)
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+  struct Window {
+    Window(std::uint64_t span_s, std::uint64_t bucket_s);
+    void add(std::uint64_t now_s, bool breach);
+    /// Fraction of events in [now - span, now] that breached (0 when idle).
+    [[nodiscard]] double breach_fraction(std::uint64_t now_s) const;
+
+    std::uint64_t span_s;
+    std::uint64_t bucket_s;
+    std::vector<Bucket> ring;
+  };
+
+  mutable std::mutex mu_;
+  std::string name_;
+  Config cfg_;
+  Window fast_;
+  Window slow_;
+};
+
+/// Find-or-create a process-wide tracker by name. The config only applies on
+/// first creation; later lookups ignore it. Never invalidated (leaked like
+/// the MetricsRegistry), so hot paths may cache the reference.
+SloTracker& slo_tracker(const std::string& name, SloTracker::Config cfg = {});
+
+/// Monotonic seconds since an arbitrary process-local epoch (steady clock).
+[[nodiscard]] std::uint64_t slo_now_s();
+
+}  // namespace ld::obs

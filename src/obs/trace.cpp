@@ -13,9 +13,21 @@ namespace {
 // Thread-local cache of this thread's buffer. The Tracer owns the buffers
 // (and is leaked), so the raw pointer outlives every recording thread.
 thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
+
+// Innermost active request id on this thread (see RequestScope).
+thread_local std::uint64_t t_request_id = 0;
 }  // namespace
 
 std::atomic<bool> Tracer::g_enabled{false};
+std::atomic<std::uint32_t> Tracer::g_sample_every{1};
+
+RequestScope::RequestScope(std::uint64_t id) noexcept : previous_(t_request_id) {
+  t_request_id = id;
+}
+
+RequestScope::~RequestScope() { t_request_id = previous_; }
+
+std::uint64_t RequestScope::current() noexcept { return t_request_id; }
 
 Tracer& Tracer::instance() {
   static Tracer* tracer = new Tracer();  // intentionally leaked
@@ -77,15 +89,19 @@ void Tracer::append(const TraceEvent& event) {
 
 void Tracer::record_complete(const char* name, std::uint64_t start_ns,
                              std::uint64_t dur_ns) {
-  append({name, start_ns, dur_ns, 0.0, 'X'});
+  append({name, start_ns, dur_ns, 0.0, 0, 'X'});
 }
 
 void Tracer::record_counter(const char* name, double value) {
-  append({name, now_ns(), 0, value, 'C'});
+  append({name, now_ns(), 0, value, 0, 'C'});
 }
 
 void Tracer::record_instant(const char* name) {
-  append({name, now_ns(), 0, 0.0, 'i'});
+  append({name, now_ns(), 0, 0.0, 0, 'i'});
+}
+
+void Tracer::record_flow(const char* name, char phase, std::uint64_t id, double value) {
+  append({name, now_ns(), 0, value, id, phase});
 }
 
 std::size_t Tracer::event_count() const {
@@ -151,6 +167,12 @@ void Tracer::write_json(std::ostream& out) const {
         out << ",\"args\":{\"value\":" << e.value << '}';
       } else if (e.phase == 'i') {
         out << ",\"s\":\"t\"";
+      } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        // Flow events bind by (cat, id); "bp":"e" lets a finish attach to
+        // the enclosing slice instead of requiring a next slice.
+        out << ",\"cat\":\"request\",\"id\":" << e.id
+            << ",\"args\":{\"value\":" << e.value << '}';
+        if (e.phase == 'f') out << ",\"bp\":\"e\"";
       }
       out << '}';
     }
@@ -183,6 +205,12 @@ TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
     const long parsed = std::strtol(cap, &end, 10);
     if (end != cap && parsed > 0)
       Tracer::instance().set_capacity(static_cast<std::size_t>(parsed));
+  }
+  if (const char* sample = std::getenv("LD_TRACE_SAMPLE")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(sample, &end, 10);
+    if (end != sample && parsed > 0)
+      Tracer::set_sample_every(static_cast<std::uint32_t>(parsed));
   }
   Tracer::instance().start();
   active_ = true;

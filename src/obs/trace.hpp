@@ -31,8 +31,10 @@ struct TraceEvent {
   const char* name;        ///< static-lifetime string (macro passes literals)
   std::uint64_t start_ns;  ///< steady-clock ns (absolute; rebased on dump)
   std::uint64_t dur_ns;    ///< 0 for counter/instant events
-  double value;            ///< counter payload
-  char phase;              ///< 'X' complete, 'C' counter, 'i' instant
+  double value;            ///< counter payload / flow-step annotation
+  std::uint64_t id;        ///< flow-binding id (request id); 0 = none
+  char phase;              ///< 'X' complete, 'C' counter, 'i' instant,
+                           ///< 's'/'t'/'f' flow start/step/finish
 };
 
 class Tracer {
@@ -65,10 +67,29 @@ class Tracer {
 
   [[nodiscard]] static std::uint64_t now_ns() noexcept;
 
+  // --- Request sampling (deterministic) ----------------------------------
+  // LD_TRACE_SAMPLE=N keeps every Nth request id (id % N == 0); 1 (default)
+  // keeps all. Parsed by TraceSession, settable directly for tests.
+  static void set_sample_every(std::uint32_t n) noexcept {
+    g_sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static std::uint32_t sample_every() noexcept {
+    return g_sample_every.load(std::memory_order_relaxed);
+  }
+  /// True when tracing is on and request `id` falls in the sample.
+  [[nodiscard]] static bool sampled(std::uint64_t id) noexcept {
+    if (!enabled()) return false;
+    const std::uint32_t every = sample_every();
+    return every <= 1 || id % every == 0;
+  }
+
   // Record paths — called by the macros; usable directly for dynamic timing.
   void record_complete(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
   void record_counter(const char* name, double value);
   void record_instant(const char* name);
+  /// Flow event ('s' start / 't' step / 'f' finish) bound by `id` across
+  /// threads; `value` annotates the step (e.g. shard index).
+  void record_flow(const char* name, char phase, std::uint64_t id, double value = 0.0);
 
   /// One per recording thread; implementation detail, public only so the
   /// thread-local cache in trace.cpp can name the type.
@@ -87,11 +108,32 @@ class Tracer {
   void append(const TraceEvent& event);
 
   static std::atomic<bool> g_enabled;
+  static std::atomic<std::uint32_t> g_sample_every;
 
   mutable std::mutex mu_;  ///< guards buffer registration + start/stop/dump
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::size_t capacity_ = 1 << 18;  ///< ~10 MB/thread of 40-byte events
+  std::size_t capacity_ = 1 << 18;  ///< ~12 MB/thread of 48-byte events
   std::uint64_t epoch_ns_ = 0;
+};
+
+/// RAII request-id propagation: stamps the sampled request id into a
+/// thread-local slot so downstream layers (shard dispatch, predict, retrain
+/// enqueue) can attach flow steps without plumbing the id through every
+/// signature. Pass id 0 for unsampled requests (current() then reads 0 and
+/// downstream layers skip their flow steps). Nests: the previous id is
+/// restored on destruction.
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t id) noexcept;
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  /// The innermost active request id on this thread (0 = none/unsampled).
+  [[nodiscard]] static std::uint64_t current() noexcept;
+
+ private:
+  std::uint64_t previous_;
 };
 
 /// RAII span: stamps the start on construction (when tracing is enabled) and
@@ -115,8 +157,9 @@ class ScopedSpan {
 
 /// RAII trace activation for app entry points: starts tracing when `path` is
 /// non-empty or the LD_TRACE environment variable is set (its value is the
-/// output path; LD_TRACE_BUFFER overrides events-per-thread capacity), and
-/// stops + writes the JSON dump on destruction.
+/// output path; LD_TRACE_BUFFER overrides events-per-thread capacity,
+/// LD_TRACE_SAMPLE=N keeps every Nth request id), and stops + writes the
+/// JSON dump on destruction.
 class TraceSession {
  public:
   explicit TraceSession(std::string path = {});

@@ -14,6 +14,7 @@
 #include "common/stopwatch.hpp"
 #include "fault/injector.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace ld::serving {
@@ -206,8 +207,14 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
             ++count;
           }
         }
+        // SLO burn rates ride on the summary line (fast/slow window pairs),
+        // so a fleet STATS gives the operator budget burn without a scrape.
+        const obs::SloTracker::Rates predict_burn =
+            obs::slo_tracker("predict_p99").rates();
+        const obs::SloTracker::Rates shed_burn = obs::slo_tracker("shed_rate").rates();
         out << "OK stats " << count << " workloads " << service_.shard_count()
-            << " shards\n";
+            << " shards predict_burn=" << predict_burn.fast << '/' << predict_burn.slow
+            << " shed_burn=" << shed_burn.fast << '/' << shed_burn.slow << '\n';
       }
     } else if (verb == "WORKLOADS") {
       out << "WORKLOADS";

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/stopwatch.hpp"
 #include "obs/registry.hpp"
 
 namespace ld::serving {
@@ -104,10 +105,13 @@ std::vector<double> PublishedModel::predict_horizon(std::span<const double> hist
 
 ModelRegistry::ModelRegistry(std::size_t shards) {
   if (shards == 0) shards = default_shards();
+  auto& reg = obs::MetricsRegistry::global();
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->map.store(std::make_shared<const Map>());
+    shard->publish_latency = &reg.histogram(
+        "ld_registry_publish_latency", {{"shard", std::to_string(i)}}, 1e-7, 1e2);
     shards_.push_back(std::move(shard));
   }
 }
@@ -124,11 +128,13 @@ void ModelRegistry::publish(const std::string& name,
   Shard& shard = shard_for(name);
   std::shared_ptr<const Map> old;
   {
+    const Stopwatch clock;  // times the O(shard-size) copy + swap
     std::scoped_lock lock(shard.write_mu);
     auto next = std::make_shared<Map>(*shard.map.load(std::memory_order_acquire));
     (*next)[name] = std::move(model);
     old = shard.map.exchange(std::shared_ptr<const Map>(std::move(next)),
                              std::memory_order_acq_rel);
+    shard.publish_latency->observe(clock.seconds());
   }
   // The displaced model version (when no reader still holds it) is dropped
   // here, outside the shard's write_mu; models built via make() guard a

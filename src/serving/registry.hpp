@@ -33,6 +33,10 @@
 
 #include "core/model.hpp"
 
+namespace ld::obs {
+class Histogram;
+}  // namespace ld::obs
+
 namespace ld::serving {
 
 /// Stable workload -> shard placement (64-bit FNV-1a, reduced mod `shards`).
@@ -134,6 +138,10 @@ class ModelRegistry {
   struct Shard {
     std::atomic<std::shared_ptr<const Map>> map;
     std::mutex write_mu;  ///< serializes this shard's writers only
+    /// ld_registry_publish_latency{shard=}: measures the O(shard-size)
+    /// copy-on-write publish (the ROADMAP 12s/5k-tenant pathology), so the
+    /// future persistent-map layout has a before/after metric.
+    obs::Histogram* publish_latency = nullptr;
   };
 
   [[nodiscard]] const Shard& shard_for(std::string_view name) const noexcept {

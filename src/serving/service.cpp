@@ -15,6 +15,7 @@
 #include "common/thread_pool.hpp"
 #include "core/serialization.hpp"
 #include "fault/injector.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "tensor/matrix.hpp"
 #include "verify/ulp.hpp"
@@ -27,6 +28,13 @@ obs::Gauge& retrain_queue_gauge() {
   static obs::Gauge& gauge =
       obs::MetricsRegistry::global().gauge("ld_serving_retrain_queue_depth");
   return gauge;
+}
+
+/// Burn-rate tracker for the predict-latency SLO ("99% of predicts under
+/// ServiceConfig::slo_predict_p99_seconds"). Budget 0.01 = 1% may breach.
+obs::SloTracker& predict_slo() {
+  static obs::SloTracker& tracker = obs::slo_tracker("predict_p99", {0.01, 60, 3600});
+  return tracker;
 }
 
 void validate_name(const std::string& name) {
@@ -128,6 +136,10 @@ PredictionService::PredictionService(ServiceConfig config)
     shard->queue_depth = &reg.gauge("ld_shard_queue_depth", labels);
     shards_.push_back(std::move(shard));
   }
+  for (const auto level : {fault::DegradationLevel::kLive, fault::DegradationLevel::kSnapshot,
+                           fault::DegradationLevel::kBaseline})
+    level_counters_[static_cast<std::size_t>(level)] = &reg.counter(
+        "ld_predictions_by_level_total", {{"level", fault::to_string(level)}});
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -316,7 +328,14 @@ PredictResult PredictionService::predict_detailed(const std::string& name,
                                                   std::size_t horizon) {
   if (horizon == 0) throw std::invalid_argument("serving: horizon must be >= 1");
   LD_TRACE_SPAN("serve.predict");
+  obs::touch_workload(name);  // heavy-hitter hook (one relaxed load when off)
   const Stopwatch clock;
+  const std::size_t shard_index = registry_.shard_of(name);
+  if (const std::uint64_t rid = obs::RequestScope::current(); rid != 0) {
+    auto& tracer = obs::Tracer::instance();
+    tracer.record_flow("req.shard", 't', rid, static_cast<double>(shard_index));
+    tracer.record_flow("req.predict", 't', rid);
+  }
   const std::shared_ptr<const PublishedModel> model = registry_.current(name);
   if (!model) throw std::runtime_error("serving: no model published for '" + name + "'");
   Workload& w = workload(name);
@@ -386,9 +405,28 @@ PredictResult PredictionService::predict_detailed(const std::string& name,
               ")");
   }
   w.obs.predictions->inc();
+  level_counters_[static_cast<std::size_t>(result.level)]->inc();
   const double seconds = clock.seconds();
   w.obs.predict_latency->observe(seconds);
-  shards_[registry_.shard_of(name)]->predict_latency->observe(seconds);
+  shards_[shard_index]->predict_latency->observe(seconds);
+  if (config_.slo_predict_p99_seconds > 0) {
+    const bool breach = seconds > config_.slo_predict_p99_seconds;
+    predict_slo().record(breach);
+    if (breach) {
+      // Slow-request exemplar: an instant event a trace viewer can jump to,
+      // plus a structured log line (throttled to one per second — overload
+      // is exactly when per-request logging would make things worse).
+      LD_TRACE_INSTANT("serve.slow_request");
+      static std::atomic<std::uint64_t> last_log_s{0};
+      const std::uint64_t now_s = obs::slo_now_s();
+      std::uint64_t prev = last_log_s.load(std::memory_order_relaxed);
+      if (now_s != prev && last_log_s.compare_exchange_strong(prev, now_s,
+                                                              std::memory_order_relaxed))
+        log::warn("serving: slow predict workload='", name, "' shard=", shard_index,
+                  " level=", fault::to_string(result.level), " latency_ms=",
+                  seconds * 1e3, " target_ms=", config_.slo_predict_p99_seconds * 1e3);
+    }
+  }
   return result;
 }
 
@@ -426,6 +464,8 @@ void PredictionService::enqueue_retrain(const std::string& name, double priority
   // Chaos site: a stalled shard queue delays scheduling, never drops work
   // (delay-only — observe() must not unwind).
   LD_FAULT_DELAY("shard.queue");
+  if (const std::uint64_t rid = obs::RequestScope::current(); rid != 0)
+    obs::Tracer::instance().record_flow("req.retrain_enqueue", 't', rid, priority);
   const std::size_t si = registry_.shard_of(name);
   Shard& shard = *shards_[si];
   {
@@ -655,6 +695,13 @@ metrics::LatencyHistogram PredictionService::fleet_predict_latency() const {
   parts.reserve(shards_.size());
   for (const auto& shard : shards_) parts.push_back(shard->predict_latency->snapshot());
   return metrics::LatencyHistogram::merged(parts);
+}
+
+std::vector<std::size_t> PredictionService::shard_queue_depths() const {
+  std::vector<std::size_t> depths(shards_.size(), 0);
+  std::scoped_lock lock(sched_mu_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) depths[i] = shards_[i]->queue.size();
+  return depths;
 }
 
 void PredictionService::save_workload(const std::string& name,

@@ -23,6 +23,7 @@
 //    the old snapshot.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -74,6 +75,12 @@ struct ServiceConfig {
   /// EWMA smoothing for the last-resort baseline forecast (fallback chain
   /// level 2; see DESIGN.md §10).
   double baseline_ewma_alpha = 0.3;
+  /// Per-request latency target for the predict SLO: requests slower than
+  /// this count against the "predict_p99" error budget (obs::SloTracker,
+  /// ld_slo_burn_rate gauges) and, when tracing, emit a slow-request
+  /// exemplar (instant event + structured log with workload/shard/level).
+  /// <= 0 disables SLO tracking and the exemplar path.
+  double slo_predict_p99_seconds = 0.05;
 };
 
 struct WorkloadStats {
@@ -200,6 +207,10 @@ class PredictionService {
   /// per-shard series.
   [[nodiscard]] metrics::LatencyHistogram fleet_predict_latency() const;
 
+  /// Current retrain-queue depth of every shard (index = shard id). One
+  /// lock, O(shards) — cheap enough for /statusz polling.
+  [[nodiscard]] std::vector<std::size_t> shard_queue_depths() const;
+
  private:
   /// Per-workload registry instruments, resolved once at workload creation
   /// (all labeled workload=<name>). Pointers stay valid forever: the global
@@ -283,12 +294,17 @@ class PredictionService {
   ServiceConfig config_;
   ModelRegistry registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Process-wide degradation mix, indexed by fault::DegradationLevel:
+  /// ld_predictions_by_level_total{level=live|snapshot|baseline}. Unlike the
+  /// per-workload ld_degraded_predictions_total, this stays O(1) series for
+  /// the fleet — /statusz reads it without touching any shard.
+  std::array<obs::Counter*, 3> level_counters_{};
 
   std::mutex publish_mu_;  ///< serializes publishes (never on the predict path)
 
   /// Retrain scheduling: dispatcher submits one drain task per backlogged
   /// shard to the shared ThreadPool; wait_idle() watches the counters.
-  std::mutex sched_mu_;
+  mutable std::mutex sched_mu_;
   std::condition_variable sched_cv_;  ///< wakes the dispatcher
   std::condition_variable idle_cv_;   ///< wakes wait_idle / the destructor
   std::size_t pending_jobs_ = 0;      ///< queued, not yet started

@@ -25,6 +25,7 @@
 #include "net/client.hpp"
 #include "net/frame.hpp"
 #include "net/server.hpp"
+#include "obs/registry.hpp"
 #include "serving/protocol.hpp"
 #include "serving/registry.hpp"
 #include "serving/service.hpp"
@@ -291,6 +292,128 @@ TEST_F(NetServerTest, IdleConnectionsAreReaped) {
 }
 
 // ---------------------------------------------------------------------------
+// NetHttp: the ops plane multiplexed onto the same listener.
+
+namespace {
+/// Body of a close-delimited HTTP response (everything after the blank line).
+std::string http_body(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+}  // namespace
+
+TEST_F(NetServerTest, HttpOpsPlaneEndpoints) {
+  serving::PredictionService& service = make_service(quick_service(false, /*shards=*/4));
+  const std::vector<double> series = testutil::seasonal_series(96);
+  service.publish("web", *quick_model(series));
+  service.observe_many("web", series);
+  (void)service.predict("web", 2);
+  start();
+
+  // Each GET uses a fresh connection: the server answers and closes (HTTP/1.0
+  // close-delimited), while protocol connections on the same port live on.
+  {
+    net::Client health("127.0.0.1", port());
+    const std::string response = health.http_get("/healthz");
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+    EXPECT_EQ(http_body(response), "ok\n");
+  }
+  {
+    net::Client metrics("127.0.0.1", port());
+    const std::string response = metrics.http_get("/metrics");
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+              std::string::npos);
+    const std::string body = http_body(response);
+    EXPECT_NE(body.find("# TYPE ld_net_connections_open gauge"), std::string::npos);
+    EXPECT_NE(body.find("ld_net_requests_total{transport=\"http\"}"),
+              std::string::npos);
+  }
+  {
+    net::Client statusz("127.0.0.1", port());
+    const std::string body = http_body(statusz.http_get("/statusz"));
+    EXPECT_EQ(body.front(), '{');
+    // Single-line JSON: one trailing newline, none inside.
+    EXPECT_EQ(body.find('\n'), body.size() - 1) << body;
+    for (const char* key :
+         {"\"connections\":", "\"pending_requests\":", "\"conn_buffer_bytes\":",
+          "\"epoll_wakeups\":", "\"shard_queue_depths\":[", "\"degradation\":{",
+          "\"live\":", "\"slo\":{", "\"predict_p99\":", "\"shed_rate\":",
+          "\"series\":{"})
+      EXPECT_NE(body.find(key), std::string::npos) << "missing " << key << " in " << body;
+  }
+  {
+    net::Client missing("127.0.0.1", port());
+    const std::string response = missing.http_get("/nope");
+    EXPECT_EQ(response.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << response;
+  }
+  // The text protocol is unaffected by interleaved HTTP connections.
+  net::Client text("127.0.0.1", port());
+  EXPECT_EQ(text.send_line("WORKLOADS"), "WORKLOADS web");
+}
+
+TEST_F(NetServerTest, HttpBypassesAdmissionControl) {
+  serving::PredictionService& service = make_service();
+  const std::vector<double> series = testutil::seasonal_series(96);
+  service.publish("web", *quick_model(series));
+  service.observe_many("web", series);
+  net::ServerConfig config;
+  config.shed_observe_depth = 0;  // everything sheddable sheds...
+  config.shed_predict_depth = 0;
+  start(config);
+
+  net::Client shed_probe("127.0.0.1", port());
+  EXPECT_EQ(shed_probe.send_line("OBSERVE web 100"), "503 SHED");
+  // ...but the ops plane must keep answering, or overload is unobservable.
+  net::Client ops("127.0.0.1", port());
+  const std::string response = ops.http_get("/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(http_body(response).find("ld_shed_total"), std::string::npos);
+}
+
+TEST_F(NetServerTest, ConcurrentHttpScrapeDuringRetrain) {
+  // TSan coverage (this suite is in the CI tsan filter): HTTP scrapes — which
+  // run the governor rebalance and SLO publish hooks — race live predict,
+  // observe, and background-retrain traffic on the data plane.
+  testutil::reset_metrics();
+  obs::MetricsRegistry::global().set_max_series(200);
+  serving::PredictionService& service =
+      make_service(quick_service(/*background_retrain=*/true, /*shards=*/2));
+  const std::vector<double> series = testutil::seasonal_series(96);
+  for (const char* name : {"web", "db"}) {
+    service.publish(name, *quick_model(series));
+    service.observe_many(name, series);
+  }
+  start();
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      net::Client client("127.0.0.1", port());
+      const std::string response = client.http_get("/metrics");
+      EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    }
+  });
+  std::thread statusz([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      net::Client client("127.0.0.1", port());
+      EXPECT_NE(client.http_get("/statusz").find("\"slo\""), std::string::npos);
+    }
+  });
+  net::Client traffic("127.0.0.1", port());
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(traffic.predict("web", 2).error.empty());
+    EXPECT_TRUE(traffic.observe("db", std::vector<double>{100.0 + i}).error.empty());
+    if (i == 10) (void)service.request_retrain("web");
+  }
+  service.wait_idle();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  statusz.join();
+  obs::MetricsRegistry::global().set_max_series(0);  // don't govern later tests
+}
+
+// ---------------------------------------------------------------------------
 // NetShardDeterminism: sharding must be invisible in the outputs.
 
 TEST(NetShardDeterminism, ForecastsAndRetrainsIdenticalAcrossShardCounts) {
@@ -398,7 +521,11 @@ TEST(NetProtocol, FleetStatsStreamsEveryShard) {
     last = line;
   }
   EXPECT_EQ(stats_lines, 3u);
-  EXPECT_EQ(last, "OK stats 3 workloads 4 shards");
+  // The summary line grew SLO burn-rate fields; the historical prefix is
+  // still pinned so deployed prefix-matching clients keep working.
+  EXPECT_EQ(last.rfind("OK stats 3 workloads 4 shards", 0), 0u) << last;
+  EXPECT_NE(last.find(" predict_burn="), std::string::npos) << last;
+  EXPECT_NE(last.find(" shed_burn="), std::string::npos) << last;
 
   // The single-tenant form is unchanged (golden-gate surface): no shard=.
   std::ostringstream single;

@@ -7,6 +7,7 @@
 // tracer to the stopped state.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -176,6 +178,185 @@ TEST(ObsRegistry, JsonIsSingleLine) {
   EXPECT_NE(json.find("\"obs_test_json_total\""), std::string::npos);
 }
 
+TEST(ObsRegistry, QuantileLabelMergesIntoSortedPosition) {
+  // Histogram labels whose keys sort around "quantile" must produce one
+  // canonically key-sorted label set — the extra quantile label is merged in
+  // position, not appended — so scrapes are byte-stable regardless of which
+  // labels a series happens to carry.
+  auto& reg = MetricsRegistry::global();
+  auto& hist = reg.histogram("obs_test_merge_seconds",
+                             {{"workload", "wiki"}, {"command", "load"}}, 1e-6, 10.0);
+  hist.observe(0.5);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(
+      text.find("obs_test_merge_seconds{command=\"load\",quantile=\"0.5\",workload=\"wiki\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("quantile=\"0.5\",command="), std::string::npos)
+      << "quantile must not be appended after keys that sort before it";
+  // Two consecutive scrapes with no traffic in between are byte-identical.
+  EXPECT_EQ(reg.prometheus_text(), reg.prometheus_text());
+}
+
+// --- cardinality governor --------------------------------------------------
+
+/// Governor tests mutate process-global state (the series cap); reset on both
+/// sides so neighbouring tests see an ungoverned registry.
+struct GovernedRegistry {
+  GovernedRegistry(std::size_t cap) {
+    MetricsRegistry::global().reset_for_testing();
+    MetricsRegistry::global().set_max_series(cap);
+  }
+  ~GovernedRegistry() { MetricsRegistry::global().reset_for_testing(); }
+};
+
+/// Sum of every `name{...}` sample value in a Prometheus exposition.
+double sum_series(const std::string& text, const std::string& name) {
+  double total = 0.0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + "{", 0) != 0 && line.rfind(name + " ", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    total += std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return total;
+}
+
+TEST(ObsGovernor, CapRollsLongTailIntoOther) {
+  const GovernedRegistry guard(40);
+  auto& reg = MetricsRegistry::global();
+  std::uint64_t total = 0;
+  for (int w = 0; w < 100; ++w) {
+    char name[8];
+    std::snprintf(name, sizeof name, "w%02d", w);
+    reg.counter("obs_gov_total", {{"workload", name}}).inc(w + 1);
+    total += static_cast<std::uint64_t>(w + 1);
+  }
+  EXPECT_LE(reg.exposed_series_count(), 40u);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("obs_gov_total{workload=\"__other\"}"), std::string::npos);
+  // Conservation: rolling up must not lose a single count.
+  EXPECT_DOUBLE_EQ(sum_series(text, "obs_gov_total"), static_cast<double>(total));
+  // Self-metrics report the pressure.
+  EXPECT_GT(reg.counter("ld_metrics_rollup_total").value(), 0u);
+  EXPECT_NE(text.find("ld_metrics_series_total"), std::string::npos);
+}
+
+TEST(ObsGovernor, PromotionDemotionPreservesMonotonicityAndTotals) {
+  const GovernedRegistry guard(20);
+  auto& reg = MetricsRegistry::global();
+  std::uint64_t total = 0;
+  for (int w = 0; w < 20; ++w) {
+    char name[8];
+    std::snprintf(name, sizeof name, "w%02d", w);
+    reg.counter("obs_gov2_total", {{"workload", name}}).inc(w + 1);
+    total += static_cast<std::uint64_t>(w + 1);
+  }
+  // "w19" landed in the rolled-up tail; make it the traffic heavy hitter.
+  const std::string first = reg.prometheus_text();
+  EXPECT_EQ(first.find("obs_gov2_total{workload=\"w19\"}"), std::string::npos);
+  EXPECT_DOUBLE_EQ(sum_series(first, "obs_gov2_total"), static_cast<double>(total));
+  for (int i = 0; i < 200; ++i) ld::obs::touch_workload("w19");
+
+  // The next scrape's rebalance promotes w19 (demoting a cold workload); a
+  // fresh registration now resolves to a real series, not the __other twin.
+  const std::string second = reg.prometheus_text();
+  auto& promoted = reg.counter("obs_gov2_total", {{"workload", "w19"}});
+  promoted.inc(5);
+  total += 5;
+  const std::string third = reg.prometheus_text();
+  EXPECT_NE(third.find("obs_gov2_total{workload=\"w19\"} 5"), std::string::npos)
+      << third;
+  // One cold workload (value <= 6) was demoted; its pre-demotion value leaves
+  // the sum like a Prometheus counter reset, but nothing else is lost and
+  // nothing is ever double-counted. The cap still holds.
+  const double after = sum_series(third, "obs_gov2_total");
+  EXPECT_LE(after, static_cast<double>(total));
+  EXPECT_GE(after, static_cast<double>(total - 6));
+  EXPECT_LE(reg.exposed_series_count(), 20u);
+
+  // __other never decreases across the three scrapes (counter monotonicity
+  // as a scraper sees it).
+  const auto other_value = [](const std::string& text) {
+    const std::string needle = "obs_gov2_total{workload=\"__other\"} ";
+    const std::size_t at = text.find(needle);
+    return at == std::string::npos ? -1.0
+                                   : std::strtod(text.c_str() + at + needle.size(), nullptr);
+  };
+  EXPECT_GE(other_value(second), other_value(first));
+  EXPECT_GE(other_value(third), other_value(second));
+}
+
+TEST(ObsGovernor, ExpositionStaysParseableAtCap) {
+  const GovernedRegistry guard(60);
+  auto& reg = MetricsRegistry::global();
+  for (int w = 0; w < 300; ++w) {
+    const std::string name = "tenant" + std::to_string(w);
+    reg.counter("obs_gov3_total", {{"workload", name}}).inc();
+    reg.histogram("obs_gov3_seconds", {{"workload", name}}, 1e-6, 10.0).observe(0.01);
+    ld::obs::touch_workload(name);
+  }
+  EXPECT_LE(reg.exposed_series_count(), 60u);
+  const std::string text = reg.prometheus_text();
+  // Every line is either a comment or "name[{labels}] value" with a finite
+  // value — a scraper never sees a torn or unparseable line at the cap.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++samples;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_TRUE(std::isfinite(value)) << line;
+    EXPECT_EQ(*end, '\0') << line;
+    const std::size_t open = line.find('{');
+    if (open != std::string::npos)
+      EXPECT_LT(line.find('}'), space) << "unclosed label set: " << line;
+  }
+  // Scrape cost is O(cap): histograms expand to 8 lines each, but the number
+  // of emitted series is bounded by the cap, not the 300-tenant fleet.
+  EXPECT_LE(samples, 60u * 8u);
+}
+
+// --- SLO burn rates --------------------------------------------------------
+
+TEST(ObsSlo, DualWindowBurnRatesAreDeterministic) {
+  ld::obs::SloTracker tracker("obs_test_slo_local", {0.01, 60, 3600});
+  EXPECT_EQ(tracker.rates_at(5000).fast, 0.0) << "idle tracker burns nothing";
+
+  // 1% breaches against a 1% budget: burn rate exactly 1 in both windows.
+  const std::uint64_t now = 10'000;
+  for (int i = 0; i < 99; ++i) tracker.record_at(now, false);
+  tracker.record_at(now, true);
+  EXPECT_NEAR(tracker.rates_at(now).fast, 1.0, 1e-12);
+  EXPECT_NEAR(tracker.rates_at(now).slow, 1.0, 1e-12);
+
+  // Past the fast window the spike ages out of it but stays in the slow one.
+  EXPECT_EQ(tracker.rates_at(now + 61).fast, 0.0);
+  EXPECT_NEAR(tracker.rates_at(now + 61).slow, 1.0, 1e-12);
+  EXPECT_EQ(tracker.rates_at(now + 3601).slow, 0.0);
+
+  // An all-breach burst burns at 1/budget.
+  for (int i = 0; i < 10; ++i) tracker.record_at(now + 7200, true);
+  EXPECT_NEAR(tracker.rates_at(now + 7200).fast, 100.0, 1e-9);
+}
+
+TEST(ObsSlo, TrackersPublishGaugesOnScrape) {
+  auto& tracker = ld::obs::slo_tracker("obs_test_slo_pub", {0.5, 60, 3600});
+  tracker.record(true);
+  const std::string text = MetricsRegistry::global().prometheus_text();
+  EXPECT_NE(
+      text.find("ld_slo_burn_rate{slo=\"obs_test_slo_pub\",window=\"fast\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ld_slo_burn_rate{slo=\"obs_test_slo_pub\",window=\"slow\"}"),
+            std::string::npos);
+}
+
 // --- tracing ---------------------------------------------------------------
 
 TEST(ObsTrace, SpansRecordNestingAndThreads) {
@@ -275,6 +456,60 @@ TEST(ObsTrace, TraceSessionActivatesFromEnv) {
   EXPECT_TRUE(found);
   std::remove(path.c_str());
   Tracer::instance().clear();
+}
+
+TEST(ObsTrace, FlowEventsCarryRequestIdAndCategory) {
+  Tracer::instance().start();
+  Tracer::instance().record_flow("req.frontend", 's', 42, 7.0);
+  Tracer::instance().record_flow("req.shard", 't', 42, 3.0);
+  Tracer::instance().record_flow("req.done", 'f', 42);
+  Tracer::instance().stop();
+  const std::string json = dump_trace();
+  Tracer::instance().clear();
+
+  for (const char* needle :
+       {"\"ph\":\"s\"", "\"ph\":\"t\"", "\"ph\":\"f\"", "\"cat\":\"request\"",
+        "\"id\":42,\"args\":{\"value\":"})
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing " << needle;
+  // The terminating 'f' step binds to the enclosing step ("bp":"e"), which
+  // Perfetto needs to draw the arrow to the last event.
+  const std::size_t f_at = json.find("\"ph\":\"f\"");
+  ASSERT_NE(f_at, std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\"", f_at), std::string::npos);
+}
+
+TEST(ObsTrace, DeterministicSamplerPicksEveryNth) {
+  Tracer::instance().set_sample_every(4);
+  EXPECT_FALSE(Tracer::sampled(4)) << "sampling requires the tracer enabled";
+  Tracer::instance().start();
+  EXPECT_TRUE(Tracer::sampled(4));
+  EXPECT_TRUE(Tracer::sampled(8));
+  EXPECT_FALSE(Tracer::sampled(1));
+  EXPECT_FALSE(Tracer::sampled(7));
+  Tracer::instance().set_sample_every(1);
+  EXPECT_TRUE(Tracer::sampled(7)) << "1/1 sampling keeps every request";
+  Tracer::instance().set_sample_every(0);  // 0 normalizes to 1
+  EXPECT_EQ(Tracer::sample_every(), 1u);
+  Tracer::instance().stop();
+  Tracer::instance().clear();
+}
+
+TEST(ObsTrace, RequestScopeNestsAndIsThreadLocal) {
+  using ld::obs::RequestScope;
+  EXPECT_EQ(RequestScope::current(), 0u);
+  {
+    const RequestScope outer(42);
+    EXPECT_EQ(RequestScope::current(), 42u);
+    {
+      const RequestScope inner(7);
+      EXPECT_EQ(RequestScope::current(), 7u);
+    }
+    EXPECT_EQ(RequestScope::current(), 42u) << "scopes restore on unwind";
+    std::thread([] {
+      EXPECT_EQ(RequestScope::current(), 0u) << "request ids never leak across threads";
+    }).join();
+  }
+  EXPECT_EQ(RequestScope::current(), 0u);
 }
 
 }  // namespace

@@ -15,6 +15,16 @@ passes --normalize BM_Gemm/32: every time is divided by that benchmark's time
 in the *same* run, and the gate compares the resulting machine-free ratios.
 The budget is deliberately loose (25%) — this catches "the blocked GEMM lost
 its blocking" or "the disabled fault point grew a lock", not 2% noise.
+
+Fleet mode (--fleet) gates the serve_replay --connect curve instead:
+  ./build/bench/serve_replay --connect --bench-out /tmp/fleet.json
+  tools/bench_check.py --fleet --current /tmp/fleet.json [--regen]
+Both files are the {"fleet": [...]} JSON that --bench-out writes
+(bench/BENCH_fleet.json is the committed baseline). The gate is shape-based:
+each point's p50 is divided by the same run's first-point p50, and that
+machine-free degradation ratio must stay within the budget of the baseline's.
+Any shed request is a hard failure — the curve must be measured below the
+shed threshold or it measures the shed path, not the serving path.
 """
 
 from __future__ import annotations
@@ -25,6 +35,62 @@ import os
 import sys
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..", "bench", "BENCH_baseline.json")
+DEFAULT_FLEET_BASELINE = os.path.join(os.path.dirname(__file__), "..", "bench", "BENCH_fleet.json")
+
+
+def load_fleet(path: str) -> list[dict]:
+    with open(path, encoding="utf-8") as fh:
+        points = json.load(fh).get("fleet", [])
+    if not points:
+        sys.exit(f"error: no fleet points found in {path}")
+    return points
+
+
+def check_fleet(args: argparse.Namespace) -> int:
+    current = load_fleet(args.current)
+    shed = sum(int(p.get("shed", 0)) for p in current)
+    if shed > 0:
+        print(f"error: {shed} requests shed during the fleet run — the curve "
+              "must be measured below the shed threshold")
+        return 1
+    if args.regen:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump({"fleet": current}, fh, indent=2)
+            fh.write("\n")
+        print(f"[regen] wrote {len(current)} fleet points to {args.baseline}")
+        return 0
+
+    baseline = {int(p["workloads"]): p for p in load_fleet(args.baseline)}
+    cur_anchor = float(current[0]["p50_us"])
+    base_points = sorted(baseline)
+    base_anchor = float(baseline[base_points[0]]["p50_us"])
+    failures, missing = [], []
+    for point in current:
+        n = int(point["workloads"])
+        if n not in baseline:
+            print(f"[ new] {n} workloads: not in baseline (run --regen to adopt)")
+            continue
+        cur_ratio = float(point["p50_us"]) / cur_anchor
+        base_ratio = float(baseline[n]["p50_us"]) / base_anchor
+        degradation = cur_ratio / base_ratio if base_ratio > 0 else float("inf")
+        status = "FAIL" if degradation > 1.0 + args.budget else "ok"
+        print(f"[{status:>4}] {n} workloads: p50 shape {cur_ratio:.2f}x vs "
+              f"baseline {base_ratio:.2f}x ({degradation:.2f}x, "
+              f"p99 {float(point['p99_us']):.0f}us)")
+        if status == "FAIL":
+            failures.append(n)
+    seen = {int(p["workloads"]) for p in current}
+    missing = [n for n in base_points if n not in seen]
+    if missing:
+        print(f"error: baseline fleet points missing from run: "
+              f"{', '.join(str(n) for n in missing)}")
+        return 1
+    if failures:
+        print(f"error: fleet p50 shape degraded beyond the {args.budget:.0%} "
+              f"budget at {len(failures)} point(s)")
+        return 1
+    print(f"bench_check: fleet curve within the {args.budget:.0%} budget, 0 shed")
+    return 0
 
 
 def load_run(path: str) -> dict[str, float]:
@@ -63,7 +129,17 @@ def main() -> int:
                              "(makes the check machine-portable)")
     parser.add_argument("--regen", action="store_true",
                         help="rewrite the baseline from --current instead of checking")
+    parser.add_argument("--fleet", action="store_true",
+                        help="gate a serve_replay --connect --bench-out curve "
+                             "instead of perf_micro output")
     args = parser.parse_args()
+
+    if args.fleet:
+        if args.baseline == DEFAULT_BASELINE:
+            args.baseline = DEFAULT_FLEET_BASELINE
+        if args.budget == 0.25:
+            args.budget = 0.50  # client-observed TCP latency is noisier
+        return check_fleet(args)
 
     current = load_run(args.current)
     if args.regen:

@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
 """Validate a Chrome trace-event JSON produced by the obs tracing layer.
 
-Usage: check_trace.py TRACE.json [REQUIRED_SPAN ...]
+Usage: check_trace.py TRACE.json [REQUIRED_SPAN ...] [--min-stitched F]
+                      [--sample-every N]
 
 Checks that the file is well-formed trace-event JSON (every event has a
-legal phase, non-negative timestamps, durations on 'X' events) and that each
-REQUIRED_SPAN name appears at least once as a complete ('X') span. Exits
-non-zero with a diagnostic on the first violation.
+legal phase, non-negative timestamps, durations on 'X' events, ids on flow
+events) and that each REQUIRED_SPAN name appears at least once as a
+complete ('X') span.
+
+When the trace contains request flows ('s'/'t'/'f' events emitted by the
+serving front-end), it additionally stitches them by id and requires that
+at least --min-stitched of the requests opened at the front-end
+(req.frontend) also completed (req.done) — and, for requests that reached
+the predict path (req.predict), passed through shard dispatch (req.shard).
+With --sample-every N it verifies the deterministic sampler: every flow id
+must be a multiple of N. Exits non-zero with a diagnostic on the first
+violation.
 """
+import argparse
 import json
 import sys
 
@@ -18,15 +29,24 @@ def fail(message):
 
 
 def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_trace.py TRACE.json [REQUIRED_SPAN ...]")
-    path, required = sys.argv[1], sys.argv[2:]
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="trace-event JSON file")
+    parser.add_argument("required", nargs="*", metavar="REQUIRED_SPAN",
+                        help="span names that must appear as 'X' events")
+    parser.add_argument("--min-stitched", type=float, default=0.99,
+                        help="minimum fraction of front-end flows that must be "
+                             "fully stitched (default 0.99)")
+    parser.add_argument("--sample-every", type=int, default=None, metavar="N",
+                        help="assert deterministic sampling: every flow id "
+                             "must be a multiple of N")
+    args = parser.parse_args()
 
     try:
-        with open(path, encoding="utf-8") as f:
+        with open(args.trace, encoding="utf-8") as f:
             trace = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse '{path}': {e}")
+        fail(f"cannot parse '{args.trace}': {e}")
 
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -34,9 +54,10 @@ def main():
 
     span_names = set()
     threads = set()
+    flows = {}  # id -> set of flow-step names
     for i, e in enumerate(events):
         ph = e.get("ph")
-        if ph not in ("X", "C", "i", "M"):
+        if ph not in ("X", "C", "i", "M", "s", "t", "f"):
             fail(f"event {i}: unexpected phase {ph!r}")
         if "name" not in e:
             fail(f"event {i}: missing name")
@@ -53,14 +74,44 @@ def main():
             span_names.add(e["name"])
         if ph == "C" and "value" not in e.get("args", {}):
             fail(f"event {i} ({e['name']}): counter without args.value")
+        if ph in ("s", "t", "f"):
+            flow_id = e.get("id")
+            if not isinstance(flow_id, int) or flow_id <= 0:
+                fail(f"event {i} ({e['name']}): flow event without positive id")
+            if e.get("cat") != "request":
+                fail(f"event {i} ({e['name']}): flow event without cat=request")
+            flows.setdefault(flow_id, set()).add(e["name"])
 
-    missing = [name for name in required if name not in span_names]
+    missing = [name for name in args.required if name not in span_names]
     if missing:
         fail(f"required spans not found: {', '.join(missing)}; "
              f"have: {', '.join(sorted(span_names))}")
 
+    stitched = 0
+    opened = {fid: steps for fid, steps in flows.items() if "req.frontend" in steps}
+    for fid, steps in opened.items():
+        complete = "req.done" in steps
+        if "req.predict" in steps:
+            complete = complete and "req.shard" in steps
+        stitched += complete
+    if opened:
+        fraction = stitched / len(opened)
+        if fraction < args.min_stitched:
+            fail(f"only {stitched}/{len(opened)} request flows stitched "
+                 f"({fraction:.1%} < {args.min_stitched:.1%})")
+    if args.sample_every is not None:
+        if args.sample_every > 1:
+            bad = [fid for fid in flows if fid % args.sample_every != 0]
+            if bad:
+                fail(f"{len(bad)} flow ids violate LD_TRACE_SAMPLE=1/"
+                     f"{args.sample_every} (e.g. id {bad[0]})")
+        if not flows:
+            fail("--sample-every given but the trace contains no request flows")
+
+    flow_note = (f", {stitched}/{len(opened)} request flows stitched"
+                 if opened else "")
     print(f"check_trace: OK — {len(events)} events, {len(threads)} threads, "
-          f"{len(span_names)} distinct spans")
+          f"{len(span_names)} distinct spans{flow_note}")
 
 
 if __name__ == "__main__":

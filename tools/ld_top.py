@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""ld_top — terminal fleet dashboard for a running `ld_serve --listen` server.
+
+Polls the HTTP ops plane (GET /statusz + /metrics on the protocol port) and
+renders a top-style view: connections, queue depths per shard, degradation
+mix, SLO burn rates, series budget, and the hottest workloads by prediction
+count. Standard library only.
+
+Usage:
+  tools/ld_top.py [--host 127.0.0.1] [--port 4477] [--interval 2]
+                  [--top 10] [--once]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SERIES_RE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+                       r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$')
+LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def fetch(host: str, port: int, path: str) -> str:
+    url = f"http://{host}:{port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.read().decode("utf-8", errors="replace")
+
+
+def parse_metrics(text: str):
+    """Yield (name, labels-dict, float value) for every sample line."""
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = SERIES_RE.match(line)
+        if not m:
+            continue
+        labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        yield m.group("name"), labels, value
+
+
+def render(status: dict, metrics_text: str, top_n: int) -> str:
+    lines = []
+    depths = status.get("shard_queue_depths", [])
+    lines.append(
+        f"connections {status.get('connections', '?')}   "
+        f"pending {status.get('pending_requests', '?')}   "
+        f"buffers {status.get('conn_buffer_bytes', 0)}B   "
+        f"wakeups {status.get('epoll_wakeups', '?')}   "
+        f"accepted {status.get('accepted_total', '?')}")
+    series = status.get("series", {})
+    cap = series.get("max", 0)
+    lines.append(f"series exposed {series.get('exposed', '?')}"
+                 + (f" / cap {cap}" if cap else " (governor off)"))
+    slo = status.get("slo", {})
+    parts = []
+    for name, rates in sorted(slo.items()):
+        parts.append(f"{name} fast {rates.get('fast', 0):.3f} "
+                     f"slow {rates.get('slow', 0):.3f}")
+    lines.append("slo burn: " + (" | ".join(parts) if parts else "n/a"))
+    mix = status.get("degradation", {})
+    total = sum(mix.values()) or 1
+    lines.append("degradation: " + "  ".join(
+        f"{level} {count} ({100.0 * count / total:.1f}%)"
+        for level, count in mix.items()))
+    if depths:
+        shown = " ".join(str(d) for d in depths[:32])
+        suffix = " ..." if len(depths) > 32 else ""
+        lines.append(f"shard queue depths [{len(depths)}]: {shown}{suffix}")
+
+    predictions = []
+    rollup = other = 0.0
+    for name, labels, value in parse_metrics(metrics_text):
+        if name == "ld_serving_predictions_total" and "workload" in labels:
+            if labels["workload"] == "__other":
+                other = value
+            else:
+                predictions.append((value, labels["workload"]))
+        elif name == "ld_metrics_rollup_total":
+            rollup = value
+    if predictions or other:
+        lines.append(f"top workloads by predictions "
+                     f"(rollups {rollup:.0f}, __other {other:.0f}):")
+        for value, workload in sorted(predictions, reverse=True)[:top_n]:
+            lines.append(f"  {workload:<24} {value:>12.0f}")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4477)
+    parser.add_argument("--interval", type=float, default=2.0)
+    parser.add_argument("--top", type=int, default=10,
+                        help="workloads to show (default 10)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit (smoke-test mode)")
+    args = parser.parse_args()
+
+    while True:
+        try:
+            status = json.loads(fetch(args.host, args.port, "/statusz"))
+            metrics_text = fetch(args.host, args.port, "/metrics")
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as e:
+            print(f"ld_top: cannot reach {args.host}:{args.port}: {e}",
+                  file=sys.stderr)
+            return 1
+        frame = render(status, metrics_text, args.top)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home keeps the dashboard in place without curses.
+        print(f"\x1b[2J\x1b[Hld_top — {args.host}:{args.port} "
+              f"({args.interval:.1f}s refresh, ctrl-c to quit)\n{frame}",
+              flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
