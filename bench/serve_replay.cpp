@@ -7,7 +7,8 @@
 //   serve_replay [--threads 4] [--requests 2000] [--horizon 4] [--replicas 2]
 //                [--workloads 2|3] [--epochs 12] [--no-retrain] [--seed 2020]
 //                [--trace out.json] [--faults SPEC] [--fault-seed 42]
-//                [--retrain-timeout S] [--checkpoint-dir D]
+//                [--retrain-timeout S] [--checkpoint-dir D] [--wal-dir D]
+//                [--wal-fsync always|interval|never]
 //   serve_replay --connect [--curve 1000,5000,10000] [--threads 4]
 //                [--requests 2000] [--horizon 4] [--shards N] [--epochs 12]
 //                [--bench-out bench/BENCH_fleet.json] [--trace out.json]
@@ -323,6 +324,10 @@ int main(int argc, char** argv) {
   cfg.adaptive.retrain_history_cap = 160;
   cfg.checkpoint_dir = args.get("checkpoint-dir", "");
   cfg.retrain_timeout_seconds = args.get_double("retrain-timeout", 0.0);
+  // WAL passthrough: measures journaling overhead on the ingest path (the
+  // bench_check.py budget gate) and feeds the crash-recovery CI drill.
+  cfg.wal.dir = args.get("wal-dir", "");
+  cfg.wal.fsync = ld::wal::parse_fsync(args.get("wal-fsync", ""));
   serving::PredictionService service(cfg);
 
   // Quick-train one small model per workload and split its trace into warmup

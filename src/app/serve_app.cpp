@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <istream>
@@ -27,6 +28,7 @@
 #include "obs/trace.hpp"
 #include "serving/protocol.hpp"
 #include "serving/service.hpp"
+#include "wal/journal.hpp"
 #include "workloads/trace.hpp"
 
 namespace ld::app {
@@ -76,17 +78,30 @@ flags:
   --retrain-timeout S  watchdog deadline per retrain attempt in seconds
                        (default 0 = unsupervised)
   --retrain-attempts N max retrain attempts incl. retries (default 3)
+  --wal-dir D          durability root: per-shard write-ahead journals +
+                       snapshot manifest under D; on startup the previous
+                       run's state is recovered (snapshot + WAL tail replay)
+                       before any traffic (see DESIGN.md §15)
+  --wal-fsync P        WAL fsync policy: always|interval|never
+                       (default interval; env LD_WAL_FSYNC)
+  --wal-segment-bytes N rotate WAL segments past N bytes (default 4194304)
+  --snapshot-interval S background snapshot/compaction period in seconds
+                       (default 30; 0 = only the final snapshot at exit)
+
+signals (with --listen): SIGINT stops immediately; SIGTERM drains —
+/healthz flips to 503 draining, new data-plane requests shed, in-flight
+work finishes, WALs flush, a final snapshot is written, exit 0.
 
 protocol: LOAD OBSERVE INGEST PREDICT BATCH RETRAIN WAIT SAVE STATS
-          WORKLOADS METRICS FAULTS QUIT   (see docs/API.md)
+          SNAPSHOT WORKLOADS METRICS FAULTS QUIT   (see docs/API.md)
 
 env: LD_LOG_LEVEL=debug|info|warn|error|off, LD_TRACE=FILE,
      LD_TRACE_BUFFER=N (trace events per thread), LD_TRACE_SAMPLE=N (trace
      every Nth request's flow), LD_METRICS_MAX_SERIES=N (cardinality
      governor: cap exposed series, roll the long tail into
      workload="__other"), LD_NUM_THREADS=N, LD_FAULTS=SPEC, LD_FAULT_SEED=N,
-     LD_KERNEL=auto|avx512|avx2|blocked|reference (GEMM tier), LD_QUANT=1
-     (see docs/API.md, ld::fault)
+     LD_KERNEL=auto|avx512|avx2|blocked|reference (GEMM tier), LD_QUANT=1,
+     LD_WAL_FSYNC=always|interval|never (see docs/API.md, ld::fault)
 )";
 
 bool ends_with(const std::string& s, const std::string& suffix) {
@@ -180,13 +195,64 @@ class MetricsDumper {
   std::thread thread_;
 };
 
-/// SIGINT/SIGTERM land here while --listen is up: stop() is signal-safe
-/// (an atomic store plus a self-pipe write).
+/// Periodic snapshot compaction for the durability layer: the WAL stays
+/// short (bounded recovery time) and the manifest stays fresh. Same
+/// lifecycle shape as MetricsDumper; the final at-exit snapshot is written
+/// explicitly by run_serve after the protocol session drains.
+class SnapshotTicker {
+ public:
+  SnapshotTicker(serving::PredictionService& service, double interval_seconds)
+      : service_(service) {
+    if (!service_.wal_enabled() || interval_seconds <= 0) return;
+    interval_ = std::chrono::duration<double>(std::max(interval_seconds, 0.1));
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~SnapshotTicker() {
+    if (!thread_.joinable()) return;
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mu_);
+    while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      lock.unlock();
+      try {
+        service_.write_snapshot();
+      } catch (const std::exception& e) {
+        // Segments are never deleted on a failed write, so durability holds;
+        // the next tick retries.
+        log::warn("ld_serve: periodic snapshot failed: ", e.what());
+      }
+      lock.lock();
+    }
+  }
+
+  serving::PredictionService& service_;
+  std::chrono::duration<double> interval_{30.0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// SIGINT/SIGTERM land here while --listen is up: stop() and drain() are
+/// signal-safe (an atomic store plus a self-pipe write).
 std::atomic<net::Server*> g_listen_server{nullptr};
 
 void stop_listen_server(int) {
   if (net::Server* server = g_listen_server.load(std::memory_order_acquire))
     server->stop();
+}
+
+void drain_listen_server(int) {
+  if (net::Server* server = g_listen_server.load(std::memory_order_acquire))
+    server->drain();
 }
 
 }  // namespace
@@ -231,8 +297,28 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
     cfg.retrain_timeout_seconds = args.get_double("retrain-timeout", 0.0);
     cfg.retrain_retry.max_attempts =
         static_cast<std::size_t>(args.get_int("retrain-attempts", 3));
+    cfg.wal.dir = args.get("wal-dir", "");
+    {
+      // Flag beats env beats the interval default.
+      const char* env_fsync = std::getenv("LD_WAL_FSYNC");
+      cfg.wal.fsync =
+          wal::parse_fsync(args.get("wal-fsync", env_fsync != nullptr ? env_fsync : ""));
+    }
+    if (args.get_int("wal-segment-bytes", 0) > 0)
+      cfg.wal.segment_bytes =
+          static_cast<std::size_t>(args.get_int("wal-segment-bytes", 0));
 
     serving::PredictionService service(cfg);
+
+    // Crash recovery runs before ANY traffic or registration: replay must
+    // never race appends (DESIGN.md §15).
+    if (service.wal_enabled()) {
+      const serving::RecoveryStats rec = service.recover();
+      err << "ld_serve: recovered " << rec.tenants << " tenants (" << rec.models
+          << " models, " << rec.replayed_records << " WAL records, "
+          << rec.torn_segments << " torn, " << rec.quarantined_segments
+          << " quarantined) in " << rec.seconds << "s\n";
+    }
 
     // A restarted server resumes every workload checkpointed by the previous
     // run, without having to re-list them on the command line.
@@ -270,6 +356,9 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
       }
     }
 
+    const SnapshotTicker snapshot_ticker(service,
+                                         args.get_double("snapshot-interval", 30.0));
+
     std::size_t commands = 0;
     if (args.has("listen")) {
       if (args.has("replay"))
@@ -290,12 +379,15 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
       err << "ld_serve: listening on " << net_cfg.host << ":" << server.port()
           << " (shards=" << service.shard_count() << ")\n";
       g_listen_server.store(&server, std::memory_order_release);
+      // SIGINT = operator's ^C: stop now. SIGTERM = orchestrated shutdown:
+      // drain — finish in-flight work, flush WALs, snapshot, exit 0.
       std::signal(SIGINT, stop_listen_server);
-      std::signal(SIGTERM, stop_listen_server);
+      std::signal(SIGTERM, drain_listen_server);
       server.run();
       std::signal(SIGINT, SIG_DFL);
       std::signal(SIGTERM, SIG_DFL);
       g_listen_server.store(nullptr, std::memory_order_release);
+      if (server.draining()) err << "ld_serve: drained\n";
     } else {
       serving::LineProtocol protocol(service);
       const std::string replay = args.get("replay", "");
@@ -308,6 +400,18 @@ int run_serve(int argc, const char* const* argv, std::istream& in, std::ostream&
       }
     }
     service.wait_idle();
+
+    // Graceful exit = durable exit: every journal fsyncs, then one final
+    // snapshot compacts them, so the next boot recovers from the manifest
+    // alone (empty WAL tails).
+    if (service.wal_enabled()) {
+      try {
+        service.flush_wal();
+        service.write_snapshot();
+      } catch (const std::exception& e) {
+        err << "ld_serve: final snapshot failed: " << e.what() << "\n";
+      }
+    }
 
     err << "ld_serve: served " << commands << " commands across "
         << service.workload_names().size() << " workloads\n";

@@ -221,12 +221,12 @@ void save_model(const TrainedModel& model, std::ostream& out) {
   if (!out) throw std::runtime_error("save_model: stream write failed");
 }
 
-void save_model_file(const TrainedModel& model, const std::string& path) {
-  const std::string data = render_with_footer(model);
+void save_file_durable(const std::string& path, const std::string& data,
+                       const char* fault_site) {
   const std::string tmp = path + ".tmp";
   try {
     write_durable(tmp, data);
-    LD_FAULT_POINT("checkpoint.write");
+    if (fault_site != nullptr) LD_FAULT_POINT(fault_site);
   } catch (...) {
     std::error_code ec;
     std::filesystem::remove(tmp, ec);  // never leave a torn temp behind
@@ -247,6 +247,10 @@ void save_model_file(const TrainedModel& model, const std::string& path) {
     throw std::runtime_error("save_model: rename to '" + path + "' failed: " + ec.message());
   }
   fsync_parent_dir(path);
+}
+
+void save_model_file(const TrainedModel& model, const std::string& path) {
+  save_file_durable(path, render_with_footer(model), "checkpoint.write");
 }
 
 std::shared_ptr<TrainedModel> load_model(std::istream& in) {

@@ -31,6 +31,14 @@ void save_model(const TrainedModel& model, std::ostream& out);
 /// last-known-good fallback for load_checkpoint).
 void save_model_file(const TrainedModel& model, const std::string& path);
 
+/// The same write-temp + fsync + rename + `.prev` discipline for arbitrary
+/// bytes — shared by checkpoints and the WAL snapshot manifest, so every
+/// durable artifact in the system tears (or rather, doesn't) the same way.
+/// `fault_site` (when non-null) is an LD_FAULT_POINT checked after the temp
+/// write and before the rename: the chaos harness's torn-save window.
+void save_file_durable(const std::string& path, const std::string& data,
+                       const char* fault_site = nullptr);
+
 /// Deserialize. Throws std::runtime_error on format mismatch, a missing
 /// crc32 footer (torn write), or a checksum mismatch (bit corruption).
 [[nodiscard]] std::shared_ptr<TrainedModel> load_model(std::istream& in);

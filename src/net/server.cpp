@@ -86,6 +86,7 @@ struct Server::Impl {
   serving::PredictionService& service;
   const ServerConfig& config;
   std::atomic<bool>& stop_flag;
+  std::atomic<bool>& drain_flag;
   serving::LineProtocol protocol;
 
   int listen_fd = -1;
@@ -102,6 +103,7 @@ struct Server::Impl {
     std::uint32_t events = 0;       ///< currently registered interest mask
     bool close_after_flush = false; ///< QUIT or peer EOF: flush, then close
     bool http = false;              ///< sniffed as HTTP: one request, then close
+    std::size_t http_drained = 0;   ///< header bytes discarded after the GET line
   };
   std::map<int, Connection> conns;
 
@@ -130,11 +132,14 @@ struct Server::Impl {
   obs::Counter* requests_http;
   obs::Counter* epoll_wakeups;
   obs::Gauge* conn_buffer_bytes;
+  obs::Counter* short_writes;
+  obs::Counter* overlong_disconnects;
   obs::SloTracker* shed_slo;
   std::map<std::string, obs::Counter*> shed;
 
-  Impl(serving::PredictionService& svc, const ServerConfig& cfg, std::atomic<bool>& stop)
-      : service(svc), config(cfg), stop_flag(stop), protocol(svc) {
+  Impl(serving::PredictionService& svc, const ServerConfig& cfg, std::atomic<bool>& stop,
+       std::atomic<bool>& drain)
+      : service(svc), config(cfg), stop_flag(stop), drain_flag(drain), protocol(svc) {
     auto& reg = obs::MetricsRegistry::global();
     connections_open = &reg.gauge("ld_net_connections_open");
     pending_requests = &reg.gauge("ld_net_pending_requests");
@@ -148,6 +153,8 @@ struct Server::Impl {
     requests_http = &reg.counter("ld_net_requests_total", {{"transport", "http"}});
     epoll_wakeups = &reg.counter("ld_net_epoll_wakeups_total");
     conn_buffer_bytes = &reg.gauge("ld_net_conn_buffer_bytes");
+    short_writes = &reg.counter("ld_net_short_writes_total");
+    overlong_disconnects = &reg.counter("ld_net_overlong_disconnects_total");
     // Shed-rate SLO: every admission decision is a good/bad event, so the
     // burn rate tracks "fraction of requests shed" over the dual windows.
     shed_slo = &obs::slo_tracker("shed_rate", {0.01, 60, 3600});
@@ -235,7 +242,7 @@ struct Server::Impl {
     }
 #else
     std::vector<pollfd> fds;
-    fds.push_back({listen_fd, POLLIN, 0});
+    if (listen_fd >= 0) fds.push_back({listen_fd, POLLIN, 0});
     fds.push_back({wake_rd, POLLIN, 0});
     for (const auto& [fd, conn] : conns)
       fds.push_back({fd, static_cast<short>(POLLIN | (conn.outbuf.empty() ? 0 : POLLOUT)),
@@ -334,6 +341,15 @@ struct Server::Impl {
       if (n > 0) {
         conn.inbuf.append(buf, static_cast<std::size_t>(n));
         conn.last_active = Clock::now();
+        // Slow-client bound: a peer that floods faster than it completes
+        // requests (or never sends the newline) cannot grow the heap past
+        // the cap — it gets disconnected instead.
+        if (conn.inbuf.size() + conn.outbuf.size() > config.max_conn_buffer_bytes) {
+          overlong_disconnects->inc();
+          log::warn("net: connection buffers exceed ", config.max_conn_buffer_bytes,
+                    " bytes, disconnecting");
+          return false;
+        }
         continue;
       }
       if (n == 0) {
@@ -352,6 +368,15 @@ struct Server::Impl {
   /// Flush as much of outbuf as the socket accepts; false = connection died.
   bool flush_conn(int fd, Connection& conn) {
     while (!conn.outbuf.empty()) {
+      // Short-write drill: send exactly one byte, then yield. The remainder
+      // stays in outbuf and the maintenance pass re-arms EPOLLOUT, so the
+      // response must survive arbitrary send() fragmentation.
+      if (LD_FAULT_FIRES("net.write")) {
+        short_writes->inc();
+        const ssize_t one = ::send(fd, conn.outbuf.data(), 1, MSG_NOSIGNAL);
+        if (one > 0) conn.outbuf.erase(0, 1);
+        return true;
+      }
       const ssize_t n =
           ::send(fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
       if (n > 0) {
@@ -386,8 +411,17 @@ struct Server::Impl {
       if (conn.inbuf.empty()) return true;
       if (conn.http) {
         // The request line was already queued; discard trailing headers —
-        // the connection closes once the response flushes.
+        // the connection closes once the response flushes. Bounded: a peer
+        // streaming endless "headers" is disconnected, not absorbed.
+        conn.http_drained += conn.inbuf.size();
         conn.inbuf.clear();
+        if (conn.http_drained > 16 * config.max_http_line_bytes) {
+          protocol_errors->inc();
+          overlong_disconnects->inc();
+          log::warn("net: http headers exceed ", 16 * config.max_http_line_bytes,
+                    " bytes, disconnecting");
+          return false;
+        }
         return true;
       }
       if (static_cast<std::uint8_t>(conn.inbuf.front()) == kFrameMagic) {
@@ -411,15 +445,17 @@ struct Server::Impl {
       if (std::string_view(conn.inbuf).substr(0, probe) == kHttpVerb.substr(0, probe)) {
         if (conn.inbuf.size() < kHttpVerb.size()) return true;  // may be HTTP
         const std::size_t nl = conn.inbuf.find('\n');
-        if (nl == std::string::npos) {
-          if (conn.inbuf.size() > config.max_line_bytes) {
-            protocol_errors->inc();
-            log::warn("net: http request line exceeds ", config.max_line_bytes,
-                      " bytes");
-            return false;
-          }
-          return true;
+        // The cap applies whether or not the line completed: a complete
+        // oversized line can arrive in one read, and enforcement must not
+        // depend on how the kernel chunked the bytes.
+        if (std::min(nl, conn.inbuf.size()) > config.max_http_line_bytes) {
+          protocol_errors->inc();
+          overlong_disconnects->inc();
+          log::warn("net: http request line exceeds ", config.max_http_line_bytes,
+                    " bytes");
+          return false;
         }
+        if (nl == std::string::npos) return true;
         // "GET <path> HTTP/1.x" — keep the path, drop version and query.
         std::string target = conn.inbuf.substr(kHttpVerb.size(),
                                                nl - kHttpVerb.size());
@@ -435,14 +471,13 @@ struct Server::Impl {
         continue;
       }
       const std::size_t nl = conn.inbuf.find('\n');
-      if (nl == std::string::npos) {
-        if (conn.inbuf.size() > config.max_line_bytes) {
-          protocol_errors->inc();
-          log::warn("net: text line exceeds ", config.max_line_bytes, " bytes");
-          return false;
-        }
-        return true;
+      if (std::min(nl, conn.inbuf.size()) > config.max_line_bytes) {
+        protocol_errors->inc();
+        overlong_disconnects->inc();
+        log::warn("net: text line exceeds ", config.max_line_bytes, " bytes");
+        return false;
       }
+      if (nl == std::string::npos) return true;
       std::string line = conn.inbuf.substr(0, nl);
       conn.inbuf.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -461,7 +496,11 @@ struct Server::Impl {
   /// pipelined requests sheds its own tail.
   bool admit(const Classified& c, Connection& conn, bool binary) {
     const std::size_t depth = pending.size();
+    // While draining, every sheddable request sheds: a draining replica must
+    // not take on new data-plane work. (Control verbs — STATS, SAVE, QUIT —
+    // still execute, and the ops plane bypasses admission entirely.)
     const bool over =
+        (drain_flag.load(std::memory_order_relaxed) && c.cls != ShedClass::kNever) ||
         (c.cls == ShedClass::kIngest && depth >= config.shed_observe_depth) ||
         (c.cls == ShedClass::kPredict && depth >= config.shed_predict_depth);
     shed_slo->record(over);
@@ -513,10 +552,18 @@ struct Server::Impl {
     const char* type = "text/plain; charset=utf-8";
     std::string body;
     if (req.payload == "/metrics") {
+      service.refresh_wal_gauges();
       body = obs::MetricsRegistry::global().prometheus_text();
       type = "text/plain; version=0.0.4; charset=utf-8";
     } else if (req.payload == "/healthz") {
-      body = "ok\n";
+      // A draining replica answers 503 so load balancers stop routing to it
+      // while the in-flight work finishes — the readiness half of drain().
+      if (drain_flag.load(std::memory_order_relaxed)) {
+        status = "503 Service Unavailable";
+        body = "draining\n";
+      } else {
+        body = "ok\n";
+      }
     } else if (req.payload == "/statusz") {
       body = statusz_json();
       body.push_back('\n');
@@ -602,11 +649,25 @@ struct Server::Impl {
   void run() {
     log::info("net: serving on ", config.host, " (", conns.size(), " connections)");
     std::vector<int> doomed;
+    bool draining = false;
+    Clock::time_point drain_deadline{};
     while (!stop_flag.load(std::memory_order_relaxed)) {
+      if (!draining && drain_flag.load(std::memory_order_relaxed)) {
+        // The listen socket stays open: load balancers learn about the drain
+        // by probing /healthz (now 503) over fresh connections. New data-
+        // plane work sheds at the door (admit()); in-flight work finishes.
+        draining = true;
+        drain_deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   std::max(0.0, config.drain_deadline_seconds)));
+        log::info("net: draining (", conns.size(), " connections, ", pending.size(),
+                  " pending requests, deadline ", config.drain_deadline_seconds, "s)");
+      }
       const std::vector<Ready> ready_set = wait_ready(250);
       epoll_wakeups->inc();
       for (const Ready& ready : ready_set) {
-        if (ready.fd == listen_fd) {
+        if (ready.fd == listen_fd && listen_fd >= 0) {
           accept_new();
           continue;
         }
@@ -647,10 +708,26 @@ struct Server::Impl {
           doomed.push_back(fd);
           continue;
         }
+        // Draining: a connection with nothing buffered either way has no
+        // response owed to it — close it rather than waiting for the client
+        // to hang up. The short grace keeps a just-accepted probe alive long
+        // enough for its bytes to arrive (accept and first read land in
+        // different poll cycles), so /healthz can still observe the 503.
+        if (draining && conn.inbuf.empty() && conn.outbuf.empty() &&
+            now - conn.last_active > std::chrono::milliseconds(250)) {
+          doomed.push_back(fd);
+          continue;
+        }
         update_interest(fd, conn);
       }
       conn_buffer_bytes->set(static_cast<double>(buf_bytes));
       for (const int fd : doomed) close_conn(fd);
+      if (draining && (conns.empty() || now >= drain_deadline)) {
+        if (!conns.empty())
+          log::warn("net: drain deadline reached with ", conns.size(),
+                    " connections still open, closing them");
+        break;
+      }
     }
     log::info("net: event loop stopped (", conns.size(), " connections open)");
   }
@@ -658,7 +735,7 @@ struct Server::Impl {
 
 Server::Server(serving::PredictionService& service, ServerConfig config)
     : impl_(nullptr), service_(service), config_(std::move(config)) {
-  impl_ = new Impl(service_, config_, stop_);
+  impl_ = new Impl(service_, config_, stop_, drain_);
   try {
     port_ = impl_->bind_and_listen();
   } catch (...) {
@@ -674,6 +751,13 @@ void Server::run() { impl_->run(); }
 
 void Server::stop() {
   stop_.store(true, std::memory_order_relaxed);
+  impl_->wake();
+}
+
+void Server::drain() {
+  // Async-signal-safe by construction (atomic store + pipe write): the
+  // SIGTERM handler calls this directly.
+  drain_.store(true, std::memory_order_relaxed);
   impl_->wake();
 }
 

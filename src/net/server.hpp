@@ -28,7 +28,9 @@
 // prefix cannot be resynchronized.
 //
 // Fault sites (chaos drills, fault/injector.hpp): `net.accept` drops a
-// freshly accepted connection, `net.read` fails a socket read.
+// freshly accepted connection, `net.read` fails a socket read, `net.write`
+// forces a 1-byte short write (the flush path must re-arm EPOLLOUT and
+// resume — ld_net_short_writes_total counts the drills).
 #pragma once
 
 #include <atomic>
@@ -52,6 +54,18 @@ struct ServerConfig {
   /// A text line longer than this is a protocol violation (mirrors the
   /// binary payload cap).
   std::size_t max_line_bytes = 1u << 20;
+  /// HTTP request-line ceiling. Ops-plane paths are a handful of bytes, so
+  /// anything approaching this is a hostile or confused client; the header
+  /// tail a connection may dribble after the request line is bounded at 16×
+  /// this. Offenders disconnect (ld_net_overlong_disconnects_total).
+  std::size_t max_http_line_bytes = 8u << 10;
+  /// Per-connection buffered-bytes ceiling (inbuf + outbuf). A client that
+  /// pipelines faster than it reads — or floods without newlines — is
+  /// disconnected at this bound instead of growing the heap without limit.
+  std::size_t max_conn_buffer_bytes = 8u << 20;
+  /// How long drain() waits for connections to quiesce before closing them
+  /// and returning from run().
+  double drain_deadline_seconds = 10.0;
 };
 
 class Server {
@@ -73,6 +87,19 @@ class Server {
   /// cycle. Idempotent.
   void stop();
 
+  /// Graceful drain (SIGTERM path; async-signal-safe like stop()): /healthz
+  /// flips to "503 draining" (the listen socket stays open so load-balancer
+  /// probes can see it), new data-plane requests shed at the door, in-flight
+  /// requests finish and flush, quiescent connections close, and run()
+  /// returns once every connection is gone or `drain_deadline_seconds`
+  /// elapses. Idempotent.
+  void drain();
+
+  /// True once drain() was requested.
+  [[nodiscard]] bool draining() const noexcept {
+    return drain_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Impl;
   Impl* impl_;  ///< pimpl: keeps socket/epoll headers out of this header
@@ -81,6 +108,7 @@ class Server {
   ServerConfig config_;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_{false};
 };
 
 }  // namespace ld::net

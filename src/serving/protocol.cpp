@@ -47,6 +47,7 @@ const CommandInfo& command_info(const std::string& verb) {
     add("WAIT", "wait", "serve.cmd.wait");
     add("SAVE", "save", "serve.cmd.save");
     add("STATS", "stats", "serve.cmd.stats");
+    add("SNAPSHOT", "snapshot", "serve.cmd.snapshot");
     add("WORKLOADS", "workloads", "serve.cmd.workloads");
     add("METRICS", "metrics", "serve.cmd.metrics");
     add("FAULTS", "faults", "serve.cmd.faults");
@@ -214,8 +215,26 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
         const obs::SloTracker::Rates shed_burn = obs::slo_tracker("shed_rate").rates();
         out << "OK stats " << count << " workloads " << service_.shard_count()
             << " shards predict_burn=" << predict_burn.fast << '/' << predict_burn.slow
-            << " shed_burn=" << shed_burn.fast << '/' << shed_burn.slow << '\n';
+            << " shed_burn=" << shed_burn.fast << '/' << shed_burn.slow;
+        // Durability accounting rides at the END of the summary line (same
+        // prefix-match contract as the per-workload fields): the last
+        // recover()'s exact replay counts, for the crash-recovery tests.
+        if (service_.wal_enabled()) {
+          const RecoveryStats r = service_.last_recovery();
+          out << " wal_recovered=" << (r.snapshot_loaded ? 1 : 0)
+              << " wal_tenants=" << r.tenants << " wal_replayed=" << r.replayed_records
+              << " wal_values=" << r.replayed_values
+              << " wal_skipped=" << r.skipped_records << " wal_torn=" << r.torn_segments
+              << " wal_quarantined=" << r.quarantined_segments;
+        }
+        out << '\n';
       }
+    } else if (verb == "SNAPSHOT") {
+      // Operator-triggered compaction: rotate the journals, write the fleet
+      // manifest, drop the compacted segments. No-op argumentwise; gated on
+      // the durability layer being configured.
+      if (!service_.wal_enabled()) throw std::runtime_error("WAL disabled (no --wal-dir)");
+      out << "OK snapshot " << service_.write_snapshot() << '\n';
     } else if (verb == "WORKLOADS") {
       out << "WORKLOADS";
       // Stream shard-by-shard: per-shard sorted snapshots, k-way merged on
@@ -240,6 +259,7 @@ bool LineProtocol::dispatch(const std::string& verb, std::istringstream& is,
       }
       out << '\n';
     } else if (verb == "METRICS") {
+      service_.refresh_wal_gauges();  // point-in-time gauges, priced per scrape
       std::string mode;
       if (is >> mode && upper(mode) == "JSON") {
         // json() is newline-free by construction, so the response stays one

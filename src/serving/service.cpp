@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
@@ -48,6 +49,12 @@ void validate_name(const std::string& name) {
 }
 
 std::atomic<int> g_verify_diff{-1};  ///< -1 = consult LD_VERIFY_DIFF on first use
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Recompute `blocked` with the reference kernels and report a divergence
 /// beyond the documented ULP bound. Never throws, never alters the forecast.
@@ -140,6 +147,13 @@ PredictionService::PredictionService(ServiceConfig config)
                            fault::DegradationLevel::kBaseline})
     level_counters_[static_cast<std::size_t>(level)] = &reg.counter(
         "ld_predictions_by_level_total", {{"level", fault::to_string(level)}});
+  if (config_.wal.enabled()) {
+    wal_ = std::make_unique<wal::WalManager>(config_.wal, n);
+    wal_append_failures_ = &reg.counter("ld_wal_append_failures_total");
+    recovery_seconds_gauge_ = &reg.gauge("ld_recovery_seconds");
+    snapshot_age_gauge_ = &reg.gauge("ld_snapshot_age_seconds");
+    wal_segments_gauge_ = &reg.gauge("ld_wal_segments");
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -153,8 +167,19 @@ PredictionService::~PredictionService() {
   // Drain tasks run on the shared pool and hold `this`: wait them out.
   // Each exits at its next between-jobs stop check (queued jobs are
   // abandoned on shutdown, as the single worker did).
-  std::unique_lock lock(sched_mu_);
-  idle_cv_.wait(lock, [this] { return active_drains_ == 0; });
+  {
+    std::unique_lock lock(sched_mu_);
+    idle_cv_.wait(lock, [this] { return active_drains_ == 0; });
+  }
+  if (wal_) {
+    // Best-effort final flush so a graceful exit loses nothing even under
+    // fsync=never; the journals fsync again in their own destructors.
+    try {
+      wal_->sync_all();
+    } catch (const std::exception& e) {
+      log::warn("serving: WAL flush on shutdown failed: ", e.what());
+    }
+  }
 }
 
 PredictionService::Workload& PredictionService::ensure_workload(const std::string& name) {
@@ -167,7 +192,17 @@ PredictionService::Workload& PredictionService::ensure_workload(const std::strin
   validate_name(name);
   std::scoped_lock lock(shard.map_mu);
   auto& slot = shard.workloads[name];
-  if (!slot) slot = std::make_unique<Workload>(config_.adaptive.drift_config(), name);
+  if (!slot) {
+    slot = std::make_unique<Workload>(config_.adaptive.drift_config(), name);
+    // Journal the registration under map_mu so per-shard registration order
+    // matches apply order on replay. Replayed registrations are already
+    // durable (they came FROM the journal) and are not re-appended.
+    if (wal_ && !wal_replaying_.load(std::memory_order_relaxed)) {
+      std::string rec;
+      wal::append_register(rec, name);
+      wal_append(name, rec);
+    }
+  }
   return *slot;
 }
 
@@ -255,6 +290,14 @@ void PredictionService::publish_model(const std::string& name,
   if (count_retrain) {
     ++w.retrains;
     w.obs.retrains->inc();
+    // Journal the promotion so a recovered replica knows the retrain happened
+    // (version + retrain count survive even when the checkpoint write raced
+    // the crash — the model itself comes back from the .ldm checkpoint).
+    if (wal_ && !wal_replaying_.load(std::memory_order_relaxed)) {
+      std::string rec;
+      wal::append_promote(rec, name, version);
+      wal_append(name, rec);
+    }
   }
 }
 
@@ -293,6 +336,16 @@ void PredictionService::observe_many(const std::string& name,
     if (w.history.size() > config_.max_history + config_.max_history / 4)
       w.history.erase(w.history.begin(),
                       w.history.end() - static_cast<std::ptrdiff_t>(config_.max_history));
+    // Journal the batch inside the same critical section that mutated the
+    // history: per-tenant record order == apply order, and `first_step` (the
+    // absolute index of values[0]) makes replay idempotent — a snapshot is
+    // always captured at a batch boundary, so a record either precedes the
+    // snapshot entirely (skipped) or follows it entirely (applied whole).
+    if (wal_ && !wal_replaying_.load(std::memory_order_relaxed)) {
+      std::string rec;
+      wal::append_observe(rec, name, w.observations - clean.size(), clean);
+      wal_append(name, rec);
+    }
     if (config_.background_retrain && w.version > 0 && !w.retrain_pending) {
       const std::size_t first_step = w.observations - w.history.size();
       const core::DriftDecision drift =
@@ -710,6 +763,226 @@ void PredictionService::save_workload(const std::string& name,
   if (!model) throw std::runtime_error("serving: no model published for '" + name + "'");
   // Round-trip through restore(): snapshots are lossless (hex-float format).
   core::save_model_file(*core::TrainedModel::restore(model->snapshot()), path);
+}
+
+// --- Durability (DESIGN.md §15) ----------------------------------------------
+
+void PredictionService::wal_append(const std::string& name,
+                                   const std::string& encoded) noexcept {
+  try {
+    wal_->shard(registry_.shard_of(name)).append(encoded);
+  } catch (const std::exception& e) {
+    // Durability degrades, availability doesn't: the in-memory mutation that
+    // triggered this append already happened and keeps serving.
+    wal_append_failures_->inc();
+    log::warn("serving: WAL append for '", name, "' failed: ", e.what());
+  }
+}
+
+void PredictionService::restore_tenant(const wal::TenantState& tenant,
+                                       RecoveryStats& stats) {
+  try {
+    // add_workload registers the tenant and, when the manifest says a
+    // checkpoint existed, warm-starts its model (falling back to `.prev` or a
+    // cold start exactly like a normal boot).
+    const bool live = add_workload(tenant.name);
+    if (tenant.has_model && !live)
+      log::warn("serving: manifest promises a model for '", tenant.name,
+                "' but no checkpoint restored — serving degraded");
+    if (live) ++stats.models;
+    Workload& w = workload(tenant.name);
+    std::scoped_lock lock(w.mu);
+    // add_workload's publish bumped w.version to 1; the manifest knows the
+    // real pre-crash version. Never go backwards.
+    w.version = std::max<std::uint64_t>(w.version, tenant.version);
+    w.history = tenant.history;
+    w.observations = tenant.observations;
+    w.retrains = tenant.retrains;
+    w.baseline_mape = tenant.baseline_mape;
+    w.last_fit_step = tenant.last_fit_step;
+    w.monitor.reset();  // drift state restarts clean from the restored baseline
+    ++stats.tenants;
+  } catch (const std::exception& e) {
+    log::warn("serving: could not restore tenant '", tenant.name, "': ", e.what());
+  }
+}
+
+void PredictionService::apply_record(const wal::Record& rec, RecoveryStats& stats) {
+  switch (rec.type) {
+    case wal::RecordType::kRegister:
+      add_workload(rec.name);
+      break;
+    case wal::RecordType::kObserve: {
+      Workload& w = ensure_workload(rec.name);
+      std::scoped_lock lock(w.mu);
+      // Idempotence: a batch applies only when it continues the tenant's
+      // history exactly. first_step < observations is a duplicate (already in
+      // the snapshot); > observations would leave a gap (possible only after
+      // a quarantined segment swallowed records) — skip whole either way.
+      if (rec.first_step != w.observations) {
+        ++stats.skipped_records;
+        return;
+      }
+      w.history.insert(w.history.end(), rec.values.begin(), rec.values.end());
+      w.observations += rec.values.size();
+      if (w.history.size() > config_.max_history + config_.max_history / 4)
+        w.history.erase(w.history.begin(),
+                        w.history.end() - static_cast<std::ptrdiff_t>(config_.max_history));
+      stats.replayed_values += rec.values.size();
+      break;
+    }
+    case wal::RecordType::kPromote: {
+      Workload& w = ensure_workload(rec.name);
+      std::scoped_lock lock(w.mu);
+      // The model bytes came back from the checkpoint (or didn't — then the
+      // old model keeps serving); the WAL restores the accounting.
+      if (rec.version > w.version) {
+        w.version = rec.version;
+        ++w.retrains;
+      } else {
+        ++stats.skipped_records;
+      }
+      break;
+    }
+  }
+}
+
+RecoveryStats PredictionService::recover() {
+  if (!wal_) throw std::runtime_error("serving: recover() requires ServiceConfig::wal.dir");
+  const Stopwatch clock;
+  RecoveryStats stats;
+  wal_replaying_.store(true, std::memory_order_relaxed);
+
+  // Phase 1: the snapshot manifest — registry membership, checkpoints,
+  // histories, counters as of the last compaction.
+  const std::string path = wal::manifest_path(config_.wal.dir);
+  std::vector<std::uint64_t> from_seq(shards_.size(), 0);
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec) ||
+      std::filesystem::exists(path + ".prev", ec)) {
+    try {
+      std::string loaded_from;
+      const wal::Manifest manifest = wal::load_manifest(path, &loaded_from);
+      if (manifest.shard_wal_seq.size() != shards_.size())
+        throw std::runtime_error(
+            "manifest written under " + std::to_string(manifest.shard_wal_seq.size()) +
+            " shards, service has " + std::to_string(shards_.size()) +
+            " (workload placement differs — refusing to mix)");
+      from_seq = manifest.shard_wal_seq;
+      for (const wal::TenantState& tenant : manifest.tenants)
+        restore_tenant(tenant, stats);
+      stats.snapshot_loaded = true;
+      log::info("serving: restored ", stats.tenants, " tenants (", stats.models,
+                " with models) from ", loaded_from);
+    } catch (const std::exception& e) {
+      // Replay everything still on disk; tenants whose segments were
+      // compacted under the unreadable manifest are lost — say so loudly.
+      log::warn("serving: snapshot manifest unusable (", e.what(),
+                ") — cold-starting from WAL tails alone");
+      std::fill(from_seq.begin(), from_seq.end(), 0);
+    }
+  }
+
+  // Phase 2: per-shard WAL tails, replayed in parallel — shards never share
+  // tenants, so the only cross-shard state is the stats aggregation below.
+  std::vector<wal::ReplayStats> shard_stats(shards_.size());
+  std::vector<RecoveryStats> shard_applied(shards_.size());
+  ThreadPool::global().parallel_for(0, shards_.size(), [&](std::size_t i) {
+    shard_stats[i] = wal_->shard(i).replay(
+        from_seq[i],
+        [&, i](const wal::Record& rec) { apply_record(rec, shard_applied[i]); });
+  });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    stats.segments += shard_stats[i].segments;
+    stats.replayed_records += shard_stats[i].records;
+    stats.torn_segments += shard_stats[i].torn_segments;
+    stats.quarantined_segments += shard_stats[i].quarantined_segments;
+    stats.replayed_values += shard_applied[i].replayed_values;
+    stats.skipped_records += shard_applied[i].skipped_records;
+  }
+
+  wal_replaying_.store(false, std::memory_order_relaxed);
+  stats.seconds = clock.seconds();
+  recovery_seconds_gauge_->set(stats.seconds);
+  // Until the next write_snapshot, "age" dates from this recovery — the
+  // manifest just consumed is exactly as stale as the replayed tail is long.
+  last_snapshot_steady_.store(steady_seconds(), std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(recovery_mu_);
+    recovery_ = stats;
+  }
+  log::info("serving: recovery done in ", stats.seconds, "s — ", stats.replayed_records,
+            " records (", stats.replayed_values, " values) replayed, ",
+            stats.skipped_records, " skipped, ", stats.torn_segments, " torn, ",
+            stats.quarantined_segments, " quarantined across ", stats.segments,
+            " segments");
+  return stats;
+}
+
+std::string PredictionService::write_snapshot() {
+  if (!wal_)
+    throw std::runtime_error("serving: write_snapshot() requires ServiceConfig::wal.dir");
+  std::scoped_lock snapshot_lock(snapshot_mu_);
+
+  // Order is the whole correctness argument (DESIGN.md §15):
+  //  1. rotate every journal — records appended after this instant land in
+  //     segments >= the boundary and stay out of this snapshot's scope;
+  //  2. capture tenant state — each tenant is read under w.mu, so every
+  //     captured history sits at a batch boundary at or after its rotation;
+  //  3. durably write the manifest;
+  //  4. only then delete segments below the boundary. A crash anywhere
+  //     before 4 leaves extra segments, which idempotent replay absorbs.
+  wal::Manifest manifest;
+  manifest.shard_wal_seq.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    manifest.shard_wal_seq[i] = wal_->shard(i).rotate();
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (const std::string& name : shard_workload_names(i)) {
+      Workload& w = workload(name);
+      wal::TenantState tenant;
+      tenant.name = name;
+      tenant.has_model = registry_.current(name) != nullptr;
+      {
+        std::scoped_lock lock(w.mu);
+        tenant.version = w.version;
+        tenant.observations = w.observations;
+        tenant.retrains = w.retrains;
+        tenant.baseline_mape = w.baseline_mape;
+        tenant.last_fit_step = w.last_fit_step;
+        tenant.history = w.history;
+      }
+      manifest.tenants.push_back(std::move(tenant));
+    }
+  }
+
+  const std::string path = wal::manifest_path(config_.wal.dir);
+  wal::save_manifest(manifest, path);  // throws before any segment is deleted
+
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    wal_->shard(i).remove_segments_below(manifest.shard_wal_seq[i]);
+  last_snapshot_steady_.store(steady_seconds(), std::memory_order_relaxed);
+  log::info("serving: snapshot of ", manifest.tenants.size(), " tenants written to ",
+            path);
+  return path;
+}
+
+void PredictionService::flush_wal() {
+  if (!wal_)
+    throw std::runtime_error("serving: flush_wal() requires ServiceConfig::wal.dir");
+  wal_->sync_all();
+}
+
+RecoveryStats PredictionService::last_recovery() const {
+  std::scoped_lock lock(recovery_mu_);
+  return recovery_;
+}
+
+void PredictionService::refresh_wal_gauges() const {
+  if (!wal_) return;
+  wal_segments_gauge_->set(static_cast<double>(wal_->total_segments()));
+  const double at = last_snapshot_steady_.load(std::memory_order_relaxed);
+  snapshot_age_gauge_->set(at < 0.0 ? -1.0 : steady_seconds() - at);
 }
 
 }  // namespace ld::serving

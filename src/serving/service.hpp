@@ -41,6 +41,8 @@
 #include "fault/watchdog.hpp"
 #include "obs/registry.hpp"
 #include "serving/registry.hpp"
+#include "wal/journal.hpp"
+#include "wal/snapshot.hpp"
 
 namespace ld::serving {
 
@@ -81,6 +83,27 @@ struct ServiceConfig {
   /// exemplar (instant event + structured log with workload/shard/level).
   /// <= 0 disables SLO tracking and the exemplar path.
   double slo_predict_p99_seconds = 0.05;
+  /// Durability layer (DESIGN.md §15): when wal.dir is set, every ingested
+  /// batch, tenant registration, and retrain promotion is journaled to a
+  /// per-shard write-ahead log, compacted by write_snapshot() and replayed
+  /// by recover() after a crash.
+  wal::WalConfig wal;
+};
+
+/// What recover() rebuilt: snapshot + per-shard WAL-tail replay accounting.
+/// Exposed over the protocol (STATS fleet summary) so the crash-recovery
+/// tests can assert exact replayed/skipped/quarantined counts.
+struct RecoveryStats {
+  bool snapshot_loaded = false;        ///< a manifest (or its .prev) was usable
+  std::size_t tenants = 0;             ///< tenants restored from the manifest
+  std::size_t models = 0;              ///< tenants that came back with a live model
+  std::size_t segments = 0;            ///< WAL segment files visited
+  std::size_t replayed_records = 0;    ///< journal records applied
+  std::size_t replayed_values = 0;     ///< observation values among them
+  std::size_t skipped_records = 0;     ///< idempotent-replay duplicates skipped
+  std::size_t torn_segments = 0;       ///< truncated crash tails (prefix kept)
+  std::size_t quarantined_segments = 0;///< corrupt segments moved aside
+  double seconds = 0.0;                ///< wall time of the whole recovery
 };
 
 struct WorkloadStats {
@@ -211,6 +234,34 @@ class PredictionService {
   /// lock, O(shards) — cheap enough for /statusz polling.
   [[nodiscard]] std::vector<std::size_t> shard_queue_depths() const;
 
+  // --- Durability (DESIGN.md §15; all require ServiceConfig::wal.dir) ---
+
+  [[nodiscard]] bool wal_enabled() const noexcept { return wal_ != nullptr; }
+
+  /// Rebuild state from the snapshot manifest plus the per-shard WAL tails
+  /// (replayed in parallel on the shared ThreadPool). Call once, before any
+  /// traffic — replay must never run concurrently with appends. Torn tails
+  /// are truncated, corrupt segments quarantined; a missing manifest is a
+  /// cold start. Throws only when the WAL is disabled.
+  RecoveryStats recover();
+
+  /// Compact the journals into an atomic snapshot manifest: rotate every
+  /// shard's segment, capture tenant state, durably write the manifest
+  /// (tmp+rename+`.prev`), then delete the fully-compacted segments.
+  /// Returns the manifest path. Throws when the WAL is disabled or the
+  /// manifest write fails (segments are kept in that case — no record is
+  /// ever deleted before a manifest covering it is durable).
+  std::string write_snapshot();
+
+  /// fsync every journal (graceful-drain flush).
+  void flush_wal();
+
+  /// The stats of the last recover() on this instance (zeroes before then).
+  [[nodiscard]] RecoveryStats last_recovery() const;
+
+  /// Update ld_wal_segments / ld_snapshot_age_seconds for a scrape.
+  void refresh_wal_gauges() const;
+
  private:
   /// Per-workload registry instruments, resolved once at workload creation
   /// (all labeled workload=<name>). Pointers stay valid forever: the global
@@ -283,6 +334,15 @@ class PredictionService {
 
   Workload& ensure_workload(const std::string& name);
   [[nodiscard]] Workload& workload(const std::string& name) const;
+  /// Best-effort journal append: a WAL failure degrades durability, never
+  /// availability — exceptions are counted (ld_wal_append_failures_total)
+  /// and logged, and the serving mutation proceeds regardless.
+  void wal_append(const std::string& name, const std::string& encoded) noexcept;
+  /// Restore one manifest tenant (registration + checkpoint warm start +
+  /// counters/history). Failures log and leave the tenant degraded.
+  void restore_tenant(const wal::TenantState& tenant, RecoveryStats& stats);
+  /// Apply one replayed journal record (idempotent — see DESIGN.md §15).
+  void apply_record(const wal::Record& rec, RecoveryStats& stats);
   void publish_model(const std::string& name, const core::TrainedModel& model,
                      bool count_retrain, bool write_checkpoint);
   [[nodiscard]] std::string checkpoint_path(const std::string& name) const;
@@ -294,6 +354,21 @@ class PredictionService {
   ServiceConfig config_;
   ModelRegistry registry_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Durability layer; null when ServiceConfig::wal.dir is empty.
+  std::unique_ptr<wal::WalManager> wal_;
+  /// True while recover() replays — suppresses journal appends (replayed
+  /// mutations are already durable) and drift-triggered retrains.
+  std::atomic<bool> wal_replaying_{false};
+  mutable std::mutex snapshot_mu_;  ///< serializes write_snapshot callers
+  mutable std::mutex recovery_mu_;  ///< guards recovery_
+  RecoveryStats recovery_;
+  /// Steady-clock seconds of the last snapshot write/load; < 0 = never.
+  std::atomic<double> last_snapshot_steady_{-1.0};
+  obs::Counter* wal_append_failures_ = nullptr;
+  obs::Gauge* recovery_seconds_gauge_ = nullptr;
+  obs::Gauge* snapshot_age_gauge_ = nullptr;
+  obs::Gauge* wal_segments_gauge_ = nullptr;
   /// Process-wide degradation mix, indexed by fault::DegradationLevel:
   /// ld_predictions_by_level_total{level=live|snapshot|baseline}. Unlike the
   /// per-workload ld_degraded_predictions_total, this stays O(1) series for

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 
@@ -15,6 +16,7 @@
 #include "net/frame.hpp"
 #include "serving/protocol.hpp"
 #include "serving/service.hpp"
+#include "wal/record.hpp"
 
 namespace ld::verify {
 
@@ -339,6 +341,54 @@ FuzzTarget make_frame_target() {
   };
 }
 
+FuzzTarget make_wal_target() {
+  return [](const std::string& input) {
+    // Manual incremental walk, mirroring Journal::replay's truncation rules.
+    std::string_view rest(input);
+    std::size_t manual_records = 0;
+    std::size_t manual_consumed = 0;
+    bool manual_torn = false;
+    bool manual_bad = false;
+    while (!rest.empty()) {
+      wal::Decoded decoded;
+      try {
+        decoded = wal::decode_record(rest);
+      } catch (const std::exception& e) {
+        // decode_record documents "never throws" — hostile bytes included.
+        throw InvariantViolation(std::string("decode_record threw: ") + e.what());
+      }
+      if (decoded.status == wal::DecodeStatus::kNeedMore) {
+        manual_torn = true;  // the torn crash tail: a clean terminal outcome
+        break;
+      }
+      if (decoded.status == wal::DecodeStatus::kBad) {
+        manual_bad = true;  // replay truncates here and quarantines
+        if (decoded.error.empty())
+          throw InvariantViolation("kBad decode carries no error message");
+        break;
+      }
+      constexpr std::size_t kMinRecord = 1 + 1 + 4 + 4;  // header + empty + crc
+      if (decoded.consumed < kMinRecord || decoded.consumed > rest.size())
+        throw InvariantViolation("decode_record reported impossible consumed count");
+      // A decoded record must re-encode to the exact bytes it came from —
+      // the codec cannot canonicalize (NaN loads ride through bit-exact).
+      std::string reencoded;
+      wal::append_record(reencoded, decoded.record);
+      if (reencoded != rest.substr(0, decoded.consumed))
+        throw InvariantViolation("wal record re-encode is not bit-identical");
+      rest.remove_prefix(decoded.consumed);
+      ++manual_records;
+      manual_consumed += decoded.consumed;
+    }
+    // replay_buffer drives real crash recovery; its accounting must agree
+    // with the manual walk byte for byte.
+    const wal::BufferReplay replay = wal::replay_buffer(input, [](const wal::Record&) {});
+    if (replay.records != manual_records || replay.consumed != manual_consumed ||
+        replay.torn != manual_torn || replay.bad != manual_bad)
+      throw InvariantViolation("replay_buffer accounting disagrees with manual walk");
+  };
+}
+
 // ---------------------------------------------------------------------------
 // Seed corpora
 
@@ -398,6 +448,35 @@ std::vector<std::string> checkpoint_seeds() {
     std::string body = v1.substr(nl, footer + 1 - nl);
     return std::vector<std::string>{v2.str(), header + body};
   }();
+  return seeds;
+}
+
+std::vector<std::string> wal_seeds() {
+  std::vector<std::string> seeds;
+  std::string bytes;
+  // A full tenant lifecycle in one stream: register, two observe batches
+  // (with NaN/inf/negative-zero payloads — the codec must carry them
+  // bit-exact), a promotion.
+  wal::append_register(bytes, "wiki");
+  wal::append_observe(bytes, "wiki", 0, {120.5, 98.25, 143.0});
+  wal::append_observe(bytes, "wiki", 3,
+                      {std::nan(""), std::numeric_limits<double>::infinity(), -0.0});
+  wal::append_promote(bytes, "wiki", 2);
+  seeds.push_back(bytes);
+  bytes.clear();
+  // Empty-name and empty-batch edge records (valid per the codec; the
+  // serving tier rejects them later).
+  wal::append_register(bytes, "");
+  wal::append_observe(bytes, "az-vm-2017", 12345678901234ull, {});
+  seeds.push_back(bytes);
+  bytes.clear();
+  // A torn tail: a valid record followed by half of the next one — the
+  // canonical crash artifact replay must truncate at.
+  wal::append_observe(bytes, "google", 7, {1.0, 2.0});
+  std::string torn;
+  wal::append_observe(torn, "google", 9, {3.0, 4.0});
+  bytes += torn.substr(0, torn.size() / 2);
+  seeds.push_back(bytes);
   return seeds;
 }
 

@@ -96,11 +96,17 @@ std::vector<std::string> replay_corpus(const std::string& corpus_dir,
 /// net::decode_frame + typed payload parse + bit-exact re-encode round trip
 /// over mutated binary frame streams.
 [[nodiscard]] FuzzTarget make_frame_target();
+/// wal::decode_record / replay_buffer over mutated journal-segment bytes:
+/// decode never throws, a decoded record re-encodes bit-identically, and
+/// replay_buffer's truncate-at-first-bad-CRC accounting matches a manual
+/// record walk.
+[[nodiscard]] FuzzTarget make_wal_target();
 
 /// Seed corpora the mutator starts from (valid, structure-rich inputs).
 [[nodiscard]] std::vector<std::string> protocol_seeds();
 [[nodiscard]] std::vector<std::string> csv_seeds();
 [[nodiscard]] std::vector<std::string> checkpoint_seeds();
 [[nodiscard]] std::vector<std::string> frame_seeds();
+[[nodiscard]] std::vector<std::string> wal_seeds();
 
 }  // namespace ld::verify

@@ -1,0 +1,210 @@
+#include "wal/record.hpp"
+
+#include <bit>
+
+#include "common/checksum.hpp"
+
+namespace ld::wal {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+std::uint32_t get_u32(std::string_view data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view data, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i])) << (8 * i);
+  return v;
+}
+
+/// Frame a payload: magic, type, length, payload, crc over type+len+payload.
+void frame(std::string& out, RecordType type, const std::string& payload) {
+  std::string covered;
+  covered.reserve(payload.size() + 5);
+  covered.push_back(static_cast<char>(type));
+  put_u32(covered, static_cast<std::uint32_t>(payload.size()));
+  covered += payload;
+  out.push_back(static_cast<char>(kRecordMagic));
+  out += covered;
+  put_u32(out, crc32(covered));
+}
+
+/// Bounds-checked payload reader. Failure sets ok=false instead of throwing:
+/// a short payload with a valid CRC is encoder misuse, reported as kBad.
+struct Reader {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (data.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const auto v = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data[pos]) |
+        (static_cast<std::uint16_t>(static_cast<std::uint8_t>(data[pos + 1])) << 8));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    const std::uint32_t v = get_u32(data, pos);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    const std::uint64_t v = get_u64(data, pos);
+    pos += 8;
+    return v;
+  }
+  std::string str(std::size_t n) {
+    if (!need(n)) return {};
+    std::string s(data.substr(pos, n));
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+void append_observe(std::string& out, const std::string& name, std::uint64_t first_step,
+                    const std::vector<double>& values) {
+  std::string payload;
+  payload.reserve(2 + name.size() + 8 + 4 + 8 * values.size());
+  put_u16(payload, static_cast<std::uint16_t>(name.size()));
+  payload += name;
+  put_u64(payload, first_step);
+  put_u32(payload, static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) put_f64(payload, v);
+  frame(out, RecordType::kObserve, payload);
+}
+
+void append_register(std::string& out, const std::string& name) {
+  std::string payload;
+  put_u16(payload, static_cast<std::uint16_t>(name.size()));
+  payload += name;
+  frame(out, RecordType::kRegister, payload);
+}
+
+void append_promote(std::string& out, const std::string& name, std::uint64_t version) {
+  std::string payload;
+  put_u16(payload, static_cast<std::uint16_t>(name.size()));
+  payload += name;
+  put_u64(payload, version);
+  frame(out, RecordType::kPromote, payload);
+}
+
+void append_record(std::string& out, const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kObserve:
+      append_observe(out, rec.name, rec.first_step, rec.values);
+      break;
+    case RecordType::kRegister:
+      append_register(out, rec.name);
+      break;
+    case RecordType::kPromote:
+      append_promote(out, rec.name, rec.version);
+      break;
+  }
+}
+
+Decoded decode_record(std::string_view data) noexcept {
+  constexpr std::size_t kHeader = 1 + 1 + 4;  // magic + type + len
+  Decoded out;
+  if (data.empty()) return out;  // kNeedMore
+  if (static_cast<std::uint8_t>(data[0]) != kRecordMagic) {
+    out.status = DecodeStatus::kBad;
+    out.error = "wal: bad record magic";
+    return out;
+  }
+  if (data.size() < kHeader) return out;
+  const auto raw_type = static_cast<std::uint8_t>(data[1]);
+  const std::uint32_t len = get_u32(data, 2);
+  if (len > kMaxRecordPayload) {
+    out.status = DecodeStatus::kBad;
+    out.error = "wal: record payload length " + std::to_string(len) + " exceeds cap";
+    return out;
+  }
+  if (raw_type != static_cast<std::uint8_t>(RecordType::kObserve) &&
+      raw_type != static_cast<std::uint8_t>(RecordType::kRegister) &&
+      raw_type != static_cast<std::uint8_t>(RecordType::kPromote)) {
+    out.status = DecodeStatus::kBad;
+    out.error = "wal: unknown record type " + std::to_string(raw_type);
+    return out;
+  }
+  const std::size_t total = kHeader + len + 4;
+  if (data.size() < total) return out;  // kNeedMore: a torn tail
+
+  const std::string_view covered = data.substr(1, 1 + 4 + len);
+  const std::uint32_t stored = get_u32(data, kHeader + len);
+  if (crc32(covered) != stored) {
+    out.status = DecodeStatus::kBad;
+    out.error = "wal: record crc32 mismatch";
+    return out;
+  }
+
+  Record rec;
+  rec.type = static_cast<RecordType>(raw_type);
+  Reader r{data.substr(kHeader, len)};
+  const std::uint16_t name_len = r.u16();
+  rec.name = r.str(name_len);
+  switch (rec.type) {
+    case RecordType::kObserve: {
+      rec.first_step = r.u64();
+      const std::uint32_t count = r.u32();
+      if (r.ok && static_cast<std::size_t>(count) * 8 != r.data.size() - r.pos) r.ok = false;
+      if (r.ok) {
+        rec.values.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+          rec.values.push_back(std::bit_cast<double>(r.u64()));
+      }
+      break;
+    }
+    case RecordType::kRegister:
+      if (r.pos != r.data.size()) r.ok = false;  // trailing bytes
+      break;
+    case RecordType::kPromote:
+      rec.version = r.u64();
+      if (r.pos != r.data.size()) r.ok = false;
+      break;
+  }
+  if (!r.ok) {
+    // CRC passed but the payload structure is inconsistent — an encoder bug
+    // or a deliberate forgery; either way the record cannot be applied.
+    out.status = DecodeStatus::kBad;
+    out.error = "wal: malformed record payload";
+    return out;
+  }
+  out.status = DecodeStatus::kRecord;
+  out.consumed = total;
+  out.record = std::move(rec);
+  return out;
+}
+
+}  // namespace ld::wal

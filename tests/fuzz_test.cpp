@@ -91,6 +91,16 @@ TEST_F(FuzzDrivers, BinaryFrameCodecSurvivesBudget) {
   EXPECT_EQ(report.rejected, 0u) << report.summary();
 }
 
+TEST_F(FuzzDrivers, WalRecordDecoderSurvivesBudget) {
+  const verify::FuzzReport report = verify::run_fuzz(
+      verify::wal_seeds(), verify::make_wal_target(), /*seed=*/0xF00D05, kBudget);
+  EXPECT_EQ(report.iterations, kBudget);
+  EXPECT_TRUE(report.ok()) << describe(report);
+  // Same contract as the frame codec: decode_record never throws — every
+  // mutation either replays cleanly or truncates at the first bad CRC.
+  EXPECT_EQ(report.rejected, 0u) << report.summary();
+}
+
 TEST_F(FuzzDrivers, CorpusReplaysClean) {
   const struct {
     const char* prefix;
@@ -100,6 +110,7 @@ TEST_F(FuzzDrivers, CorpusReplaysClean) {
       {"csv_", verify::make_csv_target()},
       {"checkpoint_", verify::make_checkpoint_target()},
       {"frame_", verify::make_frame_target()},
+      {"wal_", verify::make_wal_target()},
   };
   std::size_t total = 0;
   for (const auto& d : drivers) {
@@ -107,7 +118,7 @@ TEST_F(FuzzDrivers, CorpusReplaysClean) {
         verify::replay_corpus(LD_CORPUS_DIR, d.prefix, d.target);
     total += files.size();
   }
-  EXPECT_GE(total, 9u) << "crash corpus went missing from " << LD_CORPUS_DIR;
+  EXPECT_GE(total, 12u) << "crash corpus went missing from " << LD_CORPUS_DIR;
 }
 
 TEST_F(FuzzDrivers, RunFuzzRejectsEmptyCorpus) {

@@ -8,6 +8,11 @@
 // dispatcher/drain tasks genuinely overlap here.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -289,6 +294,191 @@ TEST_F(NetServerTest, IdleConnectionsAreReaped) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   EXPECT_TRUE(closed) << "idle connection was never reaped";
+}
+
+TEST_F(NetServerTest, NetWriteShortWriteResumesFlush) {
+  serving::PredictionService& service = make_service();
+  const std::vector<double> series = testutil::seasonal_series(96);
+  service.publish("web", *quick_model(series));
+  service.observe_many("web", series);
+  start();
+
+  const testutil::CounterDelta short_writes("ld_net_short_writes_total");
+  fault::Injector::instance().configure("net.write:n=1", /*seed=*/7);
+  net::Client client("127.0.0.1", port());
+  // The injected 1-byte short write must not lose or reorder response bytes:
+  // the flush path re-arms write interest and resumes where it left off.
+  const std::string response = client.send_line("PREDICT web 3");
+  EXPECT_EQ(response.rfind("PRED web ", 0), 0u) << response;
+  EXPECT_EQ(short_writes.delta(), 1u);
+  // The connection survives the drill.
+  EXPECT_EQ(client.send_line("WORKLOADS"), "WORKLOADS web");
+}
+
+// ---------------------------------------------------------------------------
+// NetSlowClient: per-connection resource bounds.
+
+/// Raw socket: net::Client always sends complete requests, these tests
+/// need to misbehave (unbounded bytes, no newlines, partial lines).
+class RawConn {
+ public:
+  RawConn(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw std::runtime_error("RawConn: connect failed");
+  }
+  ~RawConn() { close(); }
+
+  void send_bytes(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ::ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+      if (n <= 0) break;  // server already disconnected us — that's fine
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Block until the server closes (recv returns 0) or `seconds` elapse.
+  bool wait_closed(double seconds) {
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(seconds);
+    tv.tv_usec = static_cast<long>((seconds - tv.tv_sec) * 1e6);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[4096];
+    for (;;) {
+      const ::ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(NetServerTest, OverlongHttpRequestLineDisconnects) {
+  make_service();
+  net::ServerConfig config;
+  config.max_http_line_bytes = 128;
+  start(config);
+
+  const testutil::CounterDelta overlong("ld_net_overlong_disconnects_total");
+  RawConn hostile("127.0.0.1", port());
+  hostile.send_bytes("GET /" + std::string(4096, 'a') + " HTTP/1.0\r\n");
+  EXPECT_TRUE(hostile.wait_closed(5.0)) << "over-long request line must disconnect";
+  EXPECT_EQ(overlong.delta(), 1u);
+  // The server itself keeps serving well-behaved clients.
+  net::Client fresh("127.0.0.1", port());
+  EXPECT_EQ(fresh.http_get("/healthz").rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+}
+
+TEST_F(NetServerTest, ConnectionBufferCapDisconnectsFloodingClient) {
+  make_service();
+  net::ServerConfig config;
+  config.max_conn_buffer_bytes = 1024;
+  config.max_line_bytes = 1u << 20;  // the line cap must not trip first
+  start(config);
+
+  const testutil::CounterDelta overlong("ld_net_overlong_disconnects_total");
+  RawConn flooder("127.0.0.1", port());
+  // Newline-free flood: never a complete request, so only the buffer cap can
+  // stop the growth.
+  flooder.send_bytes(std::string(64 * 1024, 'x'));
+  EXPECT_TRUE(flooder.wait_closed(5.0)) << "buffer-capped client must be disconnected";
+  EXPECT_GE(overlong.delta(), 1u);
+  net::Client fresh("127.0.0.1", port());
+  EXPECT_EQ(fresh.send_line("WORKLOADS"), "WORKLOADS");
+}
+
+// ---------------------------------------------------------------------------
+// NetDrain: the SIGTERM half of the durability story.
+
+TEST_F(NetServerTest, DrainAnswers503ThenExitsWhenConnectionsQuiesce) {
+  serving::PredictionService& service = make_service();
+  const std::vector<double> series = testutil::seasonal_series(96);
+  service.publish("web", *quick_model(series));
+  service.observe_many("web", series);
+  net::ServerConfig config;
+  config.port = 0;
+  config.drain_deadline_seconds = 30.0;  // the test exits via quiescence, not deadline
+  server_ = std::make_unique<net::Server>(*service_, config);
+  std::atomic<bool> exited{false};
+  std::thread loop([&] {
+    server_->run();
+    exited.store(true, std::memory_order_release);
+  });
+
+  // A connection parked mid-line is non-quiescent: the server owes it the
+  // rest of the request, so drain must wait for it.
+  RawConn parked("127.0.0.1", port());
+  parked.send_bytes("STA");  // no newline
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // let the server read it
+
+  server_->drain();
+  EXPECT_TRUE(server_->draining());
+
+  // Readiness flips on fresh connections — the listen socket stays open so
+  // load balancers can observe the drain.
+  {
+    net::Client probe("127.0.0.1", port());
+    const std::string response = probe.http_get("/healthz");
+    EXPECT_EQ(response.rfind("HTTP/1.0 503 Service Unavailable\r\n", 0), 0u) << response;
+    const std::size_t at = response.find("\r\n\r\n");
+    ASSERT_NE(at, std::string::npos);
+    EXPECT_EQ(response.substr(at + 4), "draining\n");
+  }
+  // Data-plane work sheds at the door while draining.
+  {
+    net::Client shed_probe("127.0.0.1", port());
+    EXPECT_EQ(shed_probe.send_line("OBSERVE web 100"), "503 SHED");
+    EXPECT_EQ(shed_probe.send_line("PREDICT web 2"), "503 SHED");
+  }
+  EXPECT_FALSE(exited.load(std::memory_order_acquire))
+      << "the parked connection must hold the drain open";
+
+  // Releasing the last connection lets run() return without stop().
+  parked.close();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!exited.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(exited.load(std::memory_order_acquire)) << "drain never completed";
+  loop.join();
+}
+
+TEST_F(NetServerTest, DrainDeadlineForcesExit) {
+  make_service();
+  net::ServerConfig config;
+  config.port = 0;
+  config.drain_deadline_seconds = 0.3;
+  server_ = std::make_unique<net::Server>(*service_, config);
+  std::atomic<bool> exited{false};
+  std::thread loop([&] {
+    server_->run();
+    exited.store(true, std::memory_order_release);
+  });
+
+  RawConn stuck("127.0.0.1", port());
+  stuck.send_bytes("STA");  // never completes; holds the drain at the deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server_->drain();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!exited.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(exited.load(std::memory_order_acquire))
+      << "the drain deadline must bound a stuck client";
+  loop.join();
 }
 
 // ---------------------------------------------------------------------------
