@@ -12,6 +12,8 @@
 //   serve_replay --connect [--curve 1000,5000,10000] [--threads 4]
 //                [--requests 2000] [--horizon 4] [--shards N] [--epochs 12]
 //                [--bench-out bench/BENCH_fleet.json] [--trace out.json]
+//   serve_replay --register 100000 [--shards N] [--warm 8] [--epochs 6]
+//                [--max-seconds 60] [--max-publish-p99-ms 1]
 //
 // --connect mode is the fleet-scale benchmark (DESIGN.md §13): it starts an
 // in-process net::Server on an ephemeral port, registers the requested
@@ -19,7 +21,18 @@
 // each with a short warm history), and drives binary-framed BPREDICT /
 // BOBSERVE traffic through real client sockets. For every point on the
 // curve it prints client-observed p50/p95/p99 latency and throughput, so
-// the output is a latency-vs-workload-count curve over TCP.
+// the output is a latency-vs-workload-count curve over TCP. Each point also
+// times every publish in its registration sweep and reports the exact
+// p50/p99 (reg_p50_us/reg_p99_us in --bench-out): the registration-latency
+// curve that bench_check.py --fleet gates for sub-linear publish cost
+// (DESIGN.md §16 — under the pre-PR-10 copy-on-write registry this grew
+// linearly with occupancy).
+//
+// --register mode is the onboarding smoke (no sockets): register N tenants
+// and fail unless the sweep finishes under --max-seconds and the production
+// ld_registry_publish_latency histogram's fleet-wide p99 stays under
+// --max-publish-p99-ms. CI runs it with 100k tenants under
+// LD_METRICS_MAX_SERIES=5000 so the cardinality governor is exercised too.
 //
 // Chaos mode (--faults / LD_FAULTS, see docs/API.md): injects checkpoint
 // failures, retrain hangs, NaN forecasts, etc. The exit code asserts the
@@ -36,6 +49,7 @@
 // Acceptance shape: >= 2 concurrent workloads with background retraining
 // enabled (a mid-stream RETRAIN is forced per workload so a retrain always
 // overlaps the measured predictions, even when drift alone wouldn't fire).
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdio>
@@ -83,6 +97,14 @@ std::vector<std::size_t> parse_curve(const std::string& spec) {
     if (counts[i] <= counts[i - 1])
       throw std::invalid_argument("serve_replay: --curve must be strictly increasing");
   return counts;
+}
+
+/// Exact percentile of an unsorted sample (sorts in place; p in [0, 100]).
+double exact_percentile(std::vector<double>& sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(p / 100.0 * static_cast<double>(sample.size()));
+  return sample[std::min(rank, sample.size() - 1)];
 }
 
 /// Fleet-scale TCP benchmark: register `--curve` workload counts against an
@@ -155,20 +177,30 @@ int run_connect_mode(const cli::Args& args) {
     std::size_t workloads = 0;
     std::size_t requests = 0;
     double elapsed = 0, req_per_s = 0, p50_us = 0, p95_us = 0, p99_us = 0,
-           max_us = 0, reg_seconds = 0;
+           max_us = 0, reg_seconds = 0, reg_p50_us = 0, reg_p99_us = 0;
     std::size_t shed = 0;
   };
   std::vector<FleetPoint> points;
   for (const std::size_t target : curve) {
     const std::size_t shed_before = shed.load();
+    // Per-publish wall time for this sweep segment (exact percentiles, not
+    // bucketed): at point k the shard occupancy spans [curve[k-1], curve[k]),
+    // so the curve of reg_p99_us across points IS publish latency as a
+    // function of resident tenants.
+    std::vector<double> publish_seconds;
+    publish_seconds.reserve(target - registered);
     const Stopwatch reg_clock;
     for (; registered < target; ++registered) {
       char name[16];
       std::snprintf(name, sizeof name, "w%05zu", registered);
+      const Stopwatch publish_clock;
       service.publish(name, *model);
+      publish_seconds.push_back(publish_clock.seconds());
       service.observe_many(name, warm);
     }
     const double reg_seconds = reg_clock.seconds();
+    const double reg_p50_us = exact_percentile(publish_seconds, 50) * 1e6;
+    const double reg_p99_us = exact_percentile(publish_seconds, 99) * 1e6;
 
     // Client threads each own a socket and stride deterministically across
     // the whole fleet; every 8th request also ships a BOBSERVE so ingest
@@ -218,16 +250,16 @@ int run_connect_mode(const cli::Args& args) {
 
     const metrics::LatencyHistogram merged = metrics::LatencyHistogram::merged(lat);
     std::printf("%10zu %10zu %9.2fs %12.0f %10.1f %10.1f %10.1f %10.1f"
-                "   (+%zu registered in %.2fs)\n",
+                "   (+%zu registered in %.2fs, publish p50 %.1fus p99 %.1fus)\n",
                 target, merged.count(), elapsed,
                 static_cast<double>(merged.count()) / elapsed, merged.percentile(50) * 1e6,
                 merged.percentile(95) * 1e6, merged.percentile(99) * 1e6,
-                merged.max() * 1e6, registered, reg_seconds);
+                merged.max() * 1e6, registered, reg_seconds, reg_p50_us, reg_p99_us);
     points.push_back({target, merged.count(), elapsed,
                       static_cast<double>(merged.count()) / elapsed,
                       merged.percentile(50) * 1e6, merged.percentile(95) * 1e6,
                       merged.percentile(99) * 1e6, merged.max() * 1e6, reg_seconds,
-                      shed.load() - shed_before});
+                      reg_p50_us, reg_p99_us, shed.load() - shed_before});
   }
 
   // Survival probe: whatever the chaos did, a fresh client against the still
@@ -263,6 +295,7 @@ int run_connect_mode(const cli::Args& args) {
           << ",\"req_per_s\":" << p.req_per_s << ",\"p50_us\":" << p.p50_us
           << ",\"p95_us\":" << p.p95_us << ",\"p99_us\":" << p.p99_us
           << ",\"max_us\":" << p.max_us << ",\"reg_seconds\":" << p.reg_seconds
+          << ",\"reg_p50_us\":" << p.reg_p50_us << ",\"reg_p99_us\":" << p.reg_p99_us
           << ",\"shed\":" << p.shed << "}";
     }
     out << "]}\n";
@@ -286,11 +319,103 @@ int run_connect_mode(const cli::Args& args) {
   return 0;
 }
 
+/// Onboarding smoke: register `--register N` tenants as fast as possible and
+/// gate the sweep's wall-clock and the production publish-latency histogram.
+/// No sockets, no request traffic — this times the fleet-registration path
+/// alone (ISSUE 10 acceptance: 100k tenants < 60s, publish p99 < 1ms).
+int run_register_mode(const cli::Args& args) {
+  const auto tenants = static_cast<std::size_t>(args.get_int("register", 100000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 6));
+  const auto warm_n = static_cast<std::size_t>(args.get_int("warm", 8));
+  const double max_seconds = args.get_double("max-seconds", 0.0);
+  const double max_publish_p99_ms = args.get_double("max-publish-p99-ms", 0.0);
+
+  serving::ServiceConfig cfg;
+  cfg.replicas = 1;
+  cfg.background_retrain = false;
+  cfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  cfg.adaptive.base.seed = seed;
+  serving::PredictionService service(cfg);
+
+  const workloads::Trace trace =
+      workloads::generate(workloads::TraceKind::kWikipedia, 30, {.days = 10.0, .seed = seed});
+  const workloads::TraceSplit split = workloads::split_trace(trace);
+  core::LoadDynamicsConfig ld_cfg;
+  ld_cfg.training.trainer.max_epochs = epochs;
+  ld_cfg.training.trainer.min_updates = 200;
+  ld_cfg.seed = seed;
+  const core::Hyperparameters hp{.history_length = 16, .cell_size = 12, .num_layers = 1,
+                                 .batch_size = 32};
+  std::printf("training one shared model (%zu epochs)...\n", epochs);
+  const auto model = core::LoadDynamics(ld_cfg).train_one(split.train, split.validation, hp);
+  const std::size_t warm_len = std::min(warm_n, split.train.size());
+  const std::vector<double> warm(split.train.end() - static_cast<std::ptrdiff_t>(warm_len),
+                                 split.train.end());
+
+  std::printf("registering %zu tenants across %zu shards (warm history %zu)...\n",
+              tenants, service.config().shards, warm.size());
+  std::vector<double> publish_seconds;
+  publish_seconds.reserve(tenants);
+  const Stopwatch sweep_clock;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof name, "w%06zu", i);
+    const Stopwatch publish_clock;
+    service.publish(name, *model);
+    publish_seconds.push_back(publish_clock.seconds());
+    if (!warm.empty()) service.observe_many(name, warm);
+  }
+  const double sweep_seconds = sweep_clock.seconds();
+
+  // The gated percentile comes from the production histogram — the same
+  // series the ops endpoints expose — merged across shards; the Stopwatch
+  // percentiles are exact and printed for the curve-vs-occupancy story.
+  std::vector<metrics::LatencyHistogram> shard_hists;
+  for (std::size_t s = 0; s < service.config().shards; ++s)
+    shard_hists.push_back(obs::MetricsRegistry::global()
+                              .histogram("ld_registry_publish_latency",
+                                         {{"shard", std::to_string(s)}}, 1e-7, 1e2)
+                              .snapshot());
+  const metrics::LatencyHistogram fleet_publish =
+      metrics::LatencyHistogram::merged(shard_hists);
+
+  const double p50_us = exact_percentile(publish_seconds, 50) * 1e6;
+  const double p99_us = exact_percentile(publish_seconds, 99) * 1e6;
+  std::printf("registered %zu tenants in %.2fs (%.0f/s)\n", tenants, sweep_seconds,
+              static_cast<double>(tenants) / sweep_seconds);
+  std::printf("  service.publish wall  p50 %8.1fus  p99 %8.1fus\n", p50_us, p99_us);
+  std::printf("  ld_registry_publish_latency (merged, %zu samples)  p50 %8.1fus  "
+              "p99 %8.1fus\n",
+              fleet_publish.count(), fleet_publish.percentile(50) * 1e6,
+              fleet_publish.percentile(99) * 1e6);
+
+  bool ok = true;
+  if (max_seconds > 0 && sweep_seconds > max_seconds) {
+    std::printf("FAIL: registration sweep took %.2fs (budget %.2fs)\n", sweep_seconds,
+                max_seconds);
+    ok = false;
+  }
+  const double hist_p99_ms = fleet_publish.percentile(99) * 1e3;
+  if (max_publish_p99_ms > 0 && hist_p99_ms > max_publish_p99_ms) {
+    std::printf("FAIL: ld_registry_publish_latency p99 %.3fms (budget %.3fms)\n",
+                hist_p99_ms, max_publish_p99_ms);
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("serve_replay --register: ONBOARDING BUDGET VIOLATED\n");
+    return 1;
+  }
+  std::printf("OK registration smoke (%zu tenants)\n", tenants);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv);
   if (args.get_bool("connect")) return run_connect_mode(args);
+  if (args.get_int("register", 0) > 0) return run_register_mode(args);
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 4));
   const auto requests = static_cast<std::size_t>(args.get_int("requests", 2000));
   const auto horizon = static_cast<std::size_t>(args.get_int("horizon", 4));

@@ -162,7 +162,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       return state->done.load(std::memory_order_acquire) == state->chunks;
     });
   }
-  for (const std::exception_ptr& error : state->errors)
+  // Take ownership of any captured exceptions before rethrowing: otherwise
+  // the last worker to drop its state reference releases them, and because
+  // the exception-object refcount lives inside (uninstrumented) libstdc++,
+  // TSan cannot see that release ordering and flags the worker's free as
+  // racing the caller's read of what(). Moving the vector keeps every
+  // exception release on the calling thread.
+  std::vector<std::exception_ptr> errors = std::move(state->errors);
+  for (const std::exception_ptr& error : errors)
     if (error) std::rethrow_exception(error);
 }
 

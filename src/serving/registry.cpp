@@ -24,12 +24,9 @@ obs::Counter& drop_errors_counter() {
 std::size_t workload_shard(std::string_view name, std::size_t shards) noexcept {
   if (shards <= 1) return 0;
   // 64-bit FNV-1a: stable across processes/platforms, unlike std::hash.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return static_cast<std::size_t>(h % shards);
+  // The same hash feeds the shard's persistent trie (persistent_map.hpp),
+  // so one key is hashed identically for placement and for its trie path.
+  return static_cast<std::size_t>(fnv1a64(name) % shards);
 }
 
 std::size_t default_shards() {
@@ -118,8 +115,8 @@ ModelRegistry::ModelRegistry(std::size_t shards) {
 
 std::shared_ptr<const PublishedModel> ModelRegistry::current(const std::string& name) const {
   const std::shared_ptr<const Map> map = shard_for(name).map.load(std::memory_order_acquire);
-  const auto it = map->find(name);
-  return it == map->end() ? nullptr : it->second;
+  const std::shared_ptr<const PublishedModel>* found = map->find(name);
+  return found == nullptr ? nullptr : *found;
 }
 
 void ModelRegistry::publish(const std::string& name,
@@ -128,45 +125,45 @@ void ModelRegistry::publish(const std::string& name,
   Shard& shard = shard_for(name);
   std::shared_ptr<const Map> old;
   {
-    const Stopwatch clock;  // times the O(shard-size) copy + swap
+    const Stopwatch clock;  // times the O(log shard-size) path copy + swap
     std::scoped_lock lock(shard.write_mu);
-    auto next = std::make_shared<Map>(*shard.map.load(std::memory_order_acquire));
-    (*next)[name] = std::move(model);
-    old = shard.map.exchange(std::shared_ptr<const Map>(std::move(next)),
-                             std::memory_order_acq_rel);
+    const std::shared_ptr<const Map> cur = shard.map.load(std::memory_order_acquire);
+    auto next = std::make_shared<const Map>(cur->set(name, std::move(model)));
+    old = shard.map.exchange(std::move(next), std::memory_order_acq_rel);
     shard.publish_latency->observe(clock.seconds());
   }
-  // The displaced model version (when no reader still holds it) is dropped
-  // here, outside the shard's write_mu; models built via make() guard a
-  // throwing destructor in their deleter, so a bad teardown costs a counter
-  // bump, not the process.
+  // The displaced map version (and, when no reader still holds it, the
+  // replaced model version inside it) is dropped here, outside the shard's
+  // write_mu; models built via make() guard a throwing destructor in their
+  // deleter, so a bad teardown costs a counter bump, not the process.
   old.reset();
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  // Snapshot every shard once, then k-way merge the (disjoint) sorted maps,
-  // so the result is globally sorted without building one fleet-wide map.
-  std::vector<std::shared_ptr<const Map>> maps;
-  maps.reserve(shards_.size());
+  // Snapshot every shard once, sort each shard's names, then k-way merge
+  // the (disjoint) sorted runs: globally name-sorted output — identical
+  // bytes to the pre-HAMT sorted-map registry — without one fleet-wide map.
+  std::vector<std::vector<std::string>> runs;
+  runs.reserve(shards_.size());
   std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    maps.push_back(shard->map.load(std::memory_order_acquire));
-    total += maps.back()->size();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    runs.push_back(shard_names(i));
+    total += runs.back().size();
   }
-  using Cursor = std::pair<Map::const_iterator, Map::const_iterator>;  // (pos, end)
-  const auto later = [](const Cursor& a, const Cursor& b) {
-    return a.first->first > b.first->first;
+  std::vector<std::size_t> pos(runs.size(), 0);
+  const auto later = [&](std::size_t a, std::size_t b) {
+    return runs[a][pos[a]] > runs[b][pos[b]];
   };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heads(later);
-  for (const auto& map : maps)
-    if (!map->empty()) heads.push({map->begin(), map->end()});
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(later)> heads(later);
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    if (!runs[i].empty()) heads.push(i);
   std::vector<std::string> out;
   out.reserve(total);
   while (!heads.empty()) {
-    Cursor head = heads.top();
+    const std::size_t i = heads.top();
     heads.pop();
-    out.push_back(head.first->first);
-    if (++head.first != head.second) heads.push(head);
+    out.push_back(std::move(runs[i][pos[i]]));
+    if (++pos[i] < runs[i].size()) heads.push(i);
   }
   return out;
 }
@@ -179,16 +176,16 @@ std::size_t ModelRegistry::size() const {
 }
 
 std::vector<std::string> ModelRegistry::shard_names(std::size_t shard) const {
-  const std::shared_ptr<const Map> map =
-      shards_.at(shard)->map.load(std::memory_order_acquire);
-  std::vector<std::string> out;
-  out.reserve(map->size());
-  for (const auto& [name, _] : *map) out.push_back(name);
-  return out;
+  return shards_.at(shard)->map.load(std::memory_order_acquire)->sorted_keys();
 }
 
 std::size_t ModelRegistry::shard_size(std::size_t shard) const {
   return shards_.at(shard)->map.load(std::memory_order_acquire)->size();
+}
+
+std::shared_ptr<const ModelRegistry::Map> ModelRegistry::shard_snapshot(
+    std::size_t shard) const {
+  return shards_.at(shard)->map.load(std::memory_order_acquire);
 }
 
 }  // namespace ld::serving

@@ -7,15 +7,18 @@
 // restored from the same snapshot and therefore bit-identical).
 //
 // The ModelRegistry maps workload names to their current PublishedModel with
-// RCU-style copy-on-write semantics, sharded so a fleet of independent
-// tenants never contends on one map: each workload hashes (stable FNV-1a, so
-// placement is identical across processes and platforms) to one of N shards,
-// and each shard is its own atomic shared_ptr to an immutable map. Readers
-// load the shard pointer and never take a lock; writers (model publishes —
-// rare) copy that one shard's map under the shard's writer mutex and
-// atomically swap the new version in. A publish on shard 3 is invisible to
-// traffic on shard 5: registration, drift tracking, and snapshot swaps scale
-// with the shard count instead of serializing on a single RCU map.
+// RCU semantics, sharded so a fleet of independent tenants never contends on
+// one map: each workload hashes (stable FNV-1a, so placement is identical
+// across processes and platforms) to one of N shards, and each shard is its
+// own atomic shared_ptr to an immutable persistent hash-array-mapped trie
+// (persistent_map.hpp, DESIGN.md §16). Readers load the shard pointer and
+// never take a lock; writers (model publishes — rare) build the next map
+// version under the shard's writer mutex by path-copying the O(log n) spine
+// from the root to the touched leaf — NOT by copying the whole shard — and
+// atomically swap the new root in. A publish on shard 3 is invisible to
+// traffic on shard 5, and a publish into a 1M-tenant shard costs the same
+// handful of node clones as a publish into an empty one: registration
+// sweeps stay sub-linear in fleet size (ROADMAP item 1).
 // In-flight predictions keep the snapshot they started with alive through
 // shared ownership, so a concurrent publish can never invalidate them.
 #pragma once
@@ -23,7 +26,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "serving/persistent_map.hpp"
 
 namespace ld::obs {
 class Histogram;
@@ -105,11 +108,16 @@ class PublishedModel {
   mutable std::atomic<std::size_t> next_{0};  ///< round-robin replica cursor
 };
 
-/// Sharded copy-on-write name -> PublishedModel map. Reads are wait-free
-/// with respect to writers: `current()` never blocks on a publish, and a
-/// publish never blocks on readers — or on publishes to other shards.
+/// Sharded persistent-map name -> PublishedModel registry. Reads are
+/// wait-free with respect to writers: `current()` never blocks on a publish,
+/// and a publish never blocks on readers — or on publishes to other shards.
 class ModelRegistry {
  public:
+  /// One shard's immutable map version. Exposed so snapshot capture
+  /// (service write_snapshot) can pin a single consistent version and query
+  /// it repeatedly instead of racing N independent root loads.
+  using Map = PersistentHashMap<std::shared_ptr<const PublishedModel>>;
+
   /// `shards` = 0 resolves default_shards() (LD_SHARDS / hardware threads).
   explicit ModelRegistry(std::size_t shards = 1);
 
@@ -117,11 +125,14 @@ class ModelRegistry {
   [[nodiscard]] std::shared_ptr<const PublishedModel> current(const std::string& name) const;
 
   /// Atomically swap in a new model version for `name` (insert or replace).
-  /// Only publishes to the same shard serialize with each other.
+  /// Only publishes to the same shard serialize with each other. Cost is
+  /// O(log shard-size) — the persistent map copies the root-to-leaf spine,
+  /// never the shard (timed by ld_registry_publish_latency{shard=}).
   void publish(const std::string& name, std::shared_ptr<const PublishedModel> model);
 
-  /// All names, globally sorted (k-way merge of the per-shard sorted maps —
-  /// no full-fleet intermediate map is ever materialized).
+  /// All names, globally sorted (k-way merge of the per-shard name-sorted
+  /// runs — sort keys are workload names, never hashes, so the output is
+  /// byte-identical to the pre-HAMT std::map registry).
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const;
 
@@ -129,18 +140,26 @@ class ModelRegistry {
   [[nodiscard]] std::size_t shard_of(std::string_view name) const noexcept {
     return workload_shard(name, shards_.size());
   }
-  /// Names registered on one shard, sorted (shard-local snapshot; O(shard)).
+  /// Names registered on one shard, sorted (shard-local snapshot; the trie
+  /// iterates in hash order, so this collects and name-sorts — O(k log k)).
   [[nodiscard]] std::vector<std::string> shard_names(std::size_t shard) const;
   [[nodiscard]] std::size_t shard_size(std::size_t shard) const;
 
+  /// Pin one shard's current map version. The returned map is immutable and
+  /// stays valid (and unchanging) however many publishes follow — the
+  /// iteration API for consistent multi-lookup capture (WAL snapshots) and
+  /// for streaming a shard without re-loading the root per name.
+  [[nodiscard]] std::shared_ptr<const Map> shard_snapshot(std::size_t shard) const;
+
  private:
-  using Map = std::map<std::string, std::shared_ptr<const PublishedModel>>;
   struct Shard {
     std::atomic<std::shared_ptr<const Map>> map;
     std::mutex write_mu;  ///< serializes this shard's writers only
-    /// ld_registry_publish_latency{shard=}: measures the O(shard-size)
-    /// copy-on-write publish (the ROADMAP 12s/5k-tenant pathology), so the
-    /// future persistent-map layout has a before/after metric.
+    /// ld_registry_publish_latency{shard=}: times the publish critical
+    /// section. Under the pre-PR-10 copy-on-write std::map this measured
+    /// the O(shard-size) full copy (the ROADMAP 12s/5k-tenant pathology);
+    /// it now measures the O(log n) path copy, and the registry_complexity
+    /// regression test + bench_check --fleet gate keep it sub-linear.
     obs::Histogram* publish_latency = nullptr;
   };
 

@@ -938,11 +938,15 @@ std::string PredictionService::write_snapshot() {
     manifest.shard_wal_seq[i] = wal_->shard(i).rotate();
 
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // Pin one immutable registry map version per shard: every tenant's
+    // has_model flag is read from the same publish generation, instead of N
+    // independent root loads racing concurrent publishes mid-capture.
+    const std::shared_ptr<const ModelRegistry::Map> models = registry_.shard_snapshot(i);
     for (const std::string& name : shard_workload_names(i)) {
       Workload& w = workload(name);
       wal::TenantState tenant;
       tenant.name = name;
-      tenant.has_model = registry_.current(name) != nullptr;
+      tenant.has_model = models->contains(name);
       {
         std::scoped_lock lock(w.mu);
         tenant.version = w.version;

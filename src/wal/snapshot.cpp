@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_set>
 
 #include "common/checksum.hpp"
 #include "common/log.hpp"
@@ -178,6 +180,15 @@ Manifest parse_manifest(const std::string& content) {
       t.history.push_back(parse_hex_double(expect_token(in, "history value"), "history"));
     manifest.tenants.push_back(std::move(t));
   }
+  // write_snapshot captures each shard's tenant set exactly once (and the
+  // registry map holds one entry per name), so a repeated tenant can only
+  // mean a corrupt or hand-edited manifest. Recovery must reject it rather
+  // than silently double-applying one tenant's history on replay.
+  std::unordered_set<std::string_view> seen;
+  seen.reserve(manifest.tenants.size());
+  for (const TenantState& t : manifest.tenants)
+    if (!seen.insert(t.name).second)
+      throw std::runtime_error("wal: manifest lists tenant '" + t.name + "' twice");
   return manifest;
 }
 

@@ -617,6 +617,9 @@ TEST(NetShardDeterminism, ForecastsAndRetrainsIdenticalAcrossShardCounts) {
     std::vector<std::vector<double>> forecasts;
     std::vector<std::uint64_t> versions;
     std::vector<std::size_t> retrains;
+    std::string workloads_line;              ///< raw WORKLOADS reply
+    std::vector<std::string> stats_lines;    ///< fleet STATS, shard= stripped, sorted
+    std::string stats_summary_prefix;        ///< "OK stats N workloads"
   };
   const auto run = [&](std::size_t shards) {
     serving::PredictionService service(quick_service(/*background_retrain=*/true, shards));
@@ -633,10 +636,38 @@ TEST(NetShardDeterminism, ForecastsAndRetrainsIdenticalAcrossShardCounts) {
       out.versions.push_back(s.version);
       out.retrains.push_back(s.retrains);
     }
+    // Protocol surfaces that iterate the registries: WORKLOADS must be
+    // byte-identical whatever the shard count (the k-way merge over
+    // name-sorted per-shard runs — the PR 10 trie iterates in hash order
+    // internally, and this is the test that it never leaks out). Fleet
+    // STATS is per-shard streamed, so shard placement legitimately reorders
+    // lines and stamps shard=; normalize exactly those two artifacts and
+    // the rest must match byte-for-byte.
+    serving::LineProtocol protocol(service);
+    std::ostringstream workloads_out;
+    EXPECT_TRUE(protocol.handle("WORKLOADS", workloads_out));
+    out.workloads_line = workloads_out.str();
+    std::ostringstream stats_out;
+    EXPECT_TRUE(protocol.handle("STATS", stats_out));
+    std::istringstream stats_lines(stats_out.str());
+    std::string line;
+    while (std::getline(stats_lines, line)) {
+      if (line.rfind("STATS ", 0) == 0) {
+        const std::size_t shard_at = line.rfind(" shard=");
+        EXPECT_NE(shard_at, std::string::npos) << line;
+        out.stats_lines.push_back(line.substr(0, shard_at));
+      } else if (line.rfind("OK stats ", 0) == 0) {
+        out.stats_summary_prefix = line.substr(0, line.find(" workloads") + 10);
+      }
+    }
+    std::sort(out.stats_lines.begin(), out.stats_lines.end());
     return out;
   };
 
   const Outcome one = run(1);
+  EXPECT_EQ(one.workloads_line, "WORKLOADS az-vm-2017 gcd-job wiki\n");
+  EXPECT_EQ(one.stats_lines.size(), names.size());
+  EXPECT_EQ(one.stats_summary_prefix, "OK stats 3 workloads");
   for (const std::size_t shards : {std::size_t{4}, std::size_t{16}}) {
     const Outcome sharded = run(shards);
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -649,6 +680,11 @@ TEST(NetShardDeterminism, ForecastsAndRetrainsIdenticalAcrossShardCounts) {
                   std::bit_cast<std::uint64_t>(one.forecasts[i][k]))
             << names[i] << " forecast[" << k << "] differs with " << shards << " shards";
     }
+    EXPECT_EQ(sharded.workloads_line, one.workloads_line)
+        << "WORKLOADS must stay byte-identical with " << shards << " shards";
+    EXPECT_EQ(sharded.stats_lines, one.stats_lines)
+        << "fleet STATS per-workload fields drifted with " << shards << " shards";
+    EXPECT_EQ(sharded.stats_summary_prefix, one.stats_summary_prefix);
   }
 }
 

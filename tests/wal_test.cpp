@@ -396,6 +396,17 @@ TEST(WalSnapshot, TamperedManifestIsRejected) {
       << "edited body with a stale CRC must not parse";
 }
 
+TEST(WalSnapshot, DuplicateTenantIsRejected) {
+  // write_snapshot captures each shard's registry snapshot once per tenant,
+  // so a repeated name can only be corruption or a hand edit — replaying it
+  // would apply one tenant's history twice. Re-render (not byte-patch) so
+  // the CRC is valid and the rejection is provably the semantic check.
+  wal::Manifest manifest = sample_manifest();
+  manifest.tenants.push_back(manifest.tenants.front());
+  EXPECT_THROW((void)wal::parse_manifest(wal::render_manifest(manifest)),
+               std::runtime_error);
+}
+
 TEST(WalSnapshot, CorruptFileFallsBackToPrev) {
   log::set_level(log::Level::kError);
   testutil::ScopedTempDir tmp("wal_manifest");

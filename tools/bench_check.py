@@ -25,6 +25,14 @@ each point's p50 is divided by the same run's first-point p50, and that
 machine-free degradation ratio must stay within the budget of the baseline's.
 Any shed request is a hard failure — the curve must be measured below the
 shed threshold or it measures the shed path, not the serving path.
+
+Fleet mode also gates registration cost within the same run: every point's
+reg_p99_us (exact p99 of per-publish wall time over that sweep segment, so
+the point at N workloads measures publishes into an ~N-occupancy shard) must
+stay within REG_P99_FACTOR x the first point's. This is the sub-linear
+publish gate from DESIGN.md §16 — the pre-persistent-map registry copied the
+whole shard per publish and failed it by ~two orders of magnitude. It needs
+no baseline: both ends of the ratio come from the same machine and run.
 """
 
 from __future__ import annotations
@@ -37,6 +45,12 @@ import sys
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..", "bench", "BENCH_baseline.json")
 DEFAULT_FLEET_BASELINE = os.path.join(os.path.dirname(__file__), "..", "bench", "BENCH_fleet.json")
 
+# Publish p99 at the deepest fleet point vs the first (ISSUE 10 acceptance:
+# 10k-occupancy <= 8x 100-occupancy). The floor keeps a sub-microsecond first
+# point from turning scheduler jitter into a failure.
+REG_P99_FACTOR = 8.0
+REG_P99_FLOOR_US = 5.0
+
 
 def load_fleet(path: str) -> list[dict]:
     with open(path, encoding="utf-8") as fh:
@@ -46,12 +60,39 @@ def load_fleet(path: str) -> list[dict]:
     return points
 
 
+def check_registration(points: list[dict]) -> int:
+    """Within-run sub-linear publish gate over the reg_p99_us curve."""
+    curve = [(int(p["workloads"]), float(p["reg_p99_us"])) for p in points
+             if "reg_p99_us" in p]
+    if len(curve) < 2:
+        print("warn: no reg_p99_us registration curve in this run "
+              "(old serve_replay?) — skipping the publish-cost gate")
+        return 0
+    anchor_n, anchor_p99 = curve[0]
+    budget = REG_P99_FACTOR * max(anchor_p99, REG_P99_FLOOR_US)
+    failures = 0
+    for n, p99 in curve[1:]:
+        status = "FAIL" if p99 > budget else "ok"
+        print(f"[{status:>4}] {n} workloads: publish p99 {p99:.1f}us "
+              f"({p99 / max(anchor_p99, REG_P99_FLOOR_US):.2f}x the "
+              f"{anchor_n}-occupancy p99 {anchor_p99:.1f}us)")
+        failures += status == "FAIL"
+    if failures:
+        print(f"error: publish p99 grew beyond {REG_P99_FACTOR:.0f}x the "
+              f"{anchor_n}-occupancy anchor at {failures} point(s) — "
+              "registration cost is no longer sub-linear in shard occupancy")
+        return 1
+    return 0
+
+
 def check_fleet(args: argparse.Namespace) -> int:
     current = load_fleet(args.current)
     shed = sum(int(p.get("shed", 0)) for p in current)
     if shed > 0:
         print(f"error: {shed} requests shed during the fleet run — the curve "
               "must be measured below the shed threshold")
+        return 1
+    if check_registration(current) != 0:
         return 1
     if args.regen:
         with open(args.baseline, "w", encoding="utf-8") as fh:
